@@ -1,0 +1,192 @@
+package repro
+
+// One benchmark per table/figure of the paper's evaluation (§7), plus
+// per-algorithm micro benchmarks. Each figure benchmark drives the same
+// runner cmd/benchfig uses, on a reduced environment so `go test -bench=.`
+// finishes in minutes; run cmd/benchfig for full-size tables.
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+)
+
+var (
+	benchEnvOnce sync.Once
+	benchEnv     *experiments.Env
+)
+
+func sharedEnv(b *testing.B) *experiments.Env {
+	b.Helper()
+	benchEnvOnce.Do(func() {
+		benchEnv = experiments.NewEnv(experiments.Config{Scale: 0.15, Queries: 2, Seed: 11})
+	})
+	return benchEnv
+}
+
+func benchTable(b *testing.B, run func() (experiments.Table, error)) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t, err := run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(t.Rows) == 0 {
+			b.Fatal("experiment produced no rows")
+		}
+	}
+}
+
+func BenchmarkTable1BinarySearchTrace(b *testing.B) {
+	e := sharedEnv(b)
+	benchTable(b, e.Table1)
+}
+
+func BenchmarkFig07Fig08APPAlphaSweep(b *testing.B) {
+	e := sharedEnv(b)
+	benchTable(b, e.Fig7And8)
+}
+
+func BenchmarkFig09Fig10TGENAlphaSweep(b *testing.B) {
+	e := sharedEnv(b)
+	benchTable(b, e.Fig9And10)
+}
+
+func BenchmarkFig11Fig12APPBetaSweep(b *testing.B) {
+	e := sharedEnv(b)
+	benchTable(b, e.Fig11And12)
+}
+
+func BenchmarkFig13Fig14GreedyMuSweep(b *testing.B) {
+	e := sharedEnv(b)
+	benchTable(b, e.Fig13And14)
+}
+
+func BenchmarkFig15aKeywordsNY(b *testing.B) {
+	e := sharedEnv(b)
+	benchTable(b, func() (experiments.Table, error) { return e.Fig15(experiments.SweepKeywords) })
+}
+
+func BenchmarkFig15cDeltaNY(b *testing.B) {
+	e := sharedEnv(b)
+	benchTable(b, func() (experiments.Table, error) { return e.Fig15(experiments.SweepDelta) })
+}
+
+func BenchmarkFig15eLambdaNY(b *testing.B) {
+	e := sharedEnv(b)
+	benchTable(b, func() (experiments.Table, error) { return e.Fig15(experiments.SweepLambda) })
+}
+
+func BenchmarkFig16aKeywordsUSANW(b *testing.B) {
+	e := sharedEnv(b)
+	benchTable(b, func() (experiments.Table, error) { return e.Fig16(experiments.SweepKeywords) })
+}
+
+func BenchmarkFig16cDeltaUSANW(b *testing.B) {
+	e := sharedEnv(b)
+	benchTable(b, func() (experiments.Table, error) { return e.Fig16(experiments.SweepDelta) })
+}
+
+func BenchmarkFig16eLambdaUSANW(b *testing.B) {
+	e := sharedEnv(b)
+	benchTable(b, func() (experiments.Table, error) { return e.Fig16(experiments.SweepLambda) })
+}
+
+func BenchmarkFig17to19ExampleRegions(b *testing.B) {
+	e := sharedEnv(b)
+	benchTable(b, e.Examples)
+}
+
+func BenchmarkFig20MaxRSComparison(b *testing.B) {
+	e := sharedEnv(b)
+	benchTable(b, e.MaxRSComparison)
+}
+
+func BenchmarkFig21TopKNY(b *testing.B) {
+	e := sharedEnv(b)
+	benchTable(b, func() (experiments.Table, error) { return e.TopK("NY") })
+}
+
+func BenchmarkFig22TopKUSANW(b *testing.B) {
+	e := sharedEnv(b)
+	benchTable(b, func() (experiments.Table, error) { return e.TopK("USANW") })
+}
+
+func BenchmarkAblationKMSTSolvers(b *testing.B) {
+	e := sharedEnv(b)
+	benchTable(b, e.AblationKMST)
+}
+
+func BenchmarkAblationTGENEdgeOrder(b *testing.B) {
+	e := sharedEnv(b)
+	benchTable(b, e.AblationOrder)
+}
+
+// --- per-query micro benchmarks on one fixed instance -------------------
+
+var (
+	microOnce  sync.Once
+	microInst  *core.Instance
+	microDelta float64
+)
+
+func microInstance(b *testing.B) (*core.Instance, float64) {
+	b.Helper()
+	microOnce.Do(func() {
+		d, err := dataset.NYLike(dataset.Config{Seed: 3, Scale: 0.2})
+		if err != nil {
+			panic(err)
+		}
+		rng := rand.New(rand.NewSource(5))
+		qs, err := d.GenQueries(rng, 1, 3, 25e6, 5000)
+		if err != nil {
+			panic(err)
+		}
+		qi, err := d.Instantiate(qs[0])
+		if err != nil {
+			panic(err)
+		}
+		microInst = qi.In
+		microDelta = qs[0].Delta
+	})
+	return microInst, microDelta
+}
+
+func BenchmarkQueryAPP(b *testing.B) {
+	in, delta := microInstance(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.APP(in, delta, core.APPOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQueryTGEN(b *testing.B) {
+	in, delta := microInstance(b)
+	alpha := float64(in.NumNodes) / 9
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.TGEN(in, delta, core.TGENOptions{Alpha: alpha}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQueryGreedy(b *testing.B) {
+	in, delta := microInstance(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Greedy(in, delta, core.GreedyOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

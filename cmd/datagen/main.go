@@ -1,0 +1,77 @@
+// Command datagen generates a synthetic dataset and writes its road
+// network and objects to a file in the dataset text format (loadable by
+// cmd/lcmsr -load), optionally building the
+// disk-based B+-tree posting store alongside it.
+//
+// Usage:
+//
+//	datagen -dataset ny -scale 1.0 -out ny.graph -postings ny.bt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/grid"
+)
+
+func main() {
+	var (
+		dsName   = flag.String("dataset", "ny", "ny or usanw")
+		scale    = flag.Float64("scale", 1.0, "dataset size multiplier")
+		seed     = flag.Int64("seed", 1, "random seed")
+		out      = flag.String("out", "", "output path for the road network (required)")
+		postings = flag.String("postings", "", "optional path for the B+-tree posting store")
+	)
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "datagen: -out is required")
+		os.Exit(2)
+	}
+	cfg := dataset.Config{Seed: *seed, Scale: *scale}
+	if *postings != "" {
+		store, err := grid.NewBTreeStore(*postings)
+		if err != nil {
+			fatal(err)
+		}
+		defer store.Close()
+		cfg.Store = store
+	}
+	var (
+		d   *dataset.Dataset
+		err error
+	)
+	switch strings.ToLower(*dsName) {
+	case "ny":
+		d, err = dataset.NYLike(cfg)
+	case "usanw":
+		d, err = dataset.USANWLike(cfg)
+	default:
+		fmt.Fprintf(os.Stderr, "datagen: unknown dataset %q\n", *dsName)
+		os.Exit(2)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if _, err := d.WriteTo(f); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s: %d nodes, %d edges, %d objects, %d vocabulary terms\n",
+		*out, d.Graph.NumNodes(), d.Graph.NumEdges(), len(d.Objects), d.Vocab.NumTerms())
+	if *postings != "" {
+		fmt.Printf("posting lists persisted to %s\n", *postings)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "datagen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,117 @@
+// Command lcmsr answers LCMSR queries interactively against a built-in
+// synthetic dataset.
+//
+// Usage:
+//
+//	lcmsr -dataset ny -keywords "t0001,t0002" -delta 10000 -area 100 -method tgen
+//	lcmsr -dataset usanw -auto -k 3          # generate a query, top-3 regions
+//
+// -area is the Q.Λ area in km²; -delta the length budget in metres. With
+// -auto the keywords and region are drawn by the workload generator.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	var (
+		dsName   = flag.String("dataset", "ny", "ny or usanw")
+		load     = flag.String("load", "", "load a dataset file written by datagen instead")
+		scale    = flag.Float64("scale", 0.5, "dataset size multiplier")
+		seed     = flag.Int64("seed", 1, "random seed")
+		keywords = flag.String("keywords", "", "comma-separated query keywords")
+		delta    = flag.Float64("delta", 10000, "length constraint Q.∆ in metres")
+		areaKm2  = flag.Float64("area", 100, "query region Q.Λ area in km²")
+		method   = flag.String("method", "tgen", "tgen, app or greedy")
+		k        = flag.Int("k", 1, "number of regions (top-k)")
+		auto     = flag.Bool("auto", false, "generate keywords and region automatically")
+	)
+	flag.Parse()
+
+	var (
+		db  *repro.Database
+		err error
+	)
+	if *load != "" {
+		db, err = repro.Load(*load)
+	} else {
+		switch strings.ToLower(*dsName) {
+		case "ny":
+			db, err = repro.NYLike(*seed, *scale)
+		case "usanw":
+			db, err = repro.USANWLike(*seed, *scale)
+		default:
+			fmt.Fprintf(os.Stderr, "lcmsr: unknown dataset %q\n", *dsName)
+			os.Exit(2)
+		}
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("dataset %s: %d nodes, %d edges, %d objects\n",
+		*dsName, db.NumNodes(), db.NumEdges(), db.NumObjects())
+
+	var q repro.Query
+	if *auto || *keywords == "" {
+		rng := rand.New(rand.NewSource(*seed + 100))
+		qs, err := db.GenQueries(rng, 1, 3, *areaKm2*1e6, *delta)
+		if err != nil {
+			fatal(err)
+		}
+		q = qs[0]
+	} else {
+		bounds := db.Bounds()
+		cx := (bounds.MinX + bounds.MaxX) / 2
+		cy := (bounds.MinY + bounds.MaxY) / 2
+		half := 0.5 * math.Sqrt(*areaKm2*1e6)
+		q = repro.Query{
+			Keywords: strings.Split(*keywords, ","),
+			Delta:    *delta,
+			Region:   repro.Rect{MinX: cx - half, MinY: cy - half, MaxX: cx + half, MaxY: cy + half},
+		}
+	}
+	opts := repro.SearchOptions{}
+	switch strings.ToLower(*method) {
+	case "tgen":
+		opts.Method = repro.MethodTGEN
+	case "app":
+		opts.Method = repro.MethodAPP
+	case "greedy":
+		opts.Method = repro.MethodGreedy
+	default:
+		fmt.Fprintf(os.Stderr, "lcmsr: unknown method %q\n", *method)
+		os.Exit(2)
+	}
+
+	fmt.Printf("query: keywords=%v ∆=%.0fm Λ=%.0fkm² method=%v\n",
+		q.Keywords, q.Delta, (q.Region.MaxX-q.Region.MinX)*(q.Region.MaxY-q.Region.MinY)/1e6, opts.Method)
+
+	results, err := db.RunTopK(q, *k, opts)
+	if err != nil {
+		fatal(err)
+	}
+	if len(results) == 0 {
+		fmt.Println("no region matches the keywords inside Q.Λ")
+		return
+	}
+	for i, r := range results {
+		fmt.Printf("region %d: weight=%.4f length=%.0fm nodes=%d objects=%d\n",
+			i+1, r.Score, r.Length, len(r.Nodes), len(r.Objects))
+		for _, o := range r.Objects {
+			fmt.Printf("  object %d at (%.0f, %.0f) relevance %.4f\n", o.ID, o.X, o.Y, o.Score)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lcmsr:", err)
+	os.Exit(1)
+}

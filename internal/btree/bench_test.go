@@ -1,0 +1,70 @@
+package btree
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+func benchTree(b *testing.B, n int) *Tree {
+	b.Helper()
+	tr, err := Create(filepath.Join(b.TempDir(), "bench.bt"), Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	var v [16]byte
+	for _, k := range rng.Perm(n) {
+		binary.LittleEndian.PutUint64(v[:], uint64(k))
+		if err := tr.Put(uint64(k), v[:]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tr
+}
+
+func BenchmarkPut(b *testing.B) {
+	tr, err := Create(filepath.Join(b.TempDir(), "bench.bt"), Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer tr.Close()
+	var v [16]byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tr.Put(uint64(i*2654435761), v[:]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	tr := benchTree(b, 50000)
+	defer tr.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Get(uint64(i % 50000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScan1000(b *testing.B) {
+	tr := benchTree(b, 50000)
+	defer tr.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		count := 0
+		lo := uint64((i * 997) % 49000)
+		if err := tr.Scan(lo, lo+999, func(uint64, []byte) bool {
+			count++
+			return true
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

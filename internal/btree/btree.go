@@ -1,0 +1,727 @@
+// Package btree implements the disk-based B+-tree of §3 of the paper, used
+// to index the per-grid-cell inverted lists: "The inverted lists may not
+// fit in memory, and we use a disk-based B+-tree to index them for each
+// grid cell."
+//
+// Keys are uint64 (the grid package composes cellID<<32 | termID) and
+// values are opaque byte slices (encoded posting lists). The tree is a
+// classic page-based B+-tree: fixed-size pages, size-based node splits,
+// values larger than an inline threshold spill to overflow page chains,
+// and an in-memory page cache with write-back on eviction/sync. A freed
+// overflow chain is recycled through a free list threaded through the
+// header, so repeated updates do not grow the file unboundedly.
+package btree
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+const (
+	// PageSize is the on-disk page size in bytes.
+	PageSize = 4096
+
+	magic         = 0x4C434D5352424B31 // "LCMSRBK1"
+	pageHeaderLen = 3                  // 1 byte type + 2 bytes nkeys
+	maxInline     = 1024               // values longer than this go to overflow pages
+
+	typeLeaf     = 1
+	typeInternal = 2
+	typeOverflow = 3
+)
+
+// ErrNotFound is returned by Get when the key is absent.
+var ErrNotFound = errors.New("btree: key not found")
+
+// errCorrupt wraps corruption diagnoses so callers can detect them.
+var errCorrupt = errors.New("btree: corrupt page")
+
+type leafEntry struct {
+	key     uint64
+	val     []byte // inline value; nil when stored in an overflow chain
+	ovfPage uint64 // first overflow page, 0 when inline
+	ovfLen  uint32 // total overflow value length
+}
+
+type node struct {
+	id    uint64
+	leaf  bool
+	dirty bool
+	// Leaf payload.
+	entries []leafEntry
+	// Internal payload: len(children) == len(keys)+1; subtree children[i]
+	// holds keys < keys[i]; children[len] holds keys >= keys[len-1].
+	keys     []uint64
+	children []uint64
+}
+
+// Tree is a disk-backed B+-tree. It is not safe for concurrent use.
+type Tree struct {
+	f        *os.File
+	root     uint64
+	numPages uint64
+	freeHead uint64 // head of the freed-page list (0 = none)
+	count    uint64 // number of stored keys
+
+	cache    map[uint64]*node
+	cacheCap int
+	clock    []uint64 // FIFO eviction order
+}
+
+// Options configures tree creation.
+type Options struct {
+	// CachePages caps the number of decoded pages kept in memory.
+	// Zero means a default of 256 pages (1 MiB).
+	CachePages int
+}
+
+// Create creates a new empty tree at path, truncating any existing file.
+func Create(path string, opts Options) (*Tree, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("btree: create: %w", err)
+	}
+	t := newTree(f, opts)
+	t.numPages = 2 // header + root
+	root := &node{id: 1, leaf: true, dirty: true}
+	t.cacheInsert(root)
+	t.root = 1
+	if err := t.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return t, nil
+}
+
+// Open opens an existing tree created by Create.
+func Open(path string, opts Options) (*Tree, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("btree: open: %w", err)
+	}
+	t := newTree(f, opts)
+	if err := t.readHeader(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return t, nil
+}
+
+func newTree(f *os.File, opts Options) *Tree {
+	cap := opts.CachePages
+	if cap <= 0 {
+		cap = 256
+	}
+	if cap < 8 {
+		cap = 8
+	}
+	return &Tree{f: f, cache: make(map[uint64]*node, cap), cacheCap: cap}
+}
+
+// Count returns the number of keys stored in the tree.
+func (t *Tree) Count() int { return int(t.count) }
+
+// Close flushes all dirty pages and closes the file.
+func (t *Tree) Close() error {
+	if err := t.Sync(); err != nil {
+		t.f.Close()
+		return err
+	}
+	return t.f.Close()
+}
+
+// Sync writes all dirty pages and the header to disk.
+func (t *Tree) Sync() error {
+	for _, n := range t.cache {
+		if n.dirty {
+			if err := t.writeNode(n); err != nil {
+				return err
+			}
+			n.dirty = false
+		}
+	}
+	return t.writeHeader()
+}
+
+// --- header ---
+
+func (t *Tree) writeHeader() error {
+	var buf [PageSize]byte
+	binary.LittleEndian.PutUint64(buf[0:], magic)
+	binary.LittleEndian.PutUint64(buf[8:], t.root)
+	binary.LittleEndian.PutUint64(buf[16:], t.numPages)
+	binary.LittleEndian.PutUint64(buf[24:], t.freeHead)
+	binary.LittleEndian.PutUint64(buf[32:], t.count)
+	_, err := t.f.WriteAt(buf[:], 0)
+	if err != nil {
+		return fmt.Errorf("btree: write header: %w", err)
+	}
+	return nil
+}
+
+func (t *Tree) readHeader() error {
+	var buf [PageSize]byte
+	if _, err := io.ReadFull(io.NewSectionReader(t.f, 0, PageSize), buf[:]); err != nil {
+		return fmt.Errorf("btree: read header: %w", err)
+	}
+	if binary.LittleEndian.Uint64(buf[0:]) != magic {
+		return fmt.Errorf("%w: bad magic", errCorrupt)
+	}
+	t.root = binary.LittleEndian.Uint64(buf[8:])
+	t.numPages = binary.LittleEndian.Uint64(buf[16:])
+	t.freeHead = binary.LittleEndian.Uint64(buf[24:])
+	t.count = binary.LittleEndian.Uint64(buf[32:])
+	if t.root == 0 || t.root >= t.numPages {
+		return fmt.Errorf("%w: root page %d out of range", errCorrupt, t.root)
+	}
+	return nil
+}
+
+// --- page allocation ---
+
+func (t *Tree) allocPage() (uint64, error) {
+	if t.freeHead != 0 {
+		id := t.freeHead
+		next, err := t.readOverflowNext(id)
+		if err != nil {
+			return 0, err
+		}
+		t.freeHead = next
+		return id, nil
+	}
+	id := t.numPages
+	t.numPages++
+	return id, nil
+}
+
+func (t *Tree) freeChain(first uint64) error {
+	for first != 0 {
+		next, err := t.readOverflowNext(first)
+		if err != nil {
+			return err
+		}
+		// Thread this page onto the free list.
+		if err := t.writeOverflowRaw(first, t.freeHead, nil); err != nil {
+			return err
+		}
+		t.freeHead = first
+		first = next
+	}
+	return nil
+}
+
+// --- raw page IO ---
+
+func (t *Tree) readPage(id uint64, buf []byte) error {
+	if id == 0 || id >= t.numPages {
+		return fmt.Errorf("%w: page %d out of range [1,%d)", errCorrupt, id, t.numPages)
+	}
+	n, err := t.f.ReadAt(buf, int64(id)*PageSize)
+	if err != nil && !(err == io.EOF && n == PageSize) {
+		return fmt.Errorf("btree: read page %d: %w", id, err)
+	}
+	return nil
+}
+
+func (t *Tree) writePage(id uint64, buf []byte) error {
+	if _, err := t.f.WriteAt(buf, int64(id)*PageSize); err != nil {
+		return fmt.Errorf("btree: write page %d: %w", id, err)
+	}
+	return nil
+}
+
+// --- overflow pages: [1B type][8B next][4B used][data...] ---
+
+const ovfHeaderLen = 13
+const ovfDataCap = PageSize - ovfHeaderLen
+
+func (t *Tree) writeOverflowRaw(id, next uint64, data []byte) error {
+	var buf [PageSize]byte
+	buf[0] = typeOverflow
+	binary.LittleEndian.PutUint64(buf[1:], next)
+	binary.LittleEndian.PutUint32(buf[9:], uint32(len(data)))
+	copy(buf[ovfHeaderLen:], data)
+	return t.writePage(id, buf[:])
+}
+
+func (t *Tree) readOverflowNext(id uint64) (uint64, error) {
+	var buf [PageSize]byte
+	if err := t.readPage(id, buf[:]); err != nil {
+		return 0, err
+	}
+	if buf[0] != typeOverflow {
+		return 0, fmt.Errorf("%w: page %d is not an overflow page", errCorrupt, id)
+	}
+	return binary.LittleEndian.Uint64(buf[1:]), nil
+}
+
+func (t *Tree) writeOverflowChain(val []byte) (uint64, error) {
+	// Write the chain back-to-front so each page knows its successor.
+	var chunks [][]byte
+	for len(val) > 0 {
+		n := len(val)
+		if n > ovfDataCap {
+			n = ovfDataCap
+		}
+		chunks = append(chunks, val[:n])
+		val = val[n:]
+	}
+	var next uint64
+	for i := len(chunks) - 1; i >= 0; i-- {
+		id, err := t.allocPage()
+		if err != nil {
+			return 0, err
+		}
+		if err := t.writeOverflowRaw(id, next, chunks[i]); err != nil {
+			return 0, err
+		}
+		next = id
+	}
+	return next, nil
+}
+
+func (t *Tree) readOverflowChain(first uint64, total uint32) ([]byte, error) {
+	out := make([]byte, 0, total)
+	var buf [PageSize]byte
+	for first != 0 {
+		if err := t.readPage(first, buf[:]); err != nil {
+			return nil, err
+		}
+		if buf[0] != typeOverflow {
+			return nil, fmt.Errorf("%w: page %d in overflow chain has type %d", errCorrupt, first, buf[0])
+		}
+		used := binary.LittleEndian.Uint32(buf[9:])
+		if used > ovfDataCap {
+			return nil, fmt.Errorf("%w: overflow page %d claims %d bytes", errCorrupt, first, used)
+		}
+		out = append(out, buf[ovfHeaderLen:ovfHeaderLen+used]...)
+		first = binary.LittleEndian.Uint64(buf[1:])
+	}
+	if uint32(len(out)) != total {
+		return nil, fmt.Errorf("%w: overflow chain length %d, expected %d", errCorrupt, len(out), total)
+	}
+	return out, nil
+}
+
+// --- node encode/decode ---
+
+func leafEntrySize(e *leafEntry) int {
+	if e.ovfPage != 0 {
+		return 8 + 4 + 12 // key + len marker + (page, totalLen)
+	}
+	return 8 + 4 + len(e.val)
+}
+
+const ovfMark = uint32(1) << 31
+
+func encodeNode(n *node, buf []byte) error {
+	for i := range buf {
+		buf[i] = 0
+	}
+	if n.leaf {
+		buf[0] = typeLeaf
+		binary.LittleEndian.PutUint16(buf[1:], uint16(len(n.entries)))
+		off := pageHeaderLen
+		for i := range n.entries {
+			e := &n.entries[i]
+			binary.LittleEndian.PutUint64(buf[off:], e.key)
+			off += 8
+			if e.ovfPage != 0 {
+				binary.LittleEndian.PutUint32(buf[off:], ovfMark|e.ovfLen)
+				off += 4
+				binary.LittleEndian.PutUint64(buf[off:], e.ovfPage)
+				off += 8
+				binary.LittleEndian.PutUint32(buf[off:], e.ovfLen)
+				off += 4
+			} else {
+				binary.LittleEndian.PutUint32(buf[off:], uint32(len(e.val)))
+				off += 4
+				copy(buf[off:], e.val)
+				off += len(e.val)
+			}
+			if off > PageSize {
+				return fmt.Errorf("btree: leaf %d overflows page (%d bytes)", n.id, off)
+			}
+		}
+		return nil
+	}
+	buf[0] = typeInternal
+	binary.LittleEndian.PutUint16(buf[1:], uint16(len(n.keys)))
+	off := pageHeaderLen
+	binary.LittleEndian.PutUint64(buf[off:], n.children[0])
+	off += 8
+	for i, k := range n.keys {
+		binary.LittleEndian.PutUint64(buf[off:], k)
+		off += 8
+		binary.LittleEndian.PutUint64(buf[off:], n.children[i+1])
+		off += 8
+	}
+	if off > PageSize {
+		return fmt.Errorf("btree: internal node %d overflows page", n.id)
+	}
+	return nil
+}
+
+func decodeNode(id uint64, buf []byte) (*node, error) {
+	n := &node{id: id}
+	nk := int(binary.LittleEndian.Uint16(buf[1:]))
+	switch buf[0] {
+	case typeLeaf:
+		n.leaf = true
+		off := pageHeaderLen
+		n.entries = make([]leafEntry, nk)
+		for i := 0; i < nk; i++ {
+			if off+12 > PageSize {
+				return nil, fmt.Errorf("%w: leaf %d truncated", errCorrupt, id)
+			}
+			e := &n.entries[i]
+			e.key = binary.LittleEndian.Uint64(buf[off:])
+			off += 8
+			marker := binary.LittleEndian.Uint32(buf[off:])
+			off += 4
+			if marker&ovfMark != 0 {
+				if off+12 > PageSize {
+					return nil, fmt.Errorf("%w: leaf %d truncated overflow ref", errCorrupt, id)
+				}
+				e.ovfPage = binary.LittleEndian.Uint64(buf[off:])
+				off += 8
+				e.ovfLen = binary.LittleEndian.Uint32(buf[off:])
+				off += 4
+			} else {
+				vlen := int(marker)
+				if off+vlen > PageSize {
+					return nil, fmt.Errorf("%w: leaf %d value overruns page", errCorrupt, id)
+				}
+				e.val = append([]byte(nil), buf[off:off+vlen]...)
+				off += vlen
+			}
+		}
+		return n, nil
+	case typeInternal:
+		off := pageHeaderLen
+		need := 8 + nk*16
+		if pageHeaderLen+need > PageSize {
+			return nil, fmt.Errorf("%w: internal node %d too wide", errCorrupt, id)
+		}
+		n.children = make([]uint64, nk+1)
+		n.keys = make([]uint64, nk)
+		n.children[0] = binary.LittleEndian.Uint64(buf[off:])
+		off += 8
+		for i := 0; i < nk; i++ {
+			n.keys[i] = binary.LittleEndian.Uint64(buf[off:])
+			off += 8
+			n.children[i+1] = binary.LittleEndian.Uint64(buf[off:])
+			off += 8
+		}
+		return n, nil
+	default:
+		return nil, fmt.Errorf("%w: page %d has unexpected type %d", errCorrupt, id, buf[0])
+	}
+}
+
+// --- cache ---
+
+func (t *Tree) cacheInsert(n *node) {
+	t.cache[n.id] = n
+	t.clock = append(t.clock, n.id)
+	t.evictIfNeeded()
+}
+
+func (t *Tree) evictIfNeeded() {
+	for len(t.cache) > t.cacheCap && len(t.clock) > 0 {
+		victim := t.clock[0]
+		t.clock = t.clock[1:]
+		n, ok := t.cache[victim]
+		if !ok {
+			continue
+		}
+		if n.dirty {
+			if err := t.writeNode(n); err != nil {
+				// Keep the page cached rather than losing data; it will be
+				// retried at the next Sync.
+				t.clock = append(t.clock, victim)
+				return
+			}
+			n.dirty = false
+		}
+		delete(t.cache, victim)
+	}
+}
+
+func (t *Tree) loadNode(id uint64) (*node, error) {
+	if n, ok := t.cache[id]; ok {
+		return n, nil
+	}
+	var buf [PageSize]byte
+	if err := t.readPage(id, buf[:]); err != nil {
+		return nil, err
+	}
+	n, err := decodeNode(id, buf[:])
+	if err != nil {
+		return nil, err
+	}
+	t.cacheInsert(n)
+	return n, nil
+}
+
+func (t *Tree) writeNode(n *node) error {
+	var buf [PageSize]byte
+	if err := encodeNode(n, buf[:]); err != nil {
+		return err
+	}
+	return t.writePage(n.id, buf[:])
+}
+
+// --- public operations ---
+
+// Get returns the value stored under key, or ErrNotFound.
+func (t *Tree) Get(key uint64) ([]byte, error) {
+	n, err := t.loadNode(t.root)
+	if err != nil {
+		return nil, err
+	}
+	for !n.leaf {
+		idx := sort.Search(len(n.keys), func(i int) bool { return key < n.keys[i] })
+		n, err = t.loadNode(n.children[idx])
+		if err != nil {
+			return nil, err
+		}
+	}
+	i := sort.Search(len(n.entries), func(i int) bool { return n.entries[i].key >= key })
+	if i >= len(n.entries) || n.entries[i].key != key {
+		return nil, ErrNotFound
+	}
+	return t.entryValue(&n.entries[i])
+}
+
+func (t *Tree) entryValue(e *leafEntry) ([]byte, error) {
+	if e.ovfPage != 0 {
+		return t.readOverflowChain(e.ovfPage, e.ovfLen)
+	}
+	return append([]byte(nil), e.val...), nil
+}
+
+// Put stores val under key, replacing any previous value.
+func (t *Tree) Put(key uint64, val []byte) error {
+	entry := leafEntry{key: key}
+	if len(val) > maxInline {
+		first, err := t.writeOverflowChain(val)
+		if err != nil {
+			return err
+		}
+		entry.ovfPage = first
+		entry.ovfLen = uint32(len(val))
+	} else {
+		entry.val = append([]byte(nil), val...)
+	}
+	promoted, newChild, err := t.insert(t.root, entry)
+	if err != nil {
+		return err
+	}
+	if newChild != 0 {
+		// Root split: grow the tree by one level.
+		id, err := t.allocPage()
+		if err != nil {
+			return err
+		}
+		newRoot := &node{
+			id:       id,
+			keys:     []uint64{promoted},
+			children: []uint64{t.root, newChild},
+			dirty:    true,
+		}
+		t.cacheInsert(newRoot)
+		t.root = id
+	}
+	return nil
+}
+
+// insert adds entry under page id. If the node splits it returns the
+// promoted separator key and the new right-sibling page id.
+func (t *Tree) insert(id uint64, entry leafEntry) (promoted uint64, newChild uint64, err error) {
+	n, err := t.loadNode(id)
+	if err != nil {
+		return 0, 0, err
+	}
+	if n.leaf {
+		i := sort.Search(len(n.entries), func(i int) bool { return n.entries[i].key >= entry.key })
+		if i < len(n.entries) && n.entries[i].key == entry.key {
+			// Replace: recycle any old overflow chain.
+			if old := n.entries[i].ovfPage; old != 0 {
+				if err := t.freeChain(old); err != nil {
+					return 0, 0, err
+				}
+			}
+			n.entries[i] = entry
+		} else {
+			n.entries = append(n.entries, leafEntry{})
+			copy(n.entries[i+1:], n.entries[i:])
+			n.entries[i] = entry
+			t.count++
+		}
+		n.dirty = true
+		if t.leafSize(n) > PageSize {
+			return t.splitLeaf(n)
+		}
+		return 0, 0, nil
+	}
+	idx := sort.Search(len(n.keys), func(i int) bool { return entry.key < n.keys[i] })
+	promo, child, err := t.insert(n.children[idx], entry)
+	if err != nil {
+		return 0, 0, err
+	}
+	if child == 0 {
+		return 0, 0, nil
+	}
+	// The recursion may have evicted this node from the cache; mutating the
+	// stale pointer would silently lose the update. Reload (cheap when still
+	// cached) so the mutation lands on the cached copy.
+	n, err = t.loadNode(id)
+	if err != nil {
+		return 0, 0, err
+	}
+	n.keys = append(n.keys, 0)
+	copy(n.keys[idx+1:], n.keys[idx:])
+	n.keys[idx] = promo
+	n.children = append(n.children, 0)
+	copy(n.children[idx+2:], n.children[idx+1:])
+	n.children[idx+1] = child
+	n.dirty = true
+	if t.internalSize(n) > PageSize {
+		return t.splitInternal(n)
+	}
+	return 0, 0, nil
+}
+
+func (t *Tree) leafSize(n *node) int {
+	size := pageHeaderLen
+	for i := range n.entries {
+		size += leafEntrySize(&n.entries[i])
+	}
+	return size
+}
+
+func (t *Tree) internalSize(n *node) int {
+	return pageHeaderLen + 8 + len(n.keys)*16
+}
+
+func (t *Tree) splitLeaf(n *node) (uint64, uint64, error) {
+	// Split at the byte midpoint so both halves fit comfortably.
+	total := t.leafSize(n) - pageHeaderLen
+	acc, cut := 0, 0
+	for i := range n.entries {
+		acc += leafEntrySize(&n.entries[i])
+		if acc >= total/2 {
+			cut = i + 1
+			break
+		}
+	}
+	if cut == 0 || cut >= len(n.entries) {
+		cut = len(n.entries) / 2
+	}
+	id, err := t.allocPage()
+	if err != nil {
+		return 0, 0, err
+	}
+	right := &node{id: id, leaf: true, dirty: true,
+		entries: append([]leafEntry(nil), n.entries[cut:]...)}
+	n.entries = n.entries[:cut:cut]
+	n.dirty = true
+	t.cacheInsert(right)
+	return right.entries[0].key, id, nil
+}
+
+func (t *Tree) splitInternal(n *node) (uint64, uint64, error) {
+	mid := len(n.keys) / 2
+	promoted := n.keys[mid]
+	id, err := t.allocPage()
+	if err != nil {
+		return 0, 0, err
+	}
+	right := &node{id: id, dirty: true,
+		keys:     append([]uint64(nil), n.keys[mid+1:]...),
+		children: append([]uint64(nil), n.children[mid+1:]...)}
+	n.keys = n.keys[:mid:mid]
+	n.children = n.children[: mid+1 : mid+1]
+	n.dirty = true
+	t.cacheInsert(right)
+	return promoted, id, nil
+}
+
+// Delete removes key from the tree. It returns ErrNotFound when absent.
+// Underfull pages are tolerated (no rebalancing): the workload in this
+// system is build-once/read-many, and tolerating sparse leaves keeps the
+// on-disk structure simple without affecting lookup correctness.
+func (t *Tree) Delete(key uint64) error {
+	n, err := t.loadNode(t.root)
+	if err != nil {
+		return err
+	}
+	for !n.leaf {
+		idx := sort.Search(len(n.keys), func(i int) bool { return key < n.keys[i] })
+		n, err = t.loadNode(n.children[idx])
+		if err != nil {
+			return err
+		}
+	}
+	i := sort.Search(len(n.entries), func(i int) bool { return n.entries[i].key >= key })
+	if i >= len(n.entries) || n.entries[i].key != key {
+		return ErrNotFound
+	}
+	if ovf := n.entries[i].ovfPage; ovf != 0 {
+		if err := t.freeChain(ovf); err != nil {
+			return err
+		}
+	}
+	n.entries = append(n.entries[:i], n.entries[i+1:]...)
+	n.dirty = true
+	t.count--
+	return nil
+}
+
+// Scan calls fn for every key in [lo, hi] in ascending order. Iteration
+// stops early when fn returns false.
+func (t *Tree) Scan(lo, hi uint64, fn func(key uint64, val []byte) bool) error {
+	if err := t.scan(t.root, lo, hi, fn); err != nil && err != errStop {
+		return err
+	}
+	return nil
+}
+
+func (t *Tree) scan(id, lo, hi uint64, fn func(uint64, []byte) bool) error {
+	n, err := t.loadNode(id)
+	if err != nil {
+		return err
+	}
+	if n.leaf {
+		i := sort.Search(len(n.entries), func(i int) bool { return n.entries[i].key >= lo })
+		for ; i < len(n.entries) && n.entries[i].key <= hi; i++ {
+			val, err := t.entryValue(&n.entries[i])
+			if err != nil {
+				return err
+			}
+			if !fn(n.entries[i].key, val) {
+				return errStop
+			}
+		}
+		return nil
+	}
+	start := sort.Search(len(n.keys), func(i int) bool { return lo < n.keys[i] })
+	for idx := start; idx < len(n.children); idx++ {
+		if idx > 0 && n.keys[idx-1] > hi {
+			break
+		}
+		// Recursion may evict n from the cache, but the pointer we hold
+		// keeps its decoded fields valid for the rest of this loop.
+		if err := t.scan(n.children[idx], lo, hi, fn); err != nil {
+			return err // errStop propagates to Scan, which absorbs it
+		}
+	}
+	return nil
+}
+
+var errStop = errors.New("btree: scan stopped")

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchInstance builds a grid-like weighted instance comparable to a query
+// region of the NY dataset (~900 nodes).
+func benchInstance(b *testing.B) (*Instance, float64) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(12))
+	const side = 30
+	n := side * side
+	var edges []Edge
+	for y := 0; y < side; y++ {
+		for x := 0; x < side; x++ {
+			v := int32(y*side + x)
+			if x+1 < side {
+				edges = append(edges, Edge{U: v, V: v + 1, Length: 250 + rng.Float64()*100})
+			}
+			if y+1 < side {
+				edges = append(edges, Edge{U: v, V: v + int32(side), Length: 250 + rng.Float64()*100})
+			}
+		}
+	}
+	// Relevance density mirrors real keyword queries: a few percent of
+	// nodes carry weight (dense weights invert the TGEN/APP cost order).
+	weights := make([]float64, n)
+	for i := range weights {
+		if rng.Float64() < 0.06 {
+			weights[i] = rng.Float64()
+		}
+	}
+	in, err := NewInstance(n, edges, weights)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return in, 10000 // ∆ = 10 km
+}
+
+func BenchmarkAPP(b *testing.B) {
+	in, delta := benchInstance(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := APP(in, delta, APPOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTGEN(b *testing.B) {
+	in, delta := benchInstance(b)
+	alpha := float64(in.NumNodes) / 9
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := TGEN(in, delta, TGENOptions{Alpha: alpha}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGreedy(b *testing.B) {
+	in, delta := benchInstance(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Greedy(in, delta, GreedyOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFindOptTreeDP(b *testing.B) {
+	// A 200-node random tree with integer weights, the inner DP of APP.
+	rng := rand.New(rand.NewSource(9))
+	const n = 200
+	var edges []Edge
+	for i := 1; i < n; i++ {
+		edges = append(edges, Edge{U: int32(rng.Intn(i)), V: int32(i), Length: 100 + rng.Float64()*400})
+	}
+	weights := make([]float64, n)
+	scaled := make([]int64, n)
+	for i := range weights {
+		scaled[i] = int64(rng.Intn(8))
+		weights[i] = float64(scaled[i])
+	}
+	in, err := NewInstance(n, edges, weights)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := &Scaling{Alpha: 1, Theta: 1, Scaled: scaled}
+	treeNodes := make([]int32, n)
+	treeEdges := make([]int32, n-1)
+	for i := range treeNodes {
+		treeNodes[i] = int32(i)
+	}
+	for i := range treeEdges {
+		treeEdges[i] = int32(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := findOptTree(in, sc, treeNodes, treeEdges, 5000, nil); r == nil {
+			b.Fatal("nil result")
+		}
+	}
+}
+
+func BenchmarkTopK3TGEN(b *testing.B) {
+	in, delta := benchInstance(b)
+	alpha := float64(in.NumNodes) / 9
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := TopKTGEN(in, delta, 3, TGENOptions{Alpha: alpha}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+// Package core implements the paper's primary contribution: answering the
+// length-constrained maximum-sum region (LCMSR) query. Given a working
+// graph — the road network restricted to the query rectangle Q.Λ, with
+// per-node relevance weights σv for the query keywords — the algorithms
+// here find a connected subgraph ("region") of total edge length at most
+// Q.∆ maximizing the total node weight:
+//
+//   - APP (§4): the (5+ε)-approximation built on node-weight scaling, a
+//     binary search over node-weight quotas against a k-MST solver, and a
+//     dynamic program (findOptTree) extracting the best feasible subtree;
+//   - TGEN (§5): the tuple-generation heuristic that runs the same
+//     dominance-pruned tuple machinery directly on the graph;
+//   - Greedy (§6.1): frontier expansion balancing node weight and edge
+//     length with the µ parameter;
+//   - top-k variants of all three (§6.2);
+//   - Exact: exhaustive baselines for small instances (used to measure
+//     approximation quality in tests and benchmarks).
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/pcst"
+)
+
+// NodeID is a node index local to an Instance (0..N-1).
+type NodeID = int32
+
+// Edge is an undirected edge of the working graph.
+type Edge struct {
+	U, V   NodeID
+	Length float64
+}
+
+// Halfedge is one direction of an edge in the adjacency structure.
+type Halfedge struct {
+	To   NodeID
+	Edge int32
+}
+
+// Instance is the per-query working graph: the subgraph of the road
+// network inside Q.Λ with query-dependent node weights σv ≥ 0. The zero
+// weight marks nodes irrelevant to the query (junctions, dead ends,
+// non-matching objects).
+type Instance struct {
+	NumNodes int
+	Edges    []Edge
+	Weights  []float64 // σv per node
+
+	adj [][]Halfedge
+}
+
+// NewInstance validates and indexes a working graph.
+func NewInstance(numNodes int, edges []Edge, weights []float64) (*Instance, error) {
+	if len(weights) != numNodes {
+		return nil, fmt.Errorf("core: %d weights for %d nodes", len(weights), numNodes)
+	}
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("core: node %d has invalid weight %v", i, w)
+		}
+	}
+	inst := &Instance{NumNodes: numNodes, Edges: edges, Weights: weights}
+	inst.adj = make([][]Halfedge, numNodes)
+	for i, e := range edges {
+		if e.U < 0 || int(e.U) >= numNodes || e.V < 0 || int(e.V) >= numNodes {
+			return nil, fmt.Errorf("core: edge %d endpoints (%d,%d) out of range", i, e.U, e.V)
+		}
+		if e.U == e.V {
+			return nil, fmt.Errorf("core: edge %d is a self loop", i)
+		}
+		if e.Length < 0 || math.IsNaN(e.Length) || math.IsInf(e.Length, 0) {
+			return nil, fmt.Errorf("core: edge %d has invalid length %v", i, e.Length)
+		}
+		inst.adj[e.U] = append(inst.adj[e.U], Halfedge{To: e.V, Edge: int32(i)})
+		inst.adj[e.V] = append(inst.adj[e.V], Halfedge{To: e.U, Edge: int32(i)})
+	}
+	return inst, nil
+}
+
+// Neighbors returns the halfedges out of v (aliases internal storage).
+func (in *Instance) Neighbors(v NodeID) []Halfedge { return in.adj[v] }
+
+// MaxWeight returns σmax, the maximum node weight, and its node.
+func (in *Instance) MaxWeight() (float64, NodeID) {
+	best, arg := 0.0, NodeID(-1)
+	for v, w := range in.Weights {
+		if w > best {
+			best, arg = w, NodeID(v)
+		}
+	}
+	return best, arg
+}
+
+// MaxEdgeLength returns τmax over the instance's edges (0 if edgeless).
+func (in *Instance) MaxEdgeLength() float64 {
+	var best float64
+	for _, e := range in.Edges {
+		if e.Length > best {
+			best = e.Length
+		}
+	}
+	return best
+}
+
+// pcstEdges converts the instance's edge list to the solver's edge type.
+// The layouts are identical; the copy keeps the packages decoupled.
+func (in *Instance) pcstEdges() []pcst.Edge {
+	out := make([]pcst.Edge, len(in.Edges))
+	for i, e := range in.Edges {
+		out[i] = pcst.Edge{U: e.U, V: e.V, Cost: e.Length}
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/container"
+)
+
+// Exact computes the true optimal region by exhaustive enumeration of node
+// subsets: a region's score depends only on its node set, and a connected
+// node set S is feasible iff the minimum spanning tree of the induced
+// subgraph G[S] fits the budget (any connected subgraph on S is at least
+// as long as that MST). Exponential in the node count — it exists to
+// ground-truth the approximation algorithms on small instances (tests and
+// the accuracy benchmarks) and refuses instances above 22 nodes.
+func Exact(in *Instance, delta float64) (*Region, error) {
+	const limit = 22
+	if in.NumNodes > limit {
+		return nil, fmt.Errorf("core: exact solver limited to %d nodes, got %d", limit, in.NumNodes)
+	}
+	n := in.NumNodes
+	var best *Region
+	for mask := 1; mask < 1<<n; mask++ {
+		var score float64
+		for v := 0; v < n; v++ {
+			if mask&(1<<v) != 0 {
+				score += in.Weights[v]
+			}
+		}
+		if best != nil && score < best.Score {
+			continue // cannot beat the incumbent; skip the MST work
+		}
+		r, ok := mstRegion(in, mask)
+		if !ok || r.Length > delta {
+			continue
+		}
+		if best == nil || r.Score > best.Score || (r.Score == best.Score && r.Length < best.Length) {
+			best = r
+		}
+	}
+	return best, nil
+}
+
+// mstRegion builds the minimum spanning tree region of the induced
+// subgraph over the mask's nodes; ok is false when it is disconnected.
+func mstRegion(in *Instance, mask int) (*Region, bool) {
+	var nodes []int32
+	for v := 0; v < in.NumNodes; v++ {
+		if mask&(1<<v) != 0 {
+			nodes = append(nodes, int32(v))
+		}
+	}
+	r := &Region{Nodes: nodes}
+	for _, v := range nodes {
+		r.Score += in.Weights[v]
+	}
+	if len(nodes) == 1 {
+		return r, true
+	}
+	type we struct {
+		idx int32
+		len float64
+	}
+	var edges []we
+	for i, e := range in.Edges {
+		if mask&(1<<e.U) != 0 && mask&(1<<e.V) != 0 {
+			edges = append(edges, we{int32(i), e.Length})
+		}
+	}
+	for i := 1; i < len(edges); i++ {
+		for j := i; j > 0 && edges[j].len < edges[j-1].len; j-- {
+			edges[j], edges[j-1] = edges[j-1], edges[j]
+		}
+	}
+	uf := container.NewUnionFind(in.NumNodes)
+	picked := 0
+	for _, e := range edges {
+		ed := in.Edges[e.idx]
+		if uf.Union(int(ed.U), int(ed.V)) {
+			r.Edges = append(r.Edges, e.idx)
+			r.Length += e.len
+			picked++
+		}
+	}
+	return r, picked == len(nodes)-1
+}

@@ -1,0 +1,77 @@
+package dataset
+
+import (
+	"fmt"
+
+	"repro/internal/geo"
+	"repro/internal/grid"
+	"repro/internal/roadnet"
+	"repro/internal/textindex"
+)
+
+// ObjectInput is a caller-supplied geo-textual object for FromObjects.
+type ObjectInput struct {
+	Point geo.Point
+	Text  string
+}
+
+// FromObjects assembles a Dataset from an existing road network and raw
+// objects: descriptions are tokenized and indexed under the vector space
+// model, objects snap to their nearest road node, and the grid index is
+// built with a cell size derived from the network extent.
+func FromObjects(name string, g *roadnet.Graph, objects []ObjectInput) (*Dataset, error) {
+	if g.NumNodes() == 0 {
+		return nil, fmt.Errorf("dataset: empty road network")
+	}
+	if len(objects) == 0 {
+		return nil, fmt.Errorf("dataset: no objects")
+	}
+	vocab := textindex.NewVocabulary()
+	objs := make([]grid.Object, len(objects))
+	objNode := make([]roadnet.NodeID, len(objects))
+	bounds := g.BBox()
+	for i, o := range objects {
+		objs[i] = grid.Object{Point: o.Point, Doc: vocab.IndexDoc(textindex.Tokenize(o.Text))}
+		objNode[i] = g.NearestNode(o.Point)
+		if !bounds.Contains(o.Point) {
+			bounds = extend(bounds, o.Point)
+		}
+	}
+	bounds = bounds.Expand(1)
+	// Aim for a grid of roughly 64x64 cells over the extent.
+	cell := bounds.Width() / 64
+	if h := bounds.Height() / 64; h > cell {
+		cell = h
+	}
+	if cell <= 0 {
+		cell = 1
+	}
+	idx, err := grid.NewIndex(objs, bounds, cell, nil)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: index: %w", err)
+	}
+	return &Dataset{
+		Name:    name,
+		Graph:   g,
+		Vocab:   vocab,
+		Objects: objs,
+		ObjNode: objNode,
+		Index:   idx,
+	}, nil
+}
+
+func extend(r geo.Rect, p geo.Point) geo.Rect {
+	if p.X < r.MinX {
+		r.MinX = p.X
+	}
+	if p.X > r.MaxX {
+		r.MaxX = p.X
+	}
+	if p.Y < r.MinY {
+		r.MinY = p.Y
+	}
+	if p.Y > r.MaxY {
+		r.MaxY = p.Y
+	}
+	return r
+}

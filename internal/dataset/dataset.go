@@ -1,0 +1,151 @@
+// Package dataset assembles the full experimental setting of §7.1: a road
+// network, a corpus of geo-textual objects snapped to their nearest road
+// nodes, the grid index with per-cell inverted lists over them, and the
+// query workload generator (random query rectangles following the network
+// distribution, keywords sampled by in-region frequency).
+//
+// Two ready-made builds mirror the paper's datasets at laptop scale:
+// NYLike (Manhattan-style grid + business-category-style Zipf text) and
+// USANWLike (random geometric network + tag-style Zipf text). See
+// DESIGN.md ("Substitutions") for the scale mapping.
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/gen"
+	"repro/internal/grid"
+	"repro/internal/roadnet"
+	"repro/internal/textindex"
+)
+
+// Dataset bundles a road network with its indexed geo-textual objects.
+type Dataset struct {
+	Name    string
+	Graph   *roadnet.Graph
+	Vocab   *textindex.Vocabulary
+	Objects []grid.Object
+	ObjNode []roadnet.NodeID // nearest road node per object (§7.1 snapping)
+	// Ratings holds per-object popularity scores for WeightRating mode;
+	// nil means every object rates 1.
+	Ratings []float64
+	Index   *grid.Index
+}
+
+// Config controls synthetic dataset construction.
+type Config struct {
+	// Seed drives all randomness; equal seeds give equal datasets.
+	Seed int64
+	// Scale multiplies the default node/object counts (1.0 = defaults;
+	// benchmarks may use <1 for speed, studies >1 for fidelity).
+	Scale float64
+	// CellSize is the grid-index cell size in metres (default 500).
+	CellSize float64
+	// Store, when non-nil, persists posting lists (e.g. a BTreeStore);
+	// nil keeps them in memory.
+	Store grid.Store
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scale == 0 {
+		c.Scale = 1
+	}
+	if c.CellSize == 0 {
+		c.CellSize = 500
+	}
+	return c
+}
+
+// NYLike builds the Manhattan-style dataset: a ~20×20 km perturbed grid
+// network (paper: NY, 264k nodes over the city; here density-scaled), with
+// ~1.9 objects per node and a business-category-style vocabulary.
+func NYLike(cfg Config) (*Dataset, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	side := int(60 * sqrtScale(cfg.Scale))
+	if side < 10 {
+		side = 10
+	}
+	g, err := gen.ManhattanGrid(gen.GridConfig{
+		Rows: side, Cols: side,
+		Spacing:     20000.0 / float64(side-1), // ~20 km across regardless of scale
+		Jitter:      0.15,
+		RemoveEdge:  0.06,
+		DeadEndFrac: 0.25,
+	}, rng)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: NY network: %w", err)
+	}
+	corpus, err := gen.PlaceObjects(g, gen.TextConfig{
+		VocabSize:  1500,
+		ZipfS:      1.15,
+		MinTerms:   1,
+		MaxTerms:   4,
+		Objects:    int(float64(g.NumNodes()) * 1.9),
+		SnapJitter: 30,
+	}, rng)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: NY objects: %w", err)
+	}
+	return assemble("NY", g, corpus, cfg)
+}
+
+// USANWLike builds the northwest-USA-style dataset: a sparser random
+// geometric network over ~30×30 km with one object per node (the paper
+// generates exactly |V| objects) and a larger tag-style vocabulary.
+func USANWLike(cfg Config) (*Dataset, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	nodes := int(5000 * cfg.Scale)
+	if nodes < 100 {
+		nodes = 100
+	}
+	g, err := gen.GeometricNetwork(gen.GeometricConfig{
+		Nodes:     nodes,
+		Width:     30000,
+		Height:    30000,
+		Neighbors: 2,
+	}, rng)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: USANW network: %w", err)
+	}
+	corpus, err := gen.PlaceObjects(g, gen.TextConfig{
+		VocabSize:  2500,
+		ZipfS:      1.1,
+		MinTerms:   1,
+		MaxTerms:   6, // tag sets are longer than business categories
+		Objects:    g.NumNodes(),
+		SnapJitter: 50,
+	}, rng)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: USANW objects: %w", err)
+	}
+	return assemble("USANW", g, corpus, cfg)
+}
+
+func assemble(name string, g *roadnet.Graph, corpus *gen.Corpus, cfg Config) (*Dataset, error) {
+	bounds := corpus.Bounds(g, 100)
+	idx, err := grid.NewIndex(corpus.Objects, bounds, cfg.CellSize, cfg.Store)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: index: %w", err)
+	}
+	return &Dataset{
+		Name:    name,
+		Graph:   g,
+		Vocab:   corpus.Vocab,
+		Objects: corpus.Objects,
+		ObjNode: corpus.ObjNode,
+		Ratings: corpus.Ratings,
+		Index:   idx,
+	}, nil
+}
+
+// sqrtScale converts a count multiplier into a grid-side multiplier.
+func sqrtScale(s float64) float64 {
+	if s <= 0 {
+		return 1
+	}
+	return math.Sqrt(s)
+}

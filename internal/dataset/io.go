@@ -1,0 +1,112 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/geo"
+	"repro/internal/roadnet"
+)
+
+// The dataset file format extends the roadnet format with object records:
+//
+//	# comment
+//	d <name>
+//	g <numNodes> <numEdges>
+//	v <id> <x> <y>
+//	e <u> <v> <length>
+//	o <x> <y> <token> [token...]
+//
+// Everything the query pipeline needs (vocabulary statistics, term
+// weights, grid index, node snapping) is rebuilt on load, so the file
+// stays a plain declarative record of the data.
+
+// WriteTo serializes the dataset (network + objects). Token text is
+// reconstructed from the vocabulary; term multiplicities within one
+// object are not preserved exactly (the normalized weights are rebuilt
+// from the written tokens on load).
+func (d *Dataset) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	count := func(c int, err error) error {
+		n += int64(c)
+		return err
+	}
+	if err := count(fmt.Fprintf(bw, "d %s\n", d.Name)); err != nil {
+		return n, err
+	}
+	nw, err := d.Graph.WriteTo(bw)
+	n += nw
+	if err != nil {
+		return n, err
+	}
+	for _, o := range d.Objects {
+		var sb strings.Builder
+		for _, t := range o.Doc.Terms {
+			sb.WriteByte(' ')
+			sb.WriteString(d.Vocab.Term(t))
+		}
+		if err := count(fmt.Fprintf(bw, "o %s %s%s\n",
+			strconv.FormatFloat(o.Point.X, 'g', -1, 64),
+			strconv.FormatFloat(o.Point.Y, 'g', -1, 64),
+			sb.String())); err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// Read parses a dataset written by WriteTo and rebuilds all indexes.
+func Read(r io.Reader) (*Dataset, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	name := "unnamed"
+	var graphLines, objLines []string
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		switch text[0] {
+		case 'd':
+			fields := strings.Fields(text)
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("dataset: line %d: malformed name record %q", lineNo, text)
+			}
+			name = fields[1]
+		case 'o':
+			objLines = append(objLines, text)
+		default:
+			graphLines = append(graphLines, text)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: read: %w", err)
+	}
+	g, err := roadnet.Read(strings.NewReader(strings.Join(graphLines, "\n")))
+	if err != nil {
+		return nil, err
+	}
+	var inputs []ObjectInput
+	for i, line := range objLines {
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			return nil, fmt.Errorf("dataset: object %d: need x y and ≥1 token, got %q", i, line)
+		}
+		x, err1 := strconv.ParseFloat(fields[1], 64)
+		y, err2 := strconv.ParseFloat(fields[2], 64)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("dataset: object %d: bad coordinates %q", i, line)
+		}
+		inputs = append(inputs, ObjectInput{
+			Point: geo.Point{X: x, Y: y},
+			Text:  strings.Join(fields[3:], " "),
+		})
+	}
+	return FromObjects(name, g, inputs)
+}

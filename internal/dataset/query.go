@@ -1,0 +1,231 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/grid"
+	"repro/internal/roadnet"
+	"repro/internal/textindex"
+)
+
+// WeightMode selects how object scores become node weights, per §2:
+// "Our proposal is open to different definitions of an object's weight:
+// popularity as measured by numbers of check-ins, user ratings, degree of
+// relevance to the query keywords, etc."
+type WeightMode int
+
+const (
+	// WeightRelevance scores each matching object by its text relevance
+	// σ(o.ψ, Q.ψ) (the default, used throughout the paper's evaluation).
+	WeightRelevance WeightMode = iota
+	// WeightRating scores each matching object by its rating/popularity
+	// ("its score will be the object's rating or popularity if it matches
+	// the query keywords and zero otherwise").
+	WeightRating
+	// WeightLanguageModel scores each matching object with the Dirichlet-
+	// smoothed language model (§3: "other models can also be used, e.g.,
+	// the language model").
+	WeightLanguageModel
+)
+
+// Query is a full LCMSR query Q = ⟨ψ, ∆, Λ⟩ (Definition 3).
+type Query struct {
+	Keywords []string
+	Delta    float64  // length constraint, metres
+	Lambda   geo.Rect // region of interest
+	Mode     WeightMode
+}
+
+// GenQueries generates a workload as §7.1 does: each query's rectangle has
+// the given area, centred at the location of a randomly chosen object (so
+// query regions follow the network distribution), clamped inside the data
+// bounds; keywords are sampled from the terms appearing on objects inside
+// the rectangle, weighted by their in-region frequency.
+func (d *Dataset) GenQueries(rng *rand.Rand, count, numKeywords int, areaM2, delta float64) ([]Query, error) {
+	if count < 1 || numKeywords < 1 {
+		return nil, fmt.Errorf("dataset: need positive count and keywords, got %d, %d", count, numKeywords)
+	}
+	if areaM2 <= 0 || delta <= 0 {
+		return nil, fmt.Errorf("dataset: need positive area and ∆, got %v, %v", areaM2, delta)
+	}
+	if len(d.Objects) == 0 {
+		return nil, fmt.Errorf("dataset: no objects to anchor queries")
+	}
+	bbox := d.Graph.BBox()
+	out := make([]Query, 0, count)
+	for attempts := 0; len(out) < count && attempts < count*50; attempts++ {
+		anchor := d.Objects[rng.Intn(len(d.Objects))].Point
+		rect := clampRect(geo.RectAround(anchor, areaM2), bbox)
+		// In-region term frequencies.
+		freq := make(map[textindex.TermID]int)
+		for _, o := range d.Objects {
+			if !rect.Contains(o.Point) {
+				continue
+			}
+			for _, t := range o.Doc.Terms {
+				freq[t]++
+			}
+		}
+		kws := sampleTerms(d.Vocab, freq, numKeywords, rng)
+		if len(kws) < numKeywords {
+			continue // too few distinct terms in this region; redraw
+		}
+		out = append(out, Query{Keywords: kws, Delta: delta, Lambda: rect})
+	}
+	if len(out) < count {
+		return nil, fmt.Errorf("dataset: could only generate %d of %d queries (regions too sparse)", len(out), count)
+	}
+	return out, nil
+}
+
+// clampRect translates r so it fits inside bounds (shrinking if larger).
+func clampRect(r, bounds geo.Rect) geo.Rect {
+	if r.Width() > bounds.Width() {
+		r.MinX, r.MaxX = bounds.MinX, bounds.MaxX
+	} else {
+		if r.MinX < bounds.MinX {
+			d := bounds.MinX - r.MinX
+			r.MinX += d
+			r.MaxX += d
+		}
+		if r.MaxX > bounds.MaxX {
+			d := r.MaxX - bounds.MaxX
+			r.MinX -= d
+			r.MaxX -= d
+		}
+	}
+	if r.Height() > bounds.Height() {
+		r.MinY, r.MaxY = bounds.MinY, bounds.MaxY
+	} else {
+		if r.MinY < bounds.MinY {
+			d := bounds.MinY - r.MinY
+			r.MinY += d
+			r.MaxY += d
+		}
+		if r.MaxY > bounds.MaxY {
+			d := r.MaxY - bounds.MaxY
+			r.MinY -= d
+			r.MaxY -= d
+		}
+	}
+	return r
+}
+
+// sampleTerms draws distinct terms proportionally to their frequency.
+func sampleTerms(v *textindex.Vocabulary, freq map[textindex.TermID]int, n int, rng *rand.Rand) []string {
+	type tf struct {
+		t textindex.TermID
+		f int
+	}
+	pool := make([]tf, 0, len(freq))
+	total := 0
+	for t, f := range freq {
+		pool = append(pool, tf{t, f})
+		total += f
+	}
+	sort.Slice(pool, func(i, j int) bool { return pool[i].t < pool[j].t }) // determinism
+	var out []string
+	for len(out) < n && len(pool) > 0 && total > 0 {
+		r := rng.Intn(total)
+		idx := 0
+		for acc := 0; idx < len(pool); idx++ {
+			acc += pool[idx].f
+			if r < acc {
+				break
+			}
+		}
+		if idx >= len(pool) {
+			idx = len(pool) - 1
+		}
+		out = append(out, v.Term(pool[idx].t))
+		total -= pool[idx].f
+		pool = append(pool[:idx], pool[idx+1:]...)
+	}
+	return out
+}
+
+// QueryInstance is the materialized per-query working graph handed to the
+// core algorithms, plus the bookkeeping needed to interpret results.
+type QueryInstance struct {
+	In  *core.Instance
+	Sub *roadnet.Subgraph
+	// NodeObjects[v] lists the relevant objects (positive σ) snapped to
+	// local node v.
+	NodeObjects [][]grid.ObjectID
+	// Prepared is the IR-model view of the keywords.
+	Prepared textindex.Query
+}
+
+// Instantiate restricts the road network to Q.Λ, scores the objects inside
+// it against the keywords through the grid index (Equation 2), and
+// aggregates object scores onto their road nodes: a node's weight σv is
+// the summed relevance of the objects mapped to it, zero for junctions and
+// irrelevant objects.
+func (d *Dataset) Instantiate(q Query) (*QueryInstance, error) {
+	sub := d.Graph.ExtractRect(q.Lambda)
+	prepared := d.Vocab.PrepareQuery(q.Keywords)
+	// The grid index finds the matching objects (an object matches iff it
+	// shares a term with the query, identically under all weight modes);
+	// the mode then decides the weight each match contributes.
+	scores, err := d.Index.Search(prepared, q.Lambda)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: index search: %w", err)
+	}
+	var lm textindex.LMQuery
+	if q.Mode == WeightLanguageModel {
+		lm = d.Vocab.PrepareLMQuery(q.Keywords, 0)
+	}
+	weights := make([]float64, sub.NumNodes())
+	nodeObjs := make([][]grid.ObjectID, sub.NumNodes())
+	for _, os := range scores {
+		parent := d.ObjNode[os.Obj]
+		local := sub.Local(parent)
+		if local < 0 {
+			continue // object inside Λ but its node is outside
+		}
+		w := os.Score
+		switch q.Mode {
+		case WeightRating:
+			w = d.rating(os.Obj)
+		case WeightLanguageModel:
+			w = lm.Score(&d.Objects[os.Obj].Doc)
+		}
+		weights[local] += w
+		nodeObjs[local] = append(nodeObjs[local], os.Obj)
+	}
+	edges := make([]core.Edge, sub.NumEdges())
+	for i := range edges {
+		e := sub.Edge(roadnet.EdgeID(i))
+		edges[i] = core.Edge{U: int32(e.U), V: int32(e.V), Length: e.Length}
+	}
+	in, err := core.NewInstance(sub.NumNodes(), edges, weights)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: instance: %w", err)
+	}
+	return &QueryInstance{In: in, Sub: sub, NodeObjects: nodeObjs, Prepared: prepared}, nil
+}
+
+// rating returns the object's popularity score (1 when none recorded).
+func (d *Dataset) rating(id grid.ObjectID) float64 {
+	if int(id) >= len(d.Ratings) {
+		return 1
+	}
+	return d.Ratings[id]
+}
+
+// RegionObjects counts and lists the relevant objects inside a region
+// returned by the core algorithms (local node IDs).
+func (qi *QueryInstance) RegionObjects(r *core.Region) []grid.ObjectID {
+	var out []grid.ObjectID
+	if r == nil {
+		return nil
+	}
+	for _, v := range r.Nodes {
+		out = append(out, qi.NodeObjects[v]...)
+	}
+	return out
+}

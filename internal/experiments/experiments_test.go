@@ -1,0 +1,229 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// testEnv is a small, fast environment shared by the tests.
+func testEnv() *Env {
+	return NewEnv(Config{Scale: 0.12, Queries: 3, Seed: 9})
+}
+
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	s = strings.TrimSuffix(s, "%")
+	s = strings.TrimSuffix(s, "km2")
+	s = strings.TrimSuffix(s, "km")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}
+
+func TestTableFormat(t *testing.T) {
+	tbl := Table{
+		Title:  "demo",
+		Header: []string{"a", "long_column"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+	}
+	out := tbl.Format()
+	if !strings.Contains(out, "== demo ==") || !strings.Contains(out, "long_column") {
+		t.Errorf("Format output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Errorf("expected 4 lines, got %d", len(lines))
+	}
+}
+
+func TestFig7And8Shape(t *testing.T) {
+	e := testEnv()
+	tbl, err := e.Fig7And8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6 α points", len(tbl.Rows))
+	}
+	// Weight must stay roughly flat: max/min within 2x (paper: 5.85-5.95).
+	var lo, hi float64
+	for i, row := range tbl.Rows {
+		w := parseF(t, row[2])
+		if i == 0 || w < lo {
+			lo = w
+		}
+		if i == 0 || w > hi {
+			hi = w
+		}
+	}
+	if lo <= 0 {
+		t.Fatalf("zero region weight in Fig8: %v", tbl.Rows)
+	}
+	if hi > 2.5*lo {
+		t.Errorf("APP weight varies too much across α: [%v, %v]", lo, hi)
+	}
+}
+
+func TestFig9And10Shape(t *testing.T) {
+	e := testEnv()
+	tbl, err := e.Fig9And10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// Weight must not increase as α grows (coarser scale loses accuracy).
+	first := parseF(t, tbl.Rows[0][3])
+	last := parseF(t, tbl.Rows[len(tbl.Rows)-1][3])
+	if last > first*1.05 {
+		t.Errorf("TGEN weight grew with coarser scaling: first %v last %v", first, last)
+	}
+}
+
+func TestFig13And14Shape(t *testing.T) {
+	e := testEnv()
+	tbl, err := e.Fig13And14()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if parseF(t, row[2]) < 0 {
+			t.Errorf("negative weight in µ sweep")
+		}
+	}
+}
+
+func TestTable1Trace(t *testing.T) {
+	e := testEnv()
+	tbl, err := e.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) == 0 {
+		t.Fatal("empty binary-search trace")
+	}
+	// L must never exceed U.
+	for i, row := range tbl.Rows {
+		if parseF(t, row[1]) > parseF(t, row[2]) {
+			t.Errorf("row %d: L > U", i)
+		}
+	}
+}
+
+func TestFig15AllSweeps(t *testing.T) {
+	e := testEnv()
+	for _, kind := range []SweepKind{SweepKeywords, SweepDelta, SweepLambda} {
+		tbl, err := e.Fig15(kind)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if len(tbl.Rows) != 5 {
+			t.Fatalf("%v: rows = %d", kind, len(tbl.Rows))
+		}
+		for _, row := range tbl.Rows {
+			greedyRatio := parseF(t, row[5])
+			if greedyRatio > 101 {
+				t.Errorf("%v: Greedy ratio %v%% exceeds TGEN", kind, greedyRatio)
+			}
+		}
+	}
+}
+
+func TestExamplesOrder(t *testing.T) {
+	e := testEnv()
+	tbl, err := e.Examples()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	tgenW := parseF(t, tbl.Rows[0][2])
+	greedyW := parseF(t, tbl.Rows[2][2])
+	if greedyW > tgenW*1.2 {
+		t.Errorf("Greedy weight %v clearly above TGEN %v: example order broken", greedyW, tgenW)
+	}
+}
+
+func TestMaxRSComparison(t *testing.T) {
+	e := testEnv()
+	tbl, err := e.MaxRSComparison()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) == 0 {
+		t.Fatal("no comparison rows")
+	}
+	last := tbl.Rows[len(tbl.Rows)-1]
+	if last[0] != "TOTAL" {
+		t.Fatal("missing TOTAL row")
+	}
+	// The win rate fraction is reported as "w/v (p%)".
+	if !strings.Contains(last[5], "/") {
+		t.Errorf("malformed total: %q", last[5])
+	}
+}
+
+func TestTopKTables(t *testing.T) {
+	e := testEnv()
+	for _, name := range []string{"NY", "USANW"} {
+		tbl, err := e.TopK(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(tbl.Rows) != 5 {
+			t.Fatalf("%s: rows = %d", name, len(tbl.Rows))
+		}
+	}
+}
+
+func TestAblations(t *testing.T) {
+	e := testEnv()
+	if _, err := e.AblationKMST(); err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := e.AblationOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("order ablation rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestNamedCoversAllIDs(t *testing.T) {
+	e := NewEnv(Config{Scale: 0.05, Queries: 1, Seed: 4})
+	for _, id := range ExperimentIDs() {
+		if id == "fig16kw" || id == "fig16delta" || id == "fig16lambda" || id == "fig22" {
+			continue // USANW runs are covered by TestTopKTables; skip for speed
+		}
+		_, ok, err := e.Named(id)
+		if !ok {
+			t.Errorf("id %q unknown to Named", id)
+		}
+		if err != nil {
+			t.Errorf("id %q: %v", id, err)
+		}
+	}
+	if _, ok, _ := e.Named("nope"); ok {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestAblationWeighting(t *testing.T) {
+	e := testEnv()
+	tbl, err := e.AblationWeighting()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 weightings", len(tbl.Rows))
+	}
+}

@@ -1,0 +1,209 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/roadnet"
+	"repro/internal/textindex"
+)
+
+func TestGridConfigValidation(t *testing.T) {
+	bad := []GridConfig{
+		{Rows: 1, Cols: 5, Spacing: 100},
+		{Rows: 5, Cols: 5, Spacing: 0},
+		{Rows: 5, Cols: 5, Spacing: 100, Jitter: 0.9},
+		{Rows: 5, Cols: 5, Spacing: 100, RemoveEdge: 1},
+		{Rows: 5, Cols: 5, Spacing: 100, DeadEndFrac: 2},
+	}
+	for i, cfg := range bad {
+		if _, err := ManhattanGrid(cfg, rand.New(rand.NewSource(1))); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestManhattanGridShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g, err := ManhattanGrid(GridConfig{Rows: 20, Cols: 30, Spacing: 100, Jitter: 0.2,
+		RemoveEdge: 0.08, DeadEndFrac: 0.3}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() < 600 {
+		t.Errorf("nodes = %d, want ≥ 600", g.NumNodes())
+	}
+	if comps := g.Components(); len(comps) != 1 {
+		t.Errorf("grid has %d components, want 1", len(comps))
+	}
+	// Edge lengths should hover around spacing.
+	if min := g.MinEdgeLength(0); min < 20 {
+		t.Errorf("min edge = %v, suspiciously short", min)
+	}
+	if max := g.MaxEdgeLength(); max > 300 {
+		t.Errorf("max edge = %v, suspiciously long for 100m spacing", max)
+	}
+}
+
+func TestManhattanGridNoRemovals(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g, err := ManhattanGrid(GridConfig{Rows: 4, Cols: 5, Spacing: 50}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 20 {
+		t.Errorf("nodes = %d, want 20", g.NumNodes())
+	}
+	// Full grid: 4*4 + 3*5 = 31 edges.
+	if g.NumEdges() != 31 {
+		t.Errorf("edges = %d, want 31", g.NumEdges())
+	}
+}
+
+func TestGeometricConfigValidation(t *testing.T) {
+	bad := []GeometricConfig{
+		{Nodes: 1, Width: 10, Height: 10, Neighbors: 2},
+		{Nodes: 10, Width: 0, Height: 10, Neighbors: 2},
+		{Nodes: 10, Width: 10, Height: 10, Neighbors: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := GeometricNetwork(cfg, rand.New(rand.NewSource(1))); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestGeometricNetworkConnected(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g, err := GeometricNetwork(GeometricConfig{Nodes: 800, Width: 10000, Height: 8000, Neighbors: 3}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 800 {
+		t.Errorf("nodes = %d", g.NumNodes())
+	}
+	if comps := g.Components(); len(comps) != 1 {
+		t.Errorf("network has %d components, want 1", len(comps))
+	}
+	// k-NN with k=3 should give average degree between 3 and 6.
+	avgDeg := float64(2*g.NumEdges()) / float64(g.NumNodes())
+	if avgDeg < 2.5 || avgDeg > 7 {
+		t.Errorf("avg degree = %.2f, outside [2.5, 7]", avgDeg)
+	}
+}
+
+func TestTextConfigValidation(t *testing.T) {
+	g, _ := ManhattanGrid(GridConfig{Rows: 3, Cols: 3, Spacing: 10}, rand.New(rand.NewSource(1)))
+	bad := []TextConfig{
+		{VocabSize: 0, ZipfS: 1.1, MinTerms: 1, MaxTerms: 2, Objects: 5},
+		{VocabSize: 10, ZipfS: 1.0, MinTerms: 1, MaxTerms: 2, Objects: 5},
+		{VocabSize: 10, ZipfS: 1.1, MinTerms: 0, MaxTerms: 2, Objects: 5},
+		{VocabSize: 10, ZipfS: 1.1, MinTerms: 3, MaxTerms: 2, Objects: 5},
+		{VocabSize: 10, ZipfS: 1.1, MinTerms: 1, MaxTerms: 2, Objects: 0},
+		{VocabSize: 10, ZipfS: 1.1, MinTerms: 1, MaxTerms: 2, Objects: 5, SnapJitter: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := PlaceObjects(g, cfg, rand.New(rand.NewSource(1))); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+	empty := roadnet.NewBuilder().Build()
+	ok := TextConfig{VocabSize: 10, ZipfS: 1.1, MinTerms: 1, MaxTerms: 2, Objects: 5}
+	if _, err := PlaceObjects(empty, ok, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("empty graph accepted")
+	}
+}
+
+func TestPlaceObjectsDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g, err := ManhattanGrid(GridConfig{Rows: 15, Cols: 15, Spacing: 100}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := PlaceObjects(g, TextConfig{
+		VocabSize: 200, ZipfS: 1.2, MinTerms: 1, MaxTerms: 4,
+		Objects: 2000, SnapJitter: 20,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Objects) != 2000 || len(c.ObjNode) != 2000 {
+		t.Fatalf("got %d objects, %d anchors", len(c.Objects), len(c.ObjNode))
+	}
+	if c.Vocab.NumDocs() != 2000 {
+		t.Errorf("|D| = %d, want 2000", c.Vocab.NumDocs())
+	}
+	// Zipf skew: the most frequent term must dominate the median term.
+	topDF, medianDF := 0, 0
+	dfs := make([]int, 0, c.Vocab.NumTerms())
+	for id := 0; id < c.Vocab.NumTerms(); id++ {
+		df := c.Vocab.DocFreq(textindex.TermID(id))
+		dfs = append(dfs, df)
+		if df > topDF {
+			topDF = df
+		}
+	}
+	if len(dfs) > 2 {
+		medianDF = dfs[len(dfs)/2]
+		if topDF < 5*medianDF {
+			t.Errorf("top df %d vs median %d: not Zipf-skewed", topDF, medianDF)
+		}
+	}
+	// Objects near their anchors.
+	for i, o := range c.Objects {
+		if d := o.Point.Dist(g.Point(c.ObjNode[i])); d > 29 {
+			t.Fatalf("object %d is %vm from its anchor, jitter is 20", i, d)
+		}
+	}
+	// Bounds covers everything.
+	bounds := c.Bounds(g, 10)
+	for _, o := range c.Objects {
+		if !bounds.Contains(o.Point) {
+			t.Fatal("object outside Bounds")
+		}
+	}
+}
+
+func TestHotspotClustering(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	g, err := GeometricNetwork(GeometricConfig{Nodes: 600, Width: 20000, Height: 20000, Neighbors: 2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := PlaceObjects(g, TextConfig{
+		VocabSize: 100, ZipfS: 1.2, MinTerms: 1, MaxTerms: 3,
+		Objects: 600, SnapJitter: 10,
+		Hotspots: 5, HotspotFrac: 0.7, HotspotRadius: 1500,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clustering signature: the most popular anchor cell should hold far
+	// more objects than the uniform expectation.
+	counts := map[roadnet.NodeID]int{}
+	maxCount := 0
+	for _, n := range c.ObjNode {
+		counts[n]++
+		if counts[n] > maxCount {
+			maxCount = counts[n]
+		}
+	}
+	// Uniform placement: 600 objects over 600 nodes, max ≈ 4-5.
+	if maxCount < 8 {
+		t.Errorf("max objects per node = %d; clustering seems inactive", maxCount)
+	}
+}
+
+func TestHotspotValidation(t *testing.T) {
+	g, _ := ManhattanGrid(GridConfig{Rows: 3, Cols: 3, Spacing: 10}, rand.New(rand.NewSource(1)))
+	bad := []TextConfig{
+		{VocabSize: 10, ZipfS: 1.1, MinTerms: 1, MaxTerms: 2, Objects: 5, Hotspots: -1},
+		{VocabSize: 10, ZipfS: 1.1, MinTerms: 1, MaxTerms: 2, Objects: 5, HotspotFrac: 1.5},
+		{VocabSize: 10, ZipfS: 1.1, MinTerms: 1, MaxTerms: 2, Objects: 5, HotspotRadius: -2},
+	}
+	for i, cfg := range bad {
+		if _, err := PlaceObjects(g, cfg, rand.New(rand.NewSource(1))); err == nil {
+			t.Errorf("hotspot config %d accepted", i)
+		}
+	}
+}

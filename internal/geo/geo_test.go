@@ -1,0 +1,206 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointDist(t *testing.T) {
+	cases := []struct {
+		p, q Point
+		want float64
+	}{
+		{Point{0, 0}, Point{3, 4}, 5},
+		{Point{1, 1}, Point{1, 1}, 0},
+		{Point{-1, -1}, Point{2, 3}, 5},
+	}
+	for _, c := range cases {
+		if got := c.p.Dist(c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Dist(%v,%v) = %v, want %v", c.p, c.q, got, c.want)
+		}
+	}
+}
+
+func TestDistSymmetricAndNonNegative(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		if math.IsNaN(ax) || math.IsNaN(ay) || math.IsNaN(bx) || math.IsNaN(by) {
+			return true
+		}
+		p, q := Point{ax, ay}, Point{bx, by}
+		d1, d2 := p.Dist(q), q.Dist(p)
+		return d1 == d2 && (d1 >= 0 || math.IsInf(d1, 1) || math.IsNaN(d1))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewRectNormalizes(t *testing.T) {
+	r := NewRect(Point{5, 7}, Point{1, 2})
+	want := Rect{1, 2, 5, 7}
+	if r != want {
+		t.Errorf("NewRect = %+v, want %+v", r, want)
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := Rect{0, 0, 10, 10}
+	if !r.Contains(Point{0, 0}) || !r.Contains(Point{10, 10}) || !r.Contains(Point{5, 5}) {
+		t.Error("boundary or interior point not contained")
+	}
+	if r.Contains(Point{10.001, 5}) || r.Contains(Point{-0.001, 5}) {
+		t.Error("exterior point contained")
+	}
+}
+
+func TestRectIntersects(t *testing.T) {
+	a := Rect{0, 0, 10, 10}
+	cases := []struct {
+		b    Rect
+		want bool
+	}{
+		{Rect{5, 5, 15, 15}, true},
+		{Rect{10, 10, 20, 20}, true}, // touching corner counts
+		{Rect{11, 11, 20, 20}, false},
+		{Rect{-5, -5, -1, -1}, false},
+		{Rect{2, 2, 3, 3}, true}, // fully inside
+	}
+	for _, c := range cases {
+		if got := a.Intersects(c.b); got != c.want {
+			t.Errorf("Intersects(%v) = %v, want %v", c.b, got, c.want)
+		}
+		if got := c.b.Intersects(a); got != c.want {
+			t.Errorf("Intersects not symmetric for %v", c.b)
+		}
+	}
+}
+
+func TestRectIntersect(t *testing.T) {
+	a := Rect{0, 0, 10, 10}
+	got, ok := a.Intersect(Rect{5, 5, 15, 15})
+	if !ok || got != (Rect{5, 5, 10, 10}) {
+		t.Errorf("Intersect = %v, %v", got, ok)
+	}
+	if _, ok := a.Intersect(Rect{20, 20, 30, 30}); ok {
+		t.Error("disjoint rectangles reported intersecting")
+	}
+}
+
+func TestRectAroundArea(t *testing.T) {
+	c := Point{100, 200}
+	r := RectAround(c, 100e6) // 100 km² in m²
+	if math.Abs(r.Area()-100e6) > 1e-3 {
+		t.Errorf("area = %v, want 100e6", r.Area())
+	}
+	if r.Center() != c {
+		t.Errorf("center = %v, want %v", r.Center(), c)
+	}
+	if r.Width() != r.Height() {
+		t.Error("RectAround must be square")
+	}
+	if RectAround(c, -5).Area() != 0 {
+		t.Error("negative area should clamp to zero")
+	}
+}
+
+func TestRectExpand(t *testing.T) {
+	r := Rect{0, 0, 10, 10}.Expand(2)
+	if r != (Rect{-2, -2, 12, 12}) {
+		t.Errorf("Expand = %v", r)
+	}
+}
+
+func TestRectAreaDegenerate(t *testing.T) {
+	if (Rect{5, 5, 1, 1}).Area() != 0 {
+		t.Error("inverted rect must have zero area")
+	}
+}
+
+func TestUTMZone(t *testing.T) {
+	cases := []struct {
+		lng  float64
+		want int
+	}{
+		{-74.0, 18},  // New York
+		{-122.3, 10}, // Seattle (USANW)
+		{0, 31},
+		{-180, 1},
+		{179.999, 60},
+		{-999, 1}, // clamped
+		{999, 60}, // clamped
+	}
+	for _, c := range cases {
+		if got := UTMZone(c.lng); got != c.want {
+			t.Errorf("UTMZone(%v) = %d, want %d", c.lng, got, c.want)
+		}
+	}
+}
+
+// Reference values cross-checked with an independent meridian-arc
+// computation (Helmert series): NYC, 40.7128N 74.0060W, zone 18 gives
+// E 583959, N 4507351.
+func TestToUTMReference(t *testing.T) {
+	p := ToUTM(LatLng{40.7128, -74.0060}, 18)
+	if math.Abs(p.X-583959) > 5 || math.Abs(p.Y-4507351) > 5 {
+		t.Errorf("NYC UTM = %v, want ~ (583959, 4507351)", p)
+	}
+}
+
+func TestToUTMCentralMeridian(t *testing.T) {
+	// On the central meridian of the zone the easting is the false easting.
+	p := ToUTM(LatLng{45, -75}, 18) // zone 18 central meridian is 75W
+	if math.Abs(p.X-utmFE) > 1e-6 {
+		t.Errorf("easting on central meridian = %v, want %v", p.X, utmFE)
+	}
+}
+
+func TestToUTMSouthernHemisphere(t *testing.T) {
+	n := ToUTM(LatLng{-33.8688, 151.2093}, 56) // Sydney
+	if n.Y < 5.8e6 || n.Y > 6.5e6 {
+		t.Errorf("southern-hemisphere northing = %v, want ~6.25e6", n.Y)
+	}
+}
+
+// Local distances must be preserved by the projection: 0.01° of latitude is
+// ~1111 m anywhere.
+func TestToUTMLocalScale(t *testing.T) {
+	a := ToUTM(LatLng{40.70, -74.00}, 18)
+	b := ToUTM(LatLng{40.71, -74.00}, 18)
+	d := a.Dist(b)
+	if math.Abs(d-1110.9) > 3 {
+		t.Errorf("projected 0.01° latitude = %v m, want ~1111 m", d)
+	}
+}
+
+// Monotonicity property: increasing longitude (east of the central meridian)
+// increases easting; increasing latitude increases northing.
+func TestToUTMMonotone(t *testing.T) {
+	f := func(latSeed, lngSeed uint16) bool {
+		lat := 20 + float64(latSeed%400)/10 // 20..60 N
+		lng := -75 + float64(lngSeed%50)/10 // within zone 18-ish
+		zone := 18
+		p1 := ToUTM(LatLng{lat, lng}, zone)
+		p2 := ToUTM(LatLng{lat + 0.01, lng}, zone)
+		p3 := ToUTM(LatLng{lat, lng + 0.01}, zone)
+		return p2.Y > p1.Y && p3.X > p1.X
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProjectAll(t *testing.T) {
+	lls := []LatLng{{40.7128, -74.0060}, {40.7306, -73.9866}}
+	pts := ProjectAll(lls)
+	if len(pts) != 2 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	// ~2.5 km apart in reality.
+	if d := pts[0].Dist(pts[1]); d < 2000 || d > 3500 {
+		t.Errorf("projected distance = %v, want ~2500 m", d)
+	}
+	if ProjectAll(nil) != nil {
+		t.Error("ProjectAll(nil) should be nil")
+	}
+}

@@ -1,0 +1,46 @@
+package grid
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/textindex"
+)
+
+func benchIndex(b *testing.B) (*Index, *textindex.Vocabulary) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(8))
+	v := textindex.NewVocabulary()
+	bounds := geo.Rect{MinX: 0, MinY: 0, MaxX: 20000, MaxY: 20000}
+	var objs []Object
+	vocab := make([]string, 200)
+	for i := range vocab {
+		vocab[i] = string(rune('a'+i%26)) + string(rune('a'+(i/26)%26))
+	}
+	for i := 0; i < 10000; i++ {
+		toks := []string{vocab[rng.Intn(200)], vocab[rng.Intn(200)]}
+		objs = append(objs, Object{
+			Point: geo.Point{X: rng.Float64() * 20000, Y: rng.Float64() * 20000},
+			Doc:   v.IndexDoc(toks),
+		})
+	}
+	idx, err := NewIndex(objs, bounds, 500, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return idx, v
+}
+
+func BenchmarkSearch(b *testing.B) {
+	idx, v := benchIndex(b)
+	q := v.PrepareQuery([]string{"aa", "ba", "ca"})
+	r := geo.Rect{MinX: 5000, MinY: 5000, MaxX: 15000, MaxY: 15000}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := idx.Search(q, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

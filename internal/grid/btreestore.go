@@ -1,0 +1,75 @@
+package grid
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/btree"
+)
+
+// BTreeStore is a Store backed by the disk-based B+-tree of package btree,
+// realizing the storage design of §3: posting lists keyed by (cell, term)
+// live on disk and are fetched page-at-a-time through the tree's cache.
+// A mutex serializes tree access (the page cache is not concurrency-safe),
+// making the store usable from concurrent queries.
+type BTreeStore struct {
+	mu   sync.Mutex
+	tree *btree.Tree
+}
+
+// NewBTreeStore creates a fresh store at path (truncating existing files).
+func NewBTreeStore(path string) (*BTreeStore, error) {
+	t, err := btree.Create(path, btree.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &BTreeStore{tree: t}, nil
+}
+
+// OpenBTreeStore opens a store previously written by NewBTreeStore.
+func OpenBTreeStore(path string) (*BTreeStore, error) {
+	t, err := btree.Open(path, btree.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &BTreeStore{tree: t}, nil
+}
+
+// Append implements Store. Lists are read-modify-written; index builds
+// batch all postings for a key into a single Append, so this is one tree
+// Put per (cell, term) in practice.
+func (s *BTreeStore) Append(key CellKey, ps []Posting) error {
+	existing, err := s.Postings(key)
+	if err != nil {
+		return err
+	}
+	merged := append(existing, ps...)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tree.Put(key.Uint64(), EncodePostings(merged))
+}
+
+// Postings implements Store.
+func (s *BTreeStore) Postings(key CellKey) ([]Posting, error) {
+	s.mu.Lock()
+	raw, err := s.tree.Get(key.Uint64())
+	s.mu.Unlock()
+	if err == btree.ErrNotFound {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	ps, err := DecodePostings(raw)
+	if err != nil {
+		return nil, fmt.Errorf("grid: decode postings for cell %d term %d: %w", key.Cell, key.Term, err)
+	}
+	return ps, nil
+}
+
+// Close flushes and closes the underlying tree.
+func (s *BTreeStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tree.Close()
+}

@@ -1,0 +1,282 @@
+// Package grid implements the spatial index of §3 of the paper: "We use a
+// grid index to organize the geo-textual objects. We partition the entire
+// space according to a uniform grid, and each object is stored in the grid
+// cell that its point location belongs to. In each grid cell, we maintain
+// an inverted list with the keywords of the objects stored in this cell."
+//
+// Each posting carries the object's precomputed normalized term weight
+// wto(t) (Equation 2), so query-time scoring is a multiply-accumulate of
+// the query-side IDF weights against the postings of the cells overlapping
+// Q.Λ. Posting lists live behind the Store interface: MemStore keeps them
+// in memory, and the btreestore sub-package persists them in the
+// disk-based B+-tree, exactly as the paper describes.
+package grid
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/geo"
+	"repro/internal/textindex"
+)
+
+// ObjectID identifies an indexed geo-textual object, dense 0..NumObjects-1.
+type ObjectID int32
+
+// Object is a geo-textual object: a point location with a text description.
+type Object struct {
+	Point geo.Point
+	Doc   textindex.Doc
+}
+
+// Posting is one entry of a cell-level inverted list: an object in the cell
+// containing the term, with its normalized term weight wto(t).
+type Posting struct {
+	Obj    ObjectID
+	Weight float64 // wto(t) of Equation (2)
+}
+
+// CellKey addresses one posting list: (cell, term).
+type CellKey struct {
+	Cell uint32
+	Term textindex.TermID
+}
+
+// Uint64 packs the key for the B+-tree: cell in the high 32 bits, term in
+// the low 32 bits, so one cell's lists are contiguous in key order.
+func (k CellKey) Uint64() uint64 {
+	return uint64(k.Cell)<<32 | uint64(uint32(k.Term))
+}
+
+// Store persists posting lists.
+type Store interface {
+	// Append adds postings to the list under key (build time).
+	Append(key CellKey, ps []Posting) error
+	// Postings returns the list under key; empty list when absent.
+	Postings(key CellKey) ([]Posting, error)
+}
+
+// MemStore is an in-memory Store.
+type MemStore struct {
+	lists map[CellKey][]Posting
+}
+
+// NewMemStore returns an empty in-memory posting store.
+func NewMemStore() *MemStore { return &MemStore{lists: make(map[CellKey][]Posting)} }
+
+// Append implements Store.
+func (s *MemStore) Append(key CellKey, ps []Posting) error {
+	s.lists[key] = append(s.lists[key], ps...)
+	return nil
+}
+
+// Postings implements Store.
+func (s *MemStore) Postings(key CellKey) ([]Posting, error) { return s.lists[key], nil }
+
+// EncodePostings serializes a posting list (for disk-backed stores).
+func EncodePostings(ps []Posting) []byte {
+	buf := make([]byte, 0, len(ps)*12)
+	var tmp [12]byte
+	for _, p := range ps {
+		binary.LittleEndian.PutUint32(tmp[0:], uint32(p.Obj))
+		binary.LittleEndian.PutUint64(tmp[4:], math.Float64bits(p.Weight))
+		buf = append(buf, tmp[:]...)
+	}
+	return buf
+}
+
+// DecodePostings parses the output of EncodePostings.
+func DecodePostings(b []byte) ([]Posting, error) {
+	if len(b)%12 != 0 {
+		return nil, fmt.Errorf("grid: posting list length %d not a multiple of 12", len(b))
+	}
+	out := make([]Posting, 0, len(b)/12)
+	for off := 0; off < len(b); off += 12 {
+		out = append(out, Posting{
+			Obj:    ObjectID(binary.LittleEndian.Uint32(b[off:])),
+			Weight: math.Float64frombits(binary.LittleEndian.Uint64(b[off+4:])),
+		})
+	}
+	return out, nil
+}
+
+// Index is a uniform grid over the object space.
+type Index struct {
+	objects  []Object
+	bounds   geo.Rect
+	cellSize float64
+	nx, ny   int
+	store    Store
+	// terms per cell, for query planning (which lists exist).
+	cellTerms map[uint32][]textindex.TermID
+}
+
+// NewIndex builds a grid index over objects with the given cell size (same
+// unit as coordinates; the paper does not prescribe one — typical is a few
+// hundred metres). The store receives one Append per (cell, term).
+func NewIndex(objects []Object, bounds geo.Rect, cellSize float64, store Store) (*Index, error) {
+	if cellSize <= 0 {
+		return nil, fmt.Errorf("grid: cell size must be positive, got %v", cellSize)
+	}
+	if store == nil {
+		store = NewMemStore()
+	}
+	nx := int(math.Ceil(bounds.Width()/cellSize)) + 1
+	ny := int(math.Ceil(bounds.Height()/cellSize)) + 1
+	if nx < 1 {
+		nx = 1
+	}
+	if ny < 1 {
+		ny = 1
+	}
+	idx := &Index{
+		objects:   objects,
+		bounds:    bounds,
+		cellSize:  cellSize,
+		nx:        nx,
+		ny:        ny,
+		store:     store,
+		cellTerms: make(map[uint32][]textindex.TermID),
+	}
+	// Group postings per (cell, term) to batch Append calls.
+	batch := make(map[CellKey][]Posting)
+	for id, o := range objects {
+		cell, ok := idx.cellOf(o.Point)
+		if !ok {
+			return nil, fmt.Errorf("grid: object %d at %v outside bounds %v", id, o.Point, bounds)
+		}
+		for i, t := range o.Doc.Terms {
+			key := CellKey{Cell: cell, Term: t}
+			batch[key] = append(batch[key], Posting{Obj: ObjectID(id), Weight: o.Doc.Weights[i]})
+		}
+	}
+	for key, ps := range batch {
+		if err := store.Append(key, ps); err != nil {
+			return nil, fmt.Errorf("grid: store append: %w", err)
+		}
+		idx.cellTerms[key.Cell] = append(idx.cellTerms[key.Cell], key.Term)
+	}
+	return idx, nil
+}
+
+// NumObjects returns the number of indexed objects.
+func (idx *Index) NumObjects() int { return len(idx.objects) }
+
+// Object returns the object with the given ID.
+func (idx *Index) Object(id ObjectID) Object { return idx.objects[id] }
+
+// Dims returns the grid dimensions (cells in x and y).
+func (idx *Index) Dims() (nx, ny int) { return idx.nx, idx.ny }
+
+func (idx *Index) cellOf(p geo.Point) (uint32, bool) {
+	if !idx.bounds.Contains(p) {
+		return 0, false
+	}
+	cx := int((p.X - idx.bounds.MinX) / idx.cellSize)
+	cy := int((p.Y - idx.bounds.MinY) / idx.cellSize)
+	if cx >= idx.nx {
+		cx = idx.nx - 1
+	}
+	if cy >= idx.ny {
+		cy = idx.ny - 1
+	}
+	return uint32(cy*idx.nx + cx), true
+}
+
+// cellRect returns the rectangle covered by a cell id.
+func (idx *Index) cellRect(cell uint32) geo.Rect {
+	cx := int(cell) % idx.nx
+	cy := int(cell) / idx.nx
+	minX := idx.bounds.MinX + float64(cx)*idx.cellSize
+	minY := idx.bounds.MinY + float64(cy)*idx.cellSize
+	return geo.Rect{MinX: minX, MinY: minY, MaxX: minX + idx.cellSize, MaxY: minY + idx.cellSize}
+}
+
+// cellsOverlapping returns ids of all cells intersecting r.
+func (idx *Index) cellsOverlapping(r geo.Rect) []uint32 {
+	clipped, ok := r.Intersect(idx.bounds)
+	if !ok {
+		return nil
+	}
+	x0 := int((clipped.MinX - idx.bounds.MinX) / idx.cellSize)
+	x1 := int((clipped.MaxX - idx.bounds.MinX) / idx.cellSize)
+	y0 := int((clipped.MinY - idx.bounds.MinY) / idx.cellSize)
+	y1 := int((clipped.MaxY - idx.bounds.MinY) / idx.cellSize)
+	clamp := func(v, hi int) int {
+		if v < 0 {
+			return 0
+		}
+		if v > hi {
+			return hi
+		}
+		return v
+	}
+	x0, x1 = clamp(x0, idx.nx-1), clamp(x1, idx.nx-1)
+	y0, y1 = clamp(y0, idx.ny-1), clamp(y1, idx.ny-1)
+	out := make([]uint32, 0, (x1-x0+1)*(y1-y0+1))
+	for cy := y0; cy <= y1; cy++ {
+		for cx := x0; cx <= x1; cx++ {
+			out = append(out, uint32(cy*idx.nx+cx))
+		}
+	}
+	return out
+}
+
+// ObjScore is an object with its query relevance σ(o.ψ, Q.ψ).
+type ObjScore struct {
+	Obj   ObjectID
+	Score float64
+}
+
+// Search returns every object inside r with a positive relevance to q,
+// computed from the cell inverted lists as in Equation (2): it reads the
+// postings lists of the query keywords in the overlapping cells and
+// accumulates (1/W_Q) Σ w_{Q,t}·wto(t) per object. Objects in boundary
+// cells but outside r are filtered by their exact location.
+func (idx *Index) Search(q textindex.Query, r geo.Rect) ([]ObjScore, error) {
+	if len(q.Terms) == 0 || q.Norm == 0 {
+		return nil, nil
+	}
+	acc := make(map[ObjectID]float64)
+	for _, cell := range idx.cellsOverlapping(r) {
+		terms := idx.cellTerms[cell]
+		if len(terms) == 0 {
+			continue
+		}
+		fullInside := false
+		cr := idx.cellRect(cell)
+		if cr.MinX >= r.MinX && cr.MaxX <= r.MaxX && cr.MinY >= r.MinY && cr.MaxY <= r.MaxY {
+			fullInside = true
+		}
+		for qi, t := range q.Terms {
+			if !termInCell(terms, t) {
+				continue
+			}
+			ps, err := idx.store.Postings(CellKey{Cell: cell, Term: t})
+			if err != nil {
+				return nil, fmt.Errorf("grid: postings(%d,%d): %w", cell, t, err)
+			}
+			for _, p := range ps {
+				if !fullInside && !r.Contains(idx.objects[p.Obj].Point) {
+					continue
+				}
+				acc[p.Obj] += q.IDF[qi] * p.Weight
+			}
+		}
+	}
+	out := make([]ObjScore, 0, len(acc))
+	for id, s := range acc {
+		out = append(out, ObjScore{Obj: id, Score: s / q.Norm})
+	}
+	return out, nil
+}
+
+func termInCell(terms []textindex.TermID, t textindex.TermID) bool {
+	for _, x := range terms {
+		if x == t {
+			return true
+		}
+	}
+	return false
+}

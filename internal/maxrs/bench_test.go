@@ -1,0 +1,26 @@
+package maxrs
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+func BenchmarkSolve5000(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	pts := make([]Point, 5000)
+	for i := range pts {
+		pts[i] = Point{
+			P:      geo.Point{X: rng.Float64() * 10000, Y: rng.Float64() * 10000},
+			Weight: rng.Float64(),
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(pts, 500, 500); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

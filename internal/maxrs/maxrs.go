@@ -1,0 +1,146 @@
+// Package maxrs implements the maximizing range sum (MaxRS) baseline the
+// paper compares against in §7.5 (Choi et al., PVLDB'12; Tao et al.,
+// PVLDB'13): given weighted points and a fixed w×h rectangle, find the
+// rectangle position maximizing the total weight of covered points.
+//
+// The classic reduction is used: a rectangle centred at c covers point p
+// iff c lies in the w×h rectangle centred at p, so the answer is the point
+// of maximum total cover weight over the arrangement of those influence
+// rectangles — found with a left-to-right sweep line over their vertical
+// edges and a max segment tree with range addition over the compressed
+// y-intervals.
+package maxrs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/container"
+	"repro/internal/geo"
+)
+
+// Point is a weighted point.
+type Point struct {
+	P      geo.Point
+	Weight float64
+}
+
+// Result is the best rectangle placement found.
+type Result struct {
+	Center geo.Point // centre of the optimal w×h rectangle
+	Weight float64   // total weight covered
+}
+
+// Solve returns the w×h axis-aligned rectangle position covering the
+// maximum total point weight. Points with non-positive weight are ignored
+// (they can never help a maximum). An error is returned for non-positive
+// dimensions; an empty input yields a zero Result.
+func Solve(points []Point, w, h float64) (Result, error) {
+	if w <= 0 || h <= 0 || math.IsNaN(w) || math.IsNaN(h) {
+		return Result{}, fmt.Errorf("maxrs: rectangle dimensions must be positive, got %v x %v", w, h)
+	}
+	type rect struct {
+		x0, x1, y0, y1 float64
+		wgt            float64
+	}
+	var rects []rect
+	for _, p := range points {
+		if p.Weight <= 0 || math.IsNaN(p.Weight) {
+			continue
+		}
+		rects = append(rects, rect{
+			x0: p.P.X - w/2, x1: p.P.X + w/2,
+			y0: p.P.Y - h/2, y1: p.P.Y + h/2,
+			wgt: p.Weight,
+		})
+	}
+	if len(rects) == 0 {
+		return Result{}, nil
+	}
+
+	// Compress the y-interval endpoints into elementary slabs
+	// [ys[i], ys[i+1]); slab i is leaf i of the segment tree.
+	ys := make([]float64, 0, 2*len(rects))
+	for _, r := range rects {
+		ys = append(ys, r.y0, r.y1)
+	}
+	sort.Float64s(ys)
+	ys = dedup(ys)
+	slabOf := func(y float64) int {
+		// Index of the slab starting at y.
+		return sort.SearchFloat64s(ys, y)
+	}
+
+	type ev struct {
+		x    float64
+		open bool
+		yLo  int // first slab index covered
+		yHi  int // last slab index covered (inclusive)
+		wgt  float64
+	}
+	events := make([]ev, 0, 2*len(rects))
+	for _, r := range rects {
+		lo := slabOf(r.y0)
+		hi := slabOf(r.y1) - 1 // cover slabs [y0, y1): last slab ends at y1
+		if hi < lo {
+			hi = lo
+		}
+		events = append(events, ev{x: r.x0, open: true, yLo: lo, yHi: hi, wgt: r.wgt})
+		events = append(events, ev{x: r.x1, open: false, yLo: lo, yHi: hi, wgt: r.wgt})
+	}
+	// Sweep distinct x positions: apply all opens at x, evaluate (so
+	// rectangles touching at the boundary count, the closed-rectangle
+	// convention), then apply all closes at x.
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].x != events[j].x {
+			return events[i].x < events[j].x
+		}
+		return events[i].open && !events[j].open
+	})
+
+	st := container.NewMaxAddSegTree(len(ys))
+	var best Result
+	for i := 0; i < len(events); {
+		x := events[i].x
+		j := i
+		for ; j < len(events) && events[j].x == x && events[j].open; j++ {
+			st.Add(events[j].yLo, events[j].yHi, events[j].wgt)
+		}
+		if m := st.Max(); m > best.Weight {
+			slab := st.MaxIndex()
+			yCenter := ys[slab]
+			if slab+1 < len(ys) {
+				yCenter = (ys[slab] + ys[slab+1]) / 2
+			}
+			best = Result{Weight: m, Center: geo.Point{X: x, Y: yCenter}}
+		}
+		for ; j < len(events) && events[j].x == x; j++ {
+			st.Add(events[j].yLo, events[j].yHi, -events[j].wgt)
+		}
+		i = j
+	}
+	return best, nil
+}
+
+// Covered returns the points covered by the w×h rectangle centred at c.
+func Covered(points []Point, c geo.Point, w, h float64) []Point {
+	r := geo.Rect{MinX: c.X - w/2, MinY: c.Y - h/2, MaxX: c.X + w/2, MaxY: c.Y + h/2}
+	var out []Point
+	for _, p := range points {
+		if r.Contains(p.P) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func dedup(xs []float64) []float64 {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

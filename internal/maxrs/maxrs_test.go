@@ -1,0 +1,196 @@
+package maxrs
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geo"
+)
+
+// naive computes the exact MaxRS optimum by evaluating every candidate
+// centre implied by pairs of influence-rectangle boundaries (the optimum
+// of a closed-rectangle arrangement is attained at one of them).
+func naive(points []Point, w, h float64) float64 {
+	var xs, ys []float64
+	for _, p := range points {
+		if p.Weight <= 0 {
+			continue
+		}
+		xs = append(xs, p.P.X-w/2, p.P.X+w/2)
+		ys = append(ys, p.P.Y-h/2, p.P.Y+h/2)
+	}
+	// Containment uses a small tolerance: the candidate x = p.x − w/2 can
+	// differ from the exact boundary by one ulp, which would spuriously
+	// exclude the pinning point itself.
+	const tol = 1e-9
+	var best float64
+	for _, x := range xs {
+		for _, y := range ys {
+			var sum float64
+			for _, p := range points {
+				if p.Weight <= 0 {
+					continue
+				}
+				if math.Abs(p.P.X-x) <= w/2+tol && math.Abs(p.P.Y-y) <= h/2+tol {
+					sum += p.Weight
+				}
+			}
+			if sum > best {
+				best = sum
+			}
+		}
+	}
+	return best
+}
+
+// coveredWeight sums the positive weights inside the w×h rectangle at c,
+// with one-ulp tolerance: optimal centres sit exactly on influence-
+// rectangle boundaries, where exact float containment can flip.
+func coveredWeight(points []Point, c geo.Point, w, h float64) float64 {
+	const tol = 1e-9
+	var sum float64
+	for _, p := range points {
+		if p.Weight <= 0 {
+			continue
+		}
+		if math.Abs(p.P.X-c.X) <= w/2+tol && math.Abs(p.P.Y-c.Y) <= h/2+tol {
+			sum += p.Weight
+		}
+	}
+	return sum
+}
+
+func TestSolveValidation(t *testing.T) {
+	if _, err := Solve(nil, 0, 1); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, err := Solve(nil, 1, -1); err == nil {
+		t.Error("negative height accepted")
+	}
+	if _, err := Solve(nil, math.NaN(), 1); err == nil {
+		t.Error("NaN width accepted")
+	}
+}
+
+func TestSolveEmpty(t *testing.T) {
+	r, err := Solve(nil, 1, 1)
+	if err != nil || r.Weight != 0 {
+		t.Errorf("empty input: %+v, %v", r, err)
+	}
+	// Only non-positive weights: same as empty.
+	r, err = Solve([]Point{{P: geo.Point{}, Weight: 0}, {P: geo.Point{X: 1}, Weight: -3}}, 1, 1)
+	if err != nil || r.Weight != 0 {
+		t.Errorf("non-positive weights: %+v, %v", r, err)
+	}
+}
+
+func TestSolveSinglePoint(t *testing.T) {
+	pts := []Point{{P: geo.Point{X: 5, Y: 7}, Weight: 2.5}}
+	r, err := Solve(pts, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Weight != 2.5 {
+		t.Errorf("weight = %v, want 2.5", r.Weight)
+	}
+	if got := coveredWeight(pts, r.Center, 2, 2); got != 2.5 {
+		t.Errorf("returned centre covers %v, want 2.5", got)
+	}
+}
+
+func TestSolveTwoClusters(t *testing.T) {
+	// Cluster A: 3 points weight 1 each within a 1x1 area; cluster B:
+	// 1 point weight 2, far away. 2x2 rectangle must take cluster A.
+	pts := []Point{
+		{P: geo.Point{X: 0, Y: 0}, Weight: 1},
+		{P: geo.Point{X: 0.5, Y: 0.5}, Weight: 1},
+		{P: geo.Point{X: 0.9, Y: 0.1}, Weight: 1},
+		{P: geo.Point{X: 100, Y: 100}, Weight: 2},
+	}
+	r, err := Solve(pts, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Weight != 3 {
+		t.Errorf("weight = %v, want 3", r.Weight)
+	}
+}
+
+func TestSolveMatchesNaiveRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(30)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{
+				P:      geo.Point{X: rng.Float64() * 20, Y: rng.Float64() * 20},
+				Weight: rng.Float64() * 3,
+			}
+		}
+		w := 0.5 + rng.Float64()*5
+		h := 0.5 + rng.Float64()*5
+		want := naive(pts, w, h)
+		got, err := Solve(pts, w, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got.Weight-want) > 1e-6 {
+			t.Fatalf("trial %d: Solve = %v, naive = %v", trial, got.Weight, want)
+		}
+		// The returned centre must actually cover the reported weight.
+		if cov := coveredWeight(pts, got.Center, w, h); math.Abs(cov-got.Weight) > 1e-9 {
+			t.Fatalf("trial %d: centre %v covers %v, reported %v", trial, got.Center, cov, got.Weight)
+		}
+	}
+}
+
+func TestSolveCenterCoversProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(15)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{
+				P:      geo.Point{X: rng.NormFloat64() * 10, Y: rng.NormFloat64() * 10},
+				Weight: rng.Float64(),
+			}
+		}
+		res, err := Solve(pts, 3, 2)
+		if err != nil {
+			return false
+		}
+		return math.Abs(coveredWeight(pts, res.Center, 3, 2)-res.Weight) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCovered(t *testing.T) {
+	pts := []Point{
+		{P: geo.Point{X: 0, Y: 0}, Weight: 1},
+		{P: geo.Point{X: 1, Y: 1}, Weight: 1}, // exactly on the corner
+		{P: geo.Point{X: 2, Y: 2}, Weight: 1},
+	}
+	got := Covered(pts, geo.Point{}, 2, 2)
+	if len(got) != 2 {
+		t.Errorf("Covered = %d points, want 2 (boundary inclusive)", len(got))
+	}
+}
+
+func TestDuplicateCoordinates(t *testing.T) {
+	pts := []Point{
+		{P: geo.Point{X: 1, Y: 1}, Weight: 1},
+		{P: geo.Point{X: 1, Y: 1}, Weight: 2},
+		{P: geo.Point{X: 1, Y: 1}, Weight: 3},
+	}
+	r, err := Solve(pts, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Weight != 6 {
+		t.Errorf("weight = %v, want 6", r.Weight)
+	}
+}

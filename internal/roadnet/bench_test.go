@@ -1,0 +1,59 @@
+package roadnet
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+func benchGraph(b *testing.B) *Graph {
+	b.Helper()
+	rng := rand.New(rand.NewSource(5))
+	bld := NewBuilder()
+	const side = 80
+	for y := 0; y < side; y++ {
+		for x := 0; x < side; x++ {
+			bld.AddNode(geo.Point{X: float64(x) * 100, Y: float64(y) * 100})
+		}
+	}
+	for y := 0; y < side; y++ {
+		for x := 0; x < side; x++ {
+			v := NodeID(y*side + x)
+			if x+1 < side {
+				if err := bld.AddEdge(v, v+1, 90+rng.Float64()*20); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if y+1 < side {
+				if err := bld.AddEdge(v, v+NodeID(side), 90+rng.Float64()*20); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	return bld.Build()
+}
+
+func BenchmarkExtractRect(b *testing.B) {
+	g := benchGraph(b)
+	r := geo.Rect{MinX: 1000, MinY: 1000, MaxX: 5000, MaxY: 5000}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if sub := g.ExtractRect(r); sub.NumNodes() == 0 {
+			b.Fatal("empty extraction")
+		}
+	}
+}
+
+func BenchmarkComponents(b *testing.B) {
+	g := benchGraph(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if comps := g.Components(); len(comps) != 1 {
+			b.Fatal("unexpected components")
+		}
+	}
+}

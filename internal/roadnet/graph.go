@@ -1,0 +1,253 @@
+// Package roadnet implements the road-network graph substrate of the paper
+// (§2, Definition 1): an undirected graph G = (V, E, τ, λ) whose nodes are
+// road junctions, dead-ends, or geo-textual object locations, with a length
+// function τ on edges and a spatial mapping λ on nodes. It also provides the
+// operations the query algorithms need: rectangular subgraph extraction
+// (for Q.Λ), connected components, nearest-node snapping, and a plain-text
+// serialization format for datasets.
+package roadnet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/geo"
+)
+
+// NodeID identifies a node within a Graph. IDs are dense, 0..NumNodes-1.
+type NodeID int32
+
+// EdgeID identifies an edge within a Graph. IDs are dense, 0..NumEdges-1.
+type EdgeID int32
+
+// Edge is an undirected road segment between two nodes with length τ ≥ 0.
+type Edge struct {
+	U, V   NodeID
+	Length float64
+}
+
+// Halfedge is one direction of an undirected edge, as stored in the
+// adjacency structure.
+type Halfedge struct {
+	To     NodeID
+	Edge   EdgeID
+	Length float64
+}
+
+// Graph is an undirected road network with spatial node coordinates.
+// Construct with NewBuilder; a built Graph is immutable and safe for
+// concurrent reads.
+type Graph struct {
+	pts   []geo.Point
+	edges []Edge
+	// CSR adjacency: halfedges of node v are adj[offs[v]:offs[v+1]].
+	offs []int32
+	adj  []Halfedge
+	bbox geo.Rect
+}
+
+// Builder accumulates nodes and edges and produces an immutable Graph.
+type Builder struct {
+	pts   []geo.Point
+	edges []Edge
+}
+
+// NewBuilder returns an empty graph builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// AddNode appends a node at p and returns its ID.
+func (b *Builder) AddNode(p geo.Point) NodeID {
+	b.pts = append(b.pts, p)
+	return NodeID(len(b.pts) - 1)
+}
+
+// NumNodes returns the number of nodes added so far.
+func (b *Builder) NumNodes() int { return len(b.pts) }
+
+// AddEdge appends an undirected edge (u, v) with the given length.
+// It returns an error for out-of-range endpoints, self loops, or negative
+// lengths; duplicate edges are permitted (parallel roads exist).
+func (b *Builder) AddEdge(u, v NodeID, length float64) error {
+	n := NodeID(len(b.pts))
+	if u < 0 || u >= n || v < 0 || v >= n {
+		return fmt.Errorf("roadnet: edge (%d,%d) references unknown node (have %d nodes)", u, v, n)
+	}
+	if u == v {
+		return fmt.Errorf("roadnet: self loop at node %d", u)
+	}
+	if length < 0 || math.IsNaN(length) || math.IsInf(length, 0) {
+		return fmt.Errorf("roadnet: invalid edge length %v", length)
+	}
+	b.edges = append(b.edges, Edge{U: u, V: v, Length: length})
+	return nil
+}
+
+// AddEdgeEuclidean appends an edge whose length is the Euclidean distance
+// between its endpoints.
+func (b *Builder) AddEdgeEuclidean(u, v NodeID) error {
+	n := NodeID(len(b.pts))
+	if u < 0 || u >= n || v < 0 || v >= n {
+		return fmt.Errorf("roadnet: edge (%d,%d) references unknown node (have %d nodes)", u, v, n)
+	}
+	return b.AddEdge(u, v, b.pts[u].Dist(b.pts[v]))
+}
+
+// Build freezes the builder into an immutable Graph.
+func (b *Builder) Build() *Graph {
+	n := len(b.pts)
+	g := &Graph{
+		pts:   append([]geo.Point(nil), b.pts...),
+		edges: append([]Edge(nil), b.edges...),
+		offs:  make([]int32, n+1),
+	}
+	deg := make([]int32, n)
+	for _, e := range g.edges {
+		deg[e.U]++
+		deg[e.V]++
+	}
+	for i := 0; i < n; i++ {
+		g.offs[i+1] = g.offs[i] + deg[i]
+	}
+	g.adj = make([]Halfedge, len(g.edges)*2)
+	cursor := make([]int32, n)
+	copy(cursor, g.offs[:n])
+	for id, e := range g.edges {
+		g.adj[cursor[e.U]] = Halfedge{To: e.V, Edge: EdgeID(id), Length: e.Length}
+		cursor[e.U]++
+		g.adj[cursor[e.V]] = Halfedge{To: e.U, Edge: EdgeID(id), Length: e.Length}
+		cursor[e.V]++
+	}
+	g.bbox = computeBBox(g.pts)
+	return g
+}
+
+func computeBBox(pts []geo.Point) geo.Rect {
+	if len(pts) == 0 {
+		return geo.Rect{}
+	}
+	r := geo.Rect{MinX: pts[0].X, MinY: pts[0].Y, MaxX: pts[0].X, MaxY: pts[0].Y}
+	for _, p := range pts[1:] {
+		r.MinX = math.Min(r.MinX, p.X)
+		r.MinY = math.Min(r.MinY, p.Y)
+		r.MaxX = math.Max(r.MaxX, p.X)
+		r.MaxY = math.Max(r.MaxY, p.Y)
+	}
+	return r
+}
+
+// NumNodes returns |V|.
+func (g *Graph) NumNodes() int { return len(g.pts) }
+
+// NumEdges returns |E| (undirected edges, not arcs).
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Point returns λ(v), the coordinates of node v.
+func (g *Graph) Point(v NodeID) geo.Point { return g.pts[v] }
+
+// Edge returns the edge with the given ID.
+func (g *Graph) Edge(id EdgeID) Edge { return g.edges[id] }
+
+// Neighbors returns the halfedges out of v. The returned slice aliases
+// internal storage and must not be modified.
+func (g *Graph) Neighbors(v NodeID) []Halfedge {
+	return g.adj[g.offs[v]:g.offs[v+1]]
+}
+
+// Degree returns the number of incident edges of v.
+func (g *Graph) Degree(v NodeID) int { return int(g.offs[v+1] - g.offs[v]) }
+
+// BBox returns the bounding rectangle of all node coordinates.
+func (g *Graph) BBox() geo.Rect { return g.bbox }
+
+// TotalLength returns Σ τ(e) over all edges.
+func (g *Graph) TotalLength() float64 {
+	var sum float64
+	for _, e := range g.edges {
+		sum += e.Length
+	}
+	return sum
+}
+
+// MinEdgeLength returns the smallest positive edge length (d_min in the
+// complexity analysis of §4.2.4), or fallback if the graph has no positive-
+// length edge.
+func (g *Graph) MinEdgeLength(fallback float64) float64 {
+	best := math.Inf(1)
+	for _, e := range g.edges {
+		if e.Length > 0 && e.Length < best {
+			best = e.Length
+		}
+	}
+	if math.IsInf(best, 1) {
+		return fallback
+	}
+	return best
+}
+
+// MaxEdgeLength returns the largest edge length (τ_max in the Greedy score
+// of §6.1), or 0 for an edgeless graph.
+func (g *Graph) MaxEdgeLength() float64 {
+	var best float64
+	for _, e := range g.edges {
+		if e.Length > best {
+			best = e.Length
+		}
+	}
+	return best
+}
+
+// NodesInRect returns the IDs of all nodes inside r, in ascending order.
+func (g *Graph) NodesInRect(r geo.Rect) []NodeID {
+	var out []NodeID
+	for i, p := range g.pts {
+		if r.Contains(p) {
+			out = append(out, NodeID(i))
+		}
+	}
+	return out
+}
+
+// NearestNode returns the node closest to p in Euclidean distance, scanning
+// all nodes. Dataset construction snaps each geo-textual object to its
+// nearest road node exactly as §7.1 does. Returns -1 for an empty graph.
+func (g *Graph) NearestNode(p geo.Point) NodeID {
+	best, bestD := NodeID(-1), math.Inf(1)
+	for i, q := range g.pts {
+		if d := p.Dist(q); d < bestD {
+			best, bestD = NodeID(i), d
+		}
+	}
+	return best
+}
+
+// Components returns the connected components of the graph as slices of
+// node IDs, largest first.
+func (g *Graph) Components() [][]NodeID {
+	n := g.NumNodes()
+	seen := make([]bool, n)
+	var comps [][]NodeID
+	queue := make([]NodeID, 0, 64)
+	for s := 0; s < n; s++ {
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		queue = append(queue[:0], NodeID(s))
+		comp := []NodeID{NodeID(s)}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, he := range g.Neighbors(v) {
+				if !seen[he.To] {
+					seen[he.To] = true
+					comp = append(comp, he.To)
+					queue = append(queue, he.To)
+				}
+			}
+		}
+		comps = append(comps, comp)
+	}
+	sort.Slice(comps, func(i, j int) bool { return len(comps[i]) > len(comps[j]) })
+	return comps
+}

@@ -1,0 +1,119 @@
+package roadnet
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/geo"
+)
+
+// The serialization format is a line-oriented text format in the spirit of
+// the DIMACS shortest-path challenge files the paper's NY network comes
+// from (§7.1), extended with node coordinates:
+//
+//	# comment
+//	g <numNodes> <numEdges>
+//	v <id> <x> <y>
+//	e <u> <v> <length>
+//
+// Node lines must precede edge lines that reference them; ids are dense and
+// ascending from 0.
+
+// WriteTo serializes the graph. It returns the number of bytes written.
+func (g *Graph) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	count := func(c int, err error) error {
+		n += int64(c)
+		return err
+	}
+	if err := count(fmt.Fprintf(bw, "g %d %d\n", g.NumNodes(), g.NumEdges())); err != nil {
+		return n, err
+	}
+	for i, p := range g.pts {
+		if err := count(fmt.Fprintf(bw, "v %d %s %s\n", i,
+			strconv.FormatFloat(p.X, 'g', -1, 64),
+			strconv.FormatFloat(p.Y, 'g', -1, 64))); err != nil {
+			return n, err
+		}
+	}
+	for _, e := range g.edges {
+		if err := count(fmt.Fprintf(bw, "e %d %d %s\n", e.U, e.V,
+			strconv.FormatFloat(e.Length, 'g', -1, 64))); err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// Read parses a graph in the format produced by WriteTo.
+func Read(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	b := NewBuilder()
+	declaredNodes, declaredEdges := -1, -1
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "g":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("roadnet: line %d: malformed header %q", line, text)
+			}
+			var err1, err2 error
+			declaredNodes, err1 = strconv.Atoi(fields[1])
+			declaredEdges, err2 = strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil || declaredNodes < 0 || declaredEdges < 0 {
+				return nil, fmt.Errorf("roadnet: line %d: bad header counts %q", line, text)
+			}
+		case "v":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("roadnet: line %d: malformed node %q", line, text)
+			}
+			id, err := strconv.Atoi(fields[1])
+			if err != nil || id != b.NumNodes() {
+				return nil, fmt.Errorf("roadnet: line %d: node ids must be dense and ascending, got %q", line, fields[1])
+			}
+			x, err1 := strconv.ParseFloat(fields[2], 64)
+			y, err2 := strconv.ParseFloat(fields[3], 64)
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("roadnet: line %d: bad coordinates %q", line, text)
+			}
+			b.AddNode(geo.Point{X: x, Y: y})
+		case "e":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("roadnet: line %d: malformed edge %q", line, text)
+			}
+			u, err1 := strconv.Atoi(fields[1])
+			v, err2 := strconv.Atoi(fields[2])
+			length, err3 := strconv.ParseFloat(fields[3], 64)
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, fmt.Errorf("roadnet: line %d: bad edge %q", line, text)
+			}
+			if err := b.AddEdge(NodeID(u), NodeID(v), length); err != nil {
+				return nil, fmt.Errorf("roadnet: line %d: %w", line, err)
+			}
+		default:
+			return nil, fmt.Errorf("roadnet: line %d: unknown record type %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("roadnet: read: %w", err)
+	}
+	g := b.Build()
+	if declaredNodes >= 0 && g.NumNodes() != declaredNodes {
+		return nil, fmt.Errorf("roadnet: header declares %d nodes, file has %d", declaredNodes, g.NumNodes())
+	}
+	if declaredEdges >= 0 && g.NumEdges() != declaredEdges {
+		return nil, fmt.Errorf("roadnet: header declares %d edges, file has %d", declaredEdges, g.NumEdges())
+	}
+	return g, nil
+}

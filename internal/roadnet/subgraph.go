@@ -1,0 +1,61 @@
+package roadnet
+
+import "repro/internal/geo"
+
+// Subgraph is the restriction of a parent Graph to the nodes inside a query
+// rectangle Q.Λ, with dense local IDs. The LCMSR definition (§2, Def. 3)
+// only counts edges whose two endpoints are inside Q.Λ, so edges leaving
+// the rectangle are dropped. A Subgraph is itself a *Graph plus the mapping
+// back to parent node IDs.
+type Subgraph struct {
+	*Graph
+	// ToParent maps a local node ID to the node ID in the parent graph.
+	ToParent []NodeID
+	// fromParent maps parent node IDs to local IDs (-1 when outside).
+	fromParent map[NodeID]NodeID
+}
+
+// ExtractRect returns the subgraph induced by the nodes of g inside r.
+func (g *Graph) ExtractRect(r geo.Rect) *Subgraph {
+	inside := g.NodesInRect(r)
+	return g.extract(inside)
+}
+
+// ExtractNodes returns the subgraph induced by the given parent node IDs
+// (duplicates ignored).
+func (g *Graph) ExtractNodes(nodes []NodeID) *Subgraph {
+	return g.extract(nodes)
+}
+
+func (g *Graph) extract(inside []NodeID) *Subgraph {
+	from := make(map[NodeID]NodeID, len(inside))
+	b := NewBuilder()
+	toParent := make([]NodeID, 0, len(inside))
+	for _, v := range inside {
+		if _, dup := from[v]; dup {
+			continue
+		}
+		local := b.AddNode(g.Point(v))
+		from[v] = local
+		toParent = append(toParent, v)
+	}
+	for id, e := range g.edges {
+		lu, okU := from[e.U]
+		lv, okV := from[e.V]
+		if okU && okV {
+			// Errors are impossible here: endpoints exist, lengths
+			// were validated when the parent graph was built.
+			_ = b.AddEdge(lu, lv, g.edges[id].Length)
+		}
+	}
+	return &Subgraph{Graph: b.Build(), ToParent: toParent, fromParent: from}
+}
+
+// Local returns the local ID of a parent node, or -1 if it is outside the
+// subgraph.
+func (s *Subgraph) Local(parent NodeID) NodeID {
+	if local, ok := s.fromParent[parent]; ok {
+		return local
+	}
+	return -1
+}

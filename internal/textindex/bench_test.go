@@ -1,0 +1,31 @@
+package textindex
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkScore(b *testing.B) {
+	v := NewVocabulary()
+	rng := rand.New(rand.NewSource(2))
+	vocab := make([]string, 500)
+	for i := range vocab {
+		vocab[i] = Termish(i)
+	}
+	docs := make([]Doc, 1000)
+	for i := range docs {
+		toks := []string{vocab[rng.Intn(500)], vocab[rng.Intn(500)], vocab[rng.Intn(500)]}
+		docs[i] = v.IndexDoc(toks)
+	}
+	q := v.PrepareQuery([]string{vocab[0], vocab[1], vocab[2]})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = q.Score(&docs[i%1000])
+	}
+}
+
+// Termish makes a deterministic fake term.
+func Termish(i int) string {
+	return string([]byte{byte('a' + i%26), byte('a' + (i/26)%26), byte('a' + (i/676)%26)})
+}

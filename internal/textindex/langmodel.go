@@ -1,0 +1,94 @@
+package textindex
+
+import (
+	"math"
+	"sort"
+)
+
+// §3 of the paper: "We use the vector space model (other models can also
+// be used, e.g., the language model [13])". This file provides that
+// alternative: Ponte–Croft style query-likelihood scoring with Dirichlet
+// smoothing. The score used as an object weight is the matching-term
+// component of the log likelihood ratio,
+//
+//	σ_LM(o, Q) = Σ_{t ∈ Q.ψ ∩ o.ψ} ln(1 + tf_{t,o} / (µ · P(t|C)))
+//
+// which is non-negative, zero exactly when no query term occurs in o.ψ,
+// and increases with term frequency and term rarity — the properties the
+// LCMSR weighting needs (§2). P(t|C) is the collection language model
+// (collection frequency over total tokens) and µ the Dirichlet pseudo-
+// count (2000 by default, the classic IR setting).
+
+// DefaultDirichletMu is the default smoothing pseudo-count.
+const DefaultDirichletMu = 2000.0
+
+// collection statistics needed by the language model are tracked by
+// Vocabulary alongside the document frequencies: cf (collection frequency
+// per term) and totalTokens.
+
+// CollectionFreq returns cf_t, the number of occurrences of the term
+// across all indexed documents (0 for unknown ids).
+func (v *Vocabulary) CollectionFreq(id TermID) int {
+	if id < 0 || int(id) >= len(v.cf) {
+		return 0
+	}
+	return int(v.cf[id])
+}
+
+// TotalTokens returns the total number of term occurrences indexed.
+func (v *Vocabulary) TotalTokens() int { return v.totalTokens }
+
+// LMQuery is a preprocessed keyword query for language-model scoring.
+type LMQuery struct {
+	Terms []TermID  // sorted ascending; unknown keywords dropped
+	muPC  []float64 // µ·P(t|C) per term, parallel to Terms
+}
+
+// PrepareLMQuery builds an LMQuery with the given Dirichlet µ (zero
+// selects DefaultDirichletMu). Keywords absent from the corpus can never
+// match and are dropped.
+func (v *Vocabulary) PrepareLMQuery(keywords []string, mu float64) LMQuery {
+	if mu <= 0 {
+		mu = DefaultDirichletMu
+	}
+	seen := make(map[TermID]bool, len(keywords))
+	var q LMQuery
+	for _, kw := range keywords {
+		id := v.Lookup(kw)
+		if id < 0 || seen[id] || v.CollectionFreq(id) == 0 {
+			continue
+		}
+		seen[id] = true
+		q.Terms = append(q.Terms, id)
+	}
+	sort.Slice(q.Terms, func(i, j int) bool { return q.Terms[i] < q.Terms[j] })
+	total := float64(v.TotalTokens())
+	q.muPC = make([]float64, len(q.Terms))
+	for i, t := range q.Terms {
+		q.muPC[i] = mu * float64(v.CollectionFreq(t)) / total
+	}
+	return q
+}
+
+// Score computes σ_LM(o, Q) for a document.
+func (q LMQuery) Score(d *Doc) float64 {
+	if len(q.Terms) == 0 || len(d.Terms) == 0 {
+		return 0
+	}
+	var sum float64
+	i, j := 0, 0
+	for i < len(q.Terms) && j < len(d.Terms) {
+		switch {
+		case q.Terms[i] < d.Terms[j]:
+			i++
+		case q.Terms[i] > d.Terms[j]:
+			j++
+		default:
+			tf := float64(d.TF[j])
+			sum += math.Log(1 + tf/q.muPC[i])
+			i++
+			j++
+		}
+	}
+	return sum
+}

@@ -1,0 +1,273 @@
+// Package repro is a Go implementation of the length-constrained
+// maximum-sum region (LCMSR) query of Cao, Cong, Jensen and Yiu,
+// "Retrieving Regions of Interest for User Exploration", PVLDB 7(9), 2014.
+//
+// Given a road network with geo-textual points of interest, an LCMSR query
+// ⟨keywords, ∆, Λ⟩ returns the connected subgraph of the network inside
+// the rectangle Λ whose total road length is at most ∆ and whose points
+// of interest are maximally relevant to the keywords — the "best region
+// to go explore". Answering the query exactly is NP-hard; the package
+// provides the paper's three algorithms:
+//
+//   - MethodAPP — the (5+ε)-approximation with a provable quality bound;
+//   - MethodTGEN — the tuple-generation heuristic (best accuracy and
+//     speed in practice, the recommended default);
+//   - MethodGreedy — fast frontier expansion with lower accuracy.
+//
+// A Database is built either from caller-supplied nodes, edges and
+// objects (New) or from the built-in synthetic datasets mirroring the
+// paper's experimental setting (NYLike, USANWLike). Queries run through
+// Run or RunTopK.
+//
+// Basic usage:
+//
+//	db, err := repro.NYLike(1, 0.25)
+//	...
+//	qs, err := db.GenQueries(rand.New(rand.NewSource(1)), 1, 3, 100e6, 10_000)
+//	...
+//	res, err := db.Run(qs[0], repro.SearchOptions{})
+//	fmt.Println(res.Score, res.Length, len(res.Objects))
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/geo"
+	"repro/internal/roadnet"
+)
+
+// Rect is an axis-aligned rectangle in the dataset's planar coordinate
+// system (metres for the built-in datasets).
+type Rect struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+func (r Rect) toGeo() geo.Rect {
+	return geo.Rect{MinX: r.MinX, MinY: r.MinY, MaxX: r.MaxX, MaxY: r.MaxY}
+}
+
+func fromGeo(r geo.Rect) Rect { return Rect{MinX: r.MinX, MinY: r.MinY, MaxX: r.MaxX, MaxY: r.MaxY} }
+
+// Query is an LCMSR query ⟨ψ, ∆, Λ⟩.
+type Query struct {
+	// Keywords is the query keyword set Q.ψ.
+	Keywords []string
+	// Delta is the length constraint Q.∆: the maximum total road length
+	// of the returned region, in coordinate units.
+	Delta float64
+	// Region is the rectangular region of interest Q.Λ.
+	Region Rect
+	// Weighting selects how matching objects are scored (§2 allows
+	// several definitions of an object's weight). Zero value: relevance.
+	Weighting Weighting
+}
+
+// Weighting is the object-weight definition used for a query (§2).
+type Weighting int
+
+const (
+	// WeightingRelevance uses the vector-space text relevance σ(o.ψ, Q.ψ)
+	// of Equation (1)/(2) — the paper's default.
+	WeightingRelevance Weighting = iota
+	// WeightingRating uses the object's rating/popularity when it matches
+	// the keywords, zero otherwise.
+	WeightingRating
+	// WeightingLanguageModel uses the Dirichlet-smoothed language model
+	// (the alternative IR model §3 mentions).
+	WeightingLanguageModel
+)
+
+// NodeSpec declares a road-network node at a planar position.
+type NodeSpec struct {
+	X, Y float64
+}
+
+// EdgeSpec declares an undirected road segment. A zero Length means
+// "use the Euclidean distance between the endpoints".
+type EdgeSpec struct {
+	U, V   int
+	Length float64
+}
+
+// ObjectSpec declares a geo-textual object: a location and a free-text
+// description (tokenized on non-alphanumeric boundaries, lowercased).
+type ObjectSpec struct {
+	X, Y float64
+	Text string
+}
+
+// Database is an immutable, queryable LCMSR database: a road network,
+// its geo-textual objects, and the text/spatial indexes over them.
+type Database struct {
+	ds *dataset.Dataset
+}
+
+// New builds a Database from explicit nodes, edges and objects. Objects
+// are snapped to their nearest road node, as in the paper's preprocessing.
+func New(nodes []NodeSpec, edges []EdgeSpec, objects []ObjectSpec) (*Database, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("repro: need at least one node")
+	}
+	if len(objects) == 0 {
+		return nil, fmt.Errorf("repro: need at least one object")
+	}
+	b := roadnet.NewBuilder()
+	for _, n := range nodes {
+		b.AddNode(geo.Point{X: n.X, Y: n.Y})
+	}
+	for i, e := range edges {
+		var err error
+		if e.Length == 0 {
+			err = b.AddEdgeEuclidean(roadnet.NodeID(e.U), roadnet.NodeID(e.V))
+		} else {
+			err = b.AddEdge(roadnet.NodeID(e.U), roadnet.NodeID(e.V), e.Length)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("repro: edge %d: %w", i, err)
+		}
+	}
+	g := b.Build()
+	ds, err := dataset.FromObjects("custom", g, toObjectInputs(objects))
+	if err != nil {
+		return nil, err
+	}
+	return &Database{ds: ds}, nil
+}
+
+func toObjectInputs(objects []ObjectSpec) []dataset.ObjectInput {
+	out := make([]dataset.ObjectInput, len(objects))
+	for i, o := range objects {
+		out[i] = dataset.ObjectInput{Point: geo.Point{X: o.X, Y: o.Y}, Text: o.Text}
+	}
+	return out
+}
+
+// NYLike builds the synthetic Manhattan-style dataset mirroring the
+// paper's New York setting (see DESIGN.md for the scale mapping). The
+// seed makes the build reproducible; scale multiplies the default size
+// (1.0 ≈ 3.6k road nodes and 6.8k objects).
+func NYLike(seed int64, scale float64) (*Database, error) {
+	ds, err := dataset.NYLike(dataset.Config{Seed: seed, Scale: scale})
+	if err != nil {
+		return nil, err
+	}
+	return &Database{ds: ds}, nil
+}
+
+// USANWLike builds the synthetic northwest-USA-style dataset (sparser
+// rural network, tag-style text). scale 1.0 ≈ 5k nodes and objects.
+func USANWLike(seed int64, scale float64) (*Database, error) {
+	ds, err := dataset.USANWLike(dataset.Config{Seed: seed, Scale: scale})
+	if err != nil {
+		return nil, err
+	}
+	return &Database{ds: ds}, nil
+}
+
+// NumNodes returns the number of road-network nodes.
+func (db *Database) NumNodes() int { return db.ds.Graph.NumNodes() }
+
+// NumEdges returns the number of road segments.
+func (db *Database) NumEdges() int { return db.ds.Graph.NumEdges() }
+
+// NumObjects returns the number of geo-textual objects.
+func (db *Database) NumObjects() int { return len(db.ds.Objects) }
+
+// Bounds returns the bounding rectangle of the road network.
+func (db *Database) Bounds() Rect { return fromGeo(db.ds.Graph.BBox()) }
+
+// GenQueries generates a reproducible query workload as §7.1 of the paper
+// does: rectangles of the given area anchored at random object locations,
+// keywords drawn from the terms present inside each rectangle weighted by
+// frequency. areaM2 is the Λ area in squared coordinate units and delta
+// the length budget.
+func (db *Database) GenQueries(rng *rand.Rand, count, numKeywords int, areaM2, delta float64) ([]Query, error) {
+	qs, err := db.ds.GenQueries(rng, count, numKeywords, areaM2, delta)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Query, len(qs))
+	for i, q := range qs {
+		out[i] = Query{Keywords: q.Keywords, Delta: q.Delta, Region: fromGeo(q.Lambda)}
+	}
+	return out, nil
+}
+
+func (db *Database) instantiate(q Query) (*dataset.QueryInstance, error) {
+	if len(q.Keywords) == 0 {
+		return nil, fmt.Errorf("repro: query has no keywords")
+	}
+	if q.Delta <= 0 {
+		return nil, fmt.Errorf("repro: query ∆ must be positive, got %v", q.Delta)
+	}
+	mode := dataset.WeightRelevance
+	switch q.Weighting {
+	case WeightingRating:
+		mode = dataset.WeightRating
+	case WeightingLanguageModel:
+		mode = dataset.WeightLanguageModel
+	}
+	return db.ds.Instantiate(dataset.Query{
+		Keywords: q.Keywords,
+		Delta:    q.Delta,
+		Lambda:   q.Region.toGeo(),
+		Mode:     mode,
+	})
+}
+
+// defaultTGENAlpha sizes TGEN's scaling parameter so that σ̂max ≈ 9
+// regardless of how many nodes fall inside Λ; the paper's α = 400 on
+// |VQ| in the thousands corresponds to the same σ̂max regime.
+func defaultTGENAlpha(numNodes int) float64 {
+	a := float64(numNodes) / 9
+	if a < 1 {
+		a = 1
+	}
+	return a
+}
+
+func toCoreOptions(opts SearchOptions, numNodes int) (core.APPOptions, core.TGENOptions, core.GreedyOptions) {
+	appOpts := core.APPOptions{Alpha: opts.Alpha, Beta: opts.Beta}
+	if opts.UseSPTSolver {
+		appOpts.Solver = core.SolverSPT
+	}
+	tgenOpts := core.TGENOptions{Alpha: opts.Alpha}
+	if tgenOpts.Alpha == 0 {
+		tgenOpts.Alpha = defaultTGENAlpha(numNodes)
+	}
+	greedyOpts := core.GreedyOptions{Mu: opts.Mu, MuSet: opts.MuSet}
+	return appOpts, tgenOpts, greedyOpts
+}
+
+// Load reads a Database from a dataset file written by cmd/datagen (or
+// Database.Save); all indexes are rebuilt on load.
+func Load(path string) (*Database, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("repro: load: %w", err)
+	}
+	defer f.Close()
+	ds, err := dataset.Read(f)
+	if err != nil {
+		return nil, err
+	}
+	return &Database{ds: ds}, nil
+}
+
+// Save writes the Database's network and objects to a dataset file that
+// Load can read back.
+func (db *Database) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("repro: save: %w", err)
+	}
+	if _, err := db.ds.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,170 @@
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/roadnet"
+)
+
+// Method selects the query-answering algorithm.
+type Method int
+
+const (
+	// MethodTGEN is the tuple-generation heuristic (§5) — the best
+	// accuracy and efficiency in the paper's study, and the default.
+	MethodTGEN Method = iota
+	// MethodAPP is the (5+ε)-approximation algorithm (§4).
+	MethodAPP
+	// MethodGreedy is the fast, lower-accuracy greedy expansion (§6.1).
+	MethodGreedy
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	switch m {
+	case MethodTGEN:
+		return "TGEN"
+	case MethodAPP:
+		return "APP"
+	case MethodGreedy:
+		return "Greedy"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// SearchOptions tunes the selected Method. The zero value selects the
+// paper's recommended defaults for every knob.
+type SearchOptions struct {
+	// Method picks the algorithm (default MethodTGEN).
+	Method Method
+	// Alpha is the node-weight scaling parameter α. Defaults: 0.5 for
+	// APP; for TGEN it is auto-sized so σ̂max ≈ 9 over the query region
+	// (the regime the paper's α = 400 inhabits at its data scale).
+	Alpha float64
+	// Beta is APP's binary-search slack β (default 0.1).
+	Beta float64
+	// Mu is Greedy's length/weight balance µ ∈ [0,1] (default 0.2).
+	// Set MuSet to use an explicit 0.
+	Mu    float64
+	MuSet bool
+	// UseSPTSolver makes APP use the shortest-path-tree quota heuristic
+	// instead of the GW/Garg solver (ablation).
+	UseSPTSolver bool
+}
+
+// ResultObject is a relevant object inside a result region.
+type ResultObject struct {
+	ID    int
+	X, Y  float64
+	Score float64 // σ(o.ψ, Q.ψ)
+}
+
+// Result is a region returned for an LCMSR query.
+type Result struct {
+	// Score is the region's total weight w.r.t. the query (Σ σv).
+	Score float64
+	// Length is the total road length of the region.
+	Length float64
+	// Nodes are the road-network node IDs forming the region (IDs into
+	// the Database's graph).
+	Nodes []int
+	// Edges are (u, v, length) road segments of the region.
+	Edges []EdgeSpec
+	// Objects are the relevant objects the region contains.
+	Objects []ResultObject
+}
+
+// Run answers an LCMSR query and returns the best region, or nil when no
+// object in Q.Λ matches the keywords.
+func (db *Database) Run(q Query, opts SearchOptions) (*Result, error) {
+	qi, err := db.instantiate(q)
+	if err != nil {
+		return nil, err
+	}
+	appOpts, tgenOpts, greedyOpts := toCoreOptions(opts, qi.In.NumNodes)
+	var region *core.Region
+	switch opts.Method {
+	case MethodAPP:
+		region, err = core.APP(qi.In, q.Delta, appOpts)
+	case MethodGreedy:
+		region, err = core.Greedy(qi.In, q.Delta, greedyOpts)
+	case MethodTGEN:
+		region, err = core.TGEN(qi.In, q.Delta, tgenOpts)
+	default:
+		return nil, fmt.Errorf("repro: unknown method %v", opts.Method)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if region == nil {
+		return nil, nil
+	}
+	return db.materialize(qi, region), nil
+}
+
+// RunTopK answers the top-k LCMSR query (§6.2): up to k pairwise-disjoint
+// regions in decreasing quality order.
+func (db *Database) RunTopK(q Query, k int, opts SearchOptions) ([]*Result, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("repro: k must be positive, got %d", k)
+	}
+	qi, err := db.instantiate(q)
+	if err != nil {
+		return nil, err
+	}
+	appOpts, tgenOpts, greedyOpts := toCoreOptions(opts, qi.In.NumNodes)
+	var regions []*core.Region
+	switch opts.Method {
+	case MethodAPP:
+		regions, err = core.TopKAPP(qi.In, q.Delta, k, appOpts)
+	case MethodGreedy:
+		regions, err = core.TopKGreedy(qi.In, q.Delta, k, greedyOpts)
+	case MethodTGEN:
+		regions, err = core.TopKTGEN(qi.In, q.Delta, k, tgenOpts)
+	default:
+		return nil, fmt.Errorf("repro: unknown method %v", opts.Method)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Result, 0, len(regions))
+	for _, r := range regions {
+		out = append(out, db.materialize(qi, r))
+	}
+	return out, nil
+}
+
+// materialize converts a core region (local IDs) into a public Result
+// (parent graph IDs, object details).
+func (db *Database) materialize(qi *dataset.QueryInstance, region *core.Region) *Result {
+	res := &Result{
+		Score:  region.Score,
+		Length: region.Length,
+		Nodes:  make([]int, len(region.Nodes)),
+		Edges:  make([]EdgeSpec, 0, len(region.Edges)),
+	}
+	for i, v := range region.Nodes {
+		res.Nodes[i] = int(qi.Sub.ToParent[v])
+	}
+	for _, ei := range region.Edges {
+		e := qi.Sub.Edge(roadnet.EdgeID(ei))
+		res.Edges = append(res.Edges, EdgeSpec{
+			U:      int(qi.Sub.ToParent[e.U]),
+			V:      int(qi.Sub.ToParent[e.V]),
+			Length: e.Length,
+		})
+	}
+	for _, objID := range qi.RegionObjects(region) {
+		o := db.ds.Objects[objID]
+		res.Objects = append(res.Objects, ResultObject{
+			ID:    int(objID),
+			X:     o.Point.X,
+			Y:     o.Point.Y,
+			Score: qi.Prepared.Score(&o.Doc),
+		})
+	}
+	return res
+}
