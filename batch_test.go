@@ -1,0 +1,70 @@
+package repro
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestRunBatchMatchesRun: the parallel batch path must return exactly what
+// serial Run calls return, query by query, for every method.
+func TestRunBatchMatchesRun(t *testing.T) {
+	db, err := NYLike(4, 0.12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(44))
+	qs, err := db.GenQueries(rng, 10, 3, 25e6, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, method := range []Method{MethodTGEN, MethodAPP, MethodGreedy} {
+		opts := SearchOptions{Method: method}
+		want := make([]*Result, len(qs))
+		for i, q := range qs {
+			r, err := db.Run(q, opts)
+			if err != nil {
+				t.Fatalf("%v run %d: %v", method, i, err)
+			}
+			want[i] = r
+		}
+		for _, workers := range []int{1, 4} {
+			got, stats, err := db.RunBatch(qs, opts, workers)
+			if err != nil {
+				t.Fatalf("%v batch workers=%d: %v", method, workers, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%v: batch workers=%d differs from serial Run loop", method, workers)
+			}
+			wantMatched := 0
+			for _, r := range want {
+				if r != nil {
+					wantMatched++
+				}
+			}
+			if stats.Matched != wantMatched {
+				t.Fatalf("%v: stats.Matched = %d, want %d", method, stats.Matched, wantMatched)
+			}
+		}
+	}
+}
+
+func TestRunBatchValidation(t *testing.T) {
+	db, err := NYLike(4, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := db.RunBatch([]Query{{Delta: 100}}, SearchOptions{}, 1); err == nil {
+		t.Error("query without keywords accepted")
+	}
+	if _, _, err := db.RunBatch([]Query{{Keywords: []string{"a"}, Delta: -1}}, SearchOptions{}, 1); err == nil {
+		t.Error("non-positive delta accepted")
+	}
+	res, stats, err := db.RunBatch(nil, SearchOptions{}, 0)
+	if err != nil || len(res) != 0 {
+		t.Fatalf("empty batch: res=%v err=%v", res, err)
+	}
+	if stats.Workers < 1 {
+		t.Errorf("resolved workers = %d, want >= 1", stats.Workers)
+	}
+}

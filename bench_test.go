@@ -6,13 +6,16 @@ package repro
 // finishes in minutes; run cmd/benchfig for full-size tables.
 
 import (
+	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/experiments"
+	"repro/internal/queryengine"
 )
 
 var (
@@ -125,6 +128,72 @@ func BenchmarkAblationKMSTSolvers(b *testing.B) {
 func BenchmarkAblationTGENEdgeOrder(b *testing.B) {
 	e := sharedEnv(b)
 	benchTable(b, e.AblationOrder)
+}
+
+// --- workload throughput through the parallel query engine --------------
+
+var (
+	tputOnce sync.Once
+	tputDS   *dataset.Dataset
+	tputQS   []dataset.Query
+)
+
+func throughputWorkload(b *testing.B) (*dataset.Dataset, []dataset.Query) {
+	b.Helper()
+	tputOnce.Do(func() {
+		d, err := dataset.NYLike(dataset.Config{Seed: 3, Scale: 0.2})
+		if err != nil {
+			panic(err)
+		}
+		rng := rand.New(rand.NewSource(5))
+		qs, err := d.GenQueries(rng, 64, 3, 25e6, 5000)
+		if err != nil {
+			panic(err)
+		}
+		tputDS, tputQS = d, qs
+	})
+	return tputDS, tputQS
+}
+
+// BenchmarkQueryThroughput answers a fixed 64-query TGEN workload through
+// the worker-pool engine end-to-end (grid lookup → CSR extraction →
+// solver) and reports queries/s per worker count.
+func BenchmarkQueryThroughput(b *testing.B) {
+	d, qs := throughputWorkload(b)
+	workerCounts := []int{1}
+	if p := runtime.GOMAXPROCS(0); p > 1 {
+		workerCounts = append(workerCounts, p)
+	}
+	for _, w := range workerCounts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := queryengine.Run(d, qs, queryengine.Options{Workers: w})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res) != len(qs) {
+					b.Fatal("missing results")
+				}
+			}
+			b.ReportMetric(float64(len(qs))*float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+		})
+	}
+}
+
+// BenchmarkInstantiate isolates working-graph construction (extraction +
+// scoring + CSR instance) with a pooled planner, the per-query fixed cost
+// every method pays.
+func BenchmarkInstantiate(b *testing.B) {
+	d, qs := throughputWorkload(b)
+	p := d.NewPlanner()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Instantiate(qs[i%len(qs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // --- per-query micro benchmarks on one fixed instance -------------------

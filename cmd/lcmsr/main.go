@@ -5,9 +5,16 @@
 //
 //	lcmsr -dataset ny -keywords "t0001,t0002" -delta 10000 -area 100 -method tgen
 //	lcmsr -dataset usanw -auto -k 3          # generate a query, top-3 regions
+//	lcmsr -auto -queries 200 -parallel 8     # workload mode: throughput run
 //
 // -area is the Q.Λ area in km²; -delta the length budget in metres. With
 // -auto the keywords and region are drawn by the workload generator.
+//
+// With -queries > 1 the command switches to workload mode: it generates
+// (or replicates) that many queries and answers them through the parallel
+// query engine with -parallel workers, reporting throughput instead of
+// per-region detail. -cpuprofile and -memprofile write pprof profiles of
+// the query phase for performance work.
 package main
 
 import (
@@ -16,6 +23,8 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro"
@@ -23,16 +32,20 @@ import (
 
 func main() {
 	var (
-		dsName   = flag.String("dataset", "ny", "ny or usanw")
-		load     = flag.String("load", "", "load a dataset file written by datagen instead")
-		scale    = flag.Float64("scale", 0.5, "dataset size multiplier")
-		seed     = flag.Int64("seed", 1, "random seed")
-		keywords = flag.String("keywords", "", "comma-separated query keywords")
-		delta    = flag.Float64("delta", 10000, "length constraint Q.∆ in metres")
-		areaKm2  = flag.Float64("area", 100, "query region Q.Λ area in km²")
-		method   = flag.String("method", "tgen", "tgen, app or greedy")
-		k        = flag.Int("k", 1, "number of regions (top-k)")
-		auto     = flag.Bool("auto", false, "generate keywords and region automatically")
+		dsName     = flag.String("dataset", "ny", "ny or usanw")
+		load       = flag.String("load", "", "load a dataset file written by datagen instead")
+		scale      = flag.Float64("scale", 0.5, "dataset size multiplier")
+		seed       = flag.Int64("seed", 1, "random seed")
+		keywords   = flag.String("keywords", "", "comma-separated query keywords")
+		delta      = flag.Float64("delta", 10000, "length constraint Q.∆ in metres")
+		areaKm2    = flag.Float64("area", 100, "query region Q.Λ area in km²")
+		method     = flag.String("method", "tgen", "tgen, app or greedy")
+		k          = flag.Int("k", 1, "number of regions (top-k)")
+		auto       = flag.Bool("auto", false, "generate keywords and region automatically")
+		queries    = flag.Int("queries", 1, "number of queries (>1 switches to workload mode)")
+		parallel   = flag.Int("parallel", 0, "workload workers; 0 = GOMAXPROCS")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the query phase to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile after the query phase to this file")
 	)
 	flag.Parse()
 
@@ -94,7 +107,40 @@ func main() {
 	fmt.Printf("query: keywords=%v ∆=%.0fm Λ=%.0fkm² method=%v\n",
 		q.Keywords, q.Delta, (q.Region.MaxX-q.Region.MinX)*(q.Region.MaxY-q.Region.MinY)/1e6, opts.Method)
 
-	results, err := db.RunTopK(q, *k, opts)
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	if *queries > 1 {
+		runWorkload(db, q, opts, *queries, *parallel, *seed, *areaKm2, *delta, *auto || *keywords == "")
+	} else {
+		runSingle(db, q, opts, *k)
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		runtime.GC() // materialize the steady-state heap before snapshotting
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// runSingle answers one query and prints its regions in full detail.
+func runSingle(db *repro.Database, q repro.Query, opts repro.SearchOptions, k int) {
+	results, err := db.RunTopK(q, k, opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -109,6 +155,40 @@ func main() {
 			fmt.Printf("  object %d at (%.0f, %.0f) relevance %.4f\n", o.ID, o.X, o.Y, o.Score)
 		}
 	}
+}
+
+// runWorkload answers a many-query workload through the parallel engine
+// and reports throughput. Generated workloads draw fresh queries from the
+// dataset distribution; an explicit -keywords query is replicated n times.
+func runWorkload(db *repro.Database, q repro.Query, opts repro.SearchOptions, n, workers int, seed int64, areaKm2, delta float64, generated bool) {
+	var (
+		qs  []repro.Query
+		err error
+	)
+	if generated {
+		rng := rand.New(rand.NewSource(seed + 100))
+		qs, err = db.GenQueries(rng, n, 3, areaKm2*1e6, delta)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		qs = make([]repro.Query, n)
+		for i := range qs {
+			qs[i] = q
+		}
+	}
+	results, stats, err := db.RunBatch(qs, opts, workers)
+	if err != nil {
+		fatal(err)
+	}
+	var totalWeight float64
+	for _, r := range results {
+		if r != nil {
+			totalWeight += r.Score
+		}
+	}
+	fmt.Printf("workload: %d queries, %d workers: %.3fs total, %.1f queries/s, %d matched, Σweight=%.4f\n",
+		len(qs), stats.Workers, stats.Elapsed.Seconds(), stats.QueriesPerSecond(len(qs)), stats.Matched, totalWeight)
 }
 
 func fatal(err error) {

@@ -43,44 +43,92 @@ type Halfedge struct {
 // network inside Q.Λ with query-dependent node weights σv ≥ 0. The zero
 // weight marks nodes irrelevant to the query (junctions, dead ends,
 // non-matching objects).
+//
+// The adjacency is stored in CSR form (halfedges of node v are
+// adj[offs[v]:offs[v+1]]), and Reset rebuilds it in place, so a pooled
+// Instance can serve many queries without reallocating.
 type Instance struct {
 	NumNodes int
 	Edges    []Edge
 	Weights  []float64 // σv per node
 
-	adj [][]Halfedge
+	offs   []int32
+	adj    []Halfedge
+	cursor []int32 // CSR fill scratch, reused by Reset
 }
 
 // NewInstance validates and indexes a working graph.
 func NewInstance(numNodes int, edges []Edge, weights []float64) (*Instance, error) {
-	if len(weights) != numNodes {
-		return nil, fmt.Errorf("core: %d weights for %d nodes", len(weights), numNodes)
-	}
-	for i, w := range weights {
-		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
-			return nil, fmt.Errorf("core: node %d has invalid weight %v", i, w)
-		}
-	}
-	inst := &Instance{NumNodes: numNodes, Edges: edges, Weights: weights}
-	inst.adj = make([][]Halfedge, numNodes)
-	for i, e := range edges {
-		if e.U < 0 || int(e.U) >= numNodes || e.V < 0 || int(e.V) >= numNodes {
-			return nil, fmt.Errorf("core: edge %d endpoints (%d,%d) out of range", i, e.U, e.V)
-		}
-		if e.U == e.V {
-			return nil, fmt.Errorf("core: edge %d is a self loop", i)
-		}
-		if e.Length < 0 || math.IsNaN(e.Length) || math.IsInf(e.Length, 0) {
-			return nil, fmt.Errorf("core: edge %d has invalid length %v", i, e.Length)
-		}
-		inst.adj[e.U] = append(inst.adj[e.U], Halfedge{To: e.V, Edge: int32(i)})
-		inst.adj[e.V] = append(inst.adj[e.V], Halfedge{To: e.U, Edge: int32(i)})
+	inst := &Instance{}
+	if err := inst.Reset(numNodes, edges, weights); err != nil {
+		return nil, err
 	}
 	return inst, nil
 }
 
+// Reset re-initializes the instance in place with a new working graph,
+// reusing the adjacency storage from previous queries (zero allocations
+// once the buffers have grown to the workload's high-water mark). The
+// instance keeps references to edges and weights. On error the instance is
+// left unusable and must be Reset again before use.
+func (in *Instance) Reset(numNodes int, edges []Edge, weights []float64) error {
+	if len(weights) != numNodes {
+		return fmt.Errorf("core: %d weights for %d nodes", len(weights), numNodes)
+	}
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return fmt.Errorf("core: node %d has invalid weight %v", i, w)
+		}
+	}
+	for i, e := range edges {
+		if e.U < 0 || int(e.U) >= numNodes || e.V < 0 || int(e.V) >= numNodes {
+			return fmt.Errorf("core: edge %d endpoints (%d,%d) out of range", i, e.U, e.V)
+		}
+		if e.U == e.V {
+			return fmt.Errorf("core: edge %d is a self loop", i)
+		}
+		if e.Length < 0 || math.IsNaN(e.Length) || math.IsInf(e.Length, 0) {
+			return fmt.Errorf("core: edge %d has invalid length %v", i, e.Length)
+		}
+	}
+	in.NumNodes = numNodes
+	in.Edges = edges
+	in.Weights = weights
+	in.offs = growTo(in.offs, numNodes+1)
+	for i := range in.offs {
+		in.offs[i] = 0
+	}
+	for _, e := range edges {
+		in.offs[e.U+1]++
+		in.offs[e.V+1]++
+	}
+	for i := 0; i < numNodes; i++ {
+		in.offs[i+1] += in.offs[i]
+	}
+	in.cursor = growTo(in.cursor, numNodes)
+	copy(in.cursor, in.offs[:numNodes])
+	in.adj = growTo(in.adj, 2*len(edges))
+	for i, e := range edges {
+		in.adj[in.cursor[e.U]] = Halfedge{To: e.V, Edge: int32(i)}
+		in.cursor[e.U]++
+		in.adj[in.cursor[e.V]] = Halfedge{To: e.U, Edge: int32(i)}
+		in.cursor[e.V]++
+	}
+	return nil
+}
+
+// growTo returns s with length n, reusing its backing array when possible.
+func growTo[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
 // Neighbors returns the halfedges out of v (aliases internal storage).
-func (in *Instance) Neighbors(v NodeID) []Halfedge { return in.adj[v] }
+func (in *Instance) Neighbors(v NodeID) []Halfedge {
+	return in.adj[in.offs[v]:in.offs[v+1]]
+}
 
 // MaxWeight returns σmax, the maximum node weight, and its node.
 func (in *Instance) MaxWeight() (float64, NodeID) {

@@ -127,6 +127,58 @@ func TestNewInstanceValidation(t *testing.T) {
 	}
 }
 
+func TestInstanceResetReuse(t *testing.T) {
+	// A pooled instance must serve successive working graphs of different
+	// shapes with a correct CSR adjacency each time.
+	var in Instance
+	check := func(numNodes int, edges []Edge) {
+		t.Helper()
+		weights := make([]float64, numNodes)
+		for i := range weights {
+			weights[i] = float64(i)
+		}
+		if err := in.Reset(numNodes, edges, weights); err != nil {
+			t.Fatal(err)
+		}
+		deg := make([]int, numNodes)
+		for _, e := range edges {
+			deg[e.U]++
+			deg[e.V]++
+		}
+		seen := make(map[int32]int)
+		for v := 0; v < numNodes; v++ {
+			nb := in.Neighbors(NodeID(v))
+			if len(nb) != deg[v] {
+				t.Fatalf("node %d degree %d, want %d", v, len(nb), deg[v])
+			}
+			for _, he := range nb {
+				e := edges[he.Edge]
+				if e.U != NodeID(v) && e.V != NodeID(v) {
+					t.Fatalf("edge %d in adjacency of non-endpoint %d", he.Edge, v)
+				}
+				if he.To != e.U && he.To != e.V {
+					t.Fatalf("halfedge target %d not an endpoint of edge %d", he.To, he.Edge)
+				}
+				seen[he.Edge]++
+			}
+		}
+		for id, c := range seen {
+			if c != 2 {
+				t.Fatalf("edge %d appears %d times, want 2", id, c)
+			}
+		}
+		if len(seen) != len(edges) {
+			t.Fatalf("adjacency covers %d edges, want %d", len(seen), len(edges))
+		}
+	}
+	check(4, []Edge{{U: 0, V: 1, Length: 1}, {U: 1, V: 2, Length: 2}, {U: 2, V: 3, Length: 3}})
+	check(2, []Edge{{U: 0, V: 1, Length: 5}})                          // shrink
+	check(6, []Edge{{U: 0, V: 5, Length: 1}, {U: 4, V: 1, Length: 2}}) // regrow
+	if err := in.Reset(2, []Edge{{U: 0, V: 0, Length: 1}}, []float64{1, 1}); err == nil {
+		t.Error("Reset accepted a self loop")
+	}
+}
+
 // Example 2 of the paper: α = 0.15, σmax = 0.4, |VQ| = 6 gives θ = 0.01.
 func TestScaleExample2(t *testing.T) {
 	in := mustInstance(t, 6, nil, []float64{0.2, 0.3, 0.4, 0.2, 0.2, 0.4})

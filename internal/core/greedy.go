@@ -63,8 +63,11 @@ func greedyFrom(in *Instance, delta float64, mu, sigmaMax float64, seed NodeID, 
 		var bestNode NodeID = -1
 		var bestEdge int32 = -1
 		remaining := delta - r.Length
-		for v := range inRegion {
-			for _, he := range in.adj[v] {
+		// Iterate the region's sorted node list, not the membership map:
+		// map order is randomized and would break the engine's guarantee
+		// of identical results across runs when scores tie.
+		for _, v := range r.Nodes {
+			for _, he := range in.Neighbors(NodeID(v)) {
 				to := he.To
 				if inRegion[to] || banned[to] {
 					continue
@@ -82,7 +85,9 @@ func greedyFrom(in *Instance, delta float64, mu, sigmaMax float64, seed NodeID, 
 					wTerm = in.Weights[to] / sigmaMax
 				}
 				score := mu*lenTerm + (1-mu)*wTerm
-				if score > bestScore || (score == bestScore && to < bestNode) {
+				if score > bestScore ||
+					(score == bestScore && (to < bestNode ||
+						(to == bestNode && he.Edge < bestEdge))) {
 					bestScore, bestNode, bestEdge = score, to, he.Edge
 				}
 			}

@@ -97,7 +97,7 @@ func TGEN(in *Instance, delta float64, opts TGENOptions) (*Region, error) {
 		for len(queue) > 0 {
 			vi := queue[0]
 			queue = queue[1:]
-			for _, he := range in.adj[vi] {
+			for _, he := range in.Neighbors(vi) {
 				if edgeDone[he.Edge] {
 					continue
 				}

@@ -1,0 +1,104 @@
+package dataset
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/roadnet"
+	"repro/internal/textindex"
+)
+
+// Planner materializes query working graphs with pooled per-worker scratch
+// state: a roadnet.Extractor for zero-allocation subgraph extraction, a
+// core.Instance whose CSR adjacency is rebuilt in place, and reusable
+// weight/edge/object buffers. One planner serves one query at a time: the
+// QueryInstance returned by Instantiate aliases the planner's buffers and
+// is valid only until the next Instantiate call on the same planner.
+//
+// A Planner is not safe for concurrent use; pool one per worker (see
+// internal/queryengine). Dataset.Instantiate remains the convenience path
+// that allocates a fresh planner per call.
+type Planner struct {
+	d  *Dataset
+	ex *roadnet.Extractor
+
+	inst     core.Instance
+	weights  []float64
+	edges    []core.Edge
+	nodeObjs [][]grid.ObjectID
+	qi       QueryInstance
+}
+
+// NewPlanner returns a planner with empty scratch state for d.
+func (d *Dataset) NewPlanner() *Planner {
+	return &Planner{d: d, ex: roadnet.NewExtractor(d.Graph)}
+}
+
+// Instantiate restricts the road network to Q.Λ, scores the objects inside
+// it against the keywords through the grid index (Equation 2), and
+// aggregates object scores onto their road nodes: a node's weight σv is
+// the summed relevance of the objects mapped to it, zero for junctions and
+// irrelevant objects. The result aliases the planner's pooled buffers.
+func (p *Planner) Instantiate(q Query) (*QueryInstance, error) {
+	d := p.d
+	sub := p.ex.ExtractRect(q.Lambda)
+	prepared := d.Vocab.PrepareQuery(q.Keywords)
+	// The grid index finds the matching objects (an object matches iff it
+	// shares a term with the query, identically under all weight modes);
+	// the mode then decides the weight each match contributes.
+	scores, err := d.Index.Search(prepared, q.Lambda)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: index search: %w", err)
+	}
+	var lm textindex.LMQuery
+	if q.Mode == WeightLanguageModel {
+		lm = d.Vocab.PrepareLMQuery(q.Keywords, 0)
+	}
+	n := sub.NumNodes()
+	p.weights = growTo(p.weights, n)
+	for i := range p.weights {
+		p.weights[i] = 0
+	}
+	if cap(p.nodeObjs) < n {
+		p.nodeObjs = append(p.nodeObjs[:cap(p.nodeObjs)], make([][]grid.ObjectID, n-cap(p.nodeObjs))...)
+	}
+	p.nodeObjs = p.nodeObjs[:n]
+	for i := range p.nodeObjs {
+		p.nodeObjs[i] = p.nodeObjs[i][:0]
+	}
+	for _, os := range scores {
+		parent := d.ObjNode[os.Obj]
+		local := sub.Local(parent)
+		if local < 0 {
+			continue // object inside Λ but its node is outside
+		}
+		w := os.Score
+		switch q.Mode {
+		case WeightRating:
+			w = d.rating(os.Obj)
+		case WeightLanguageModel:
+			w = lm.Score(&d.Objects[os.Obj].Doc)
+		}
+		p.weights[local] += w
+		p.nodeObjs[local] = append(p.nodeObjs[local], os.Obj)
+	}
+	p.edges = p.edges[:0]
+	for i := 0; i < sub.NumEdges(); i++ {
+		e := sub.Edge(roadnet.EdgeID(i))
+		p.edges = append(p.edges, core.Edge{U: int32(e.U), V: int32(e.V), Length: e.Length})
+	}
+	if err := p.inst.Reset(n, p.edges, p.weights); err != nil {
+		return nil, fmt.Errorf("dataset: instance: %w", err)
+	}
+	p.qi = QueryInstance{In: &p.inst, Sub: sub, NodeObjects: p.nodeObjs, Prepared: prepared}
+	return &p.qi, nil
+}
+
+// growTo returns s with length n, reusing its backing array when possible.
+func growTo[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}

@@ -1,0 +1,97 @@
+package dataset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPlannerMatchesInstantiate runs a workload twice — once through a
+// single pooled Planner and once through Dataset.Instantiate (fresh state
+// per query) — and demands identical working graphs.
+func TestPlannerMatchesInstantiate(t *testing.T) {
+	d, err := NYLike(Config{Seed: 9, Scale: 0.12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(21))
+	queries, err := d.GenQueries(rng, 6, 3, 25e6, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries[1].Mode = WeightRating
+	queries[2].Mode = WeightLanguageModel
+	p := d.NewPlanner()
+	for qi, q := range queries {
+		pooled, err := p.Instantiate(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := d.Instantiate(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pooled.In.NumNodes != fresh.In.NumNodes {
+			t.Fatalf("query %d: %d nodes, want %d", qi, pooled.In.NumNodes, fresh.In.NumNodes)
+		}
+		if len(pooled.In.Edges) != len(fresh.In.Edges) {
+			t.Fatalf("query %d: %d edges, want %d", qi, len(pooled.In.Edges), len(fresh.In.Edges))
+		}
+		for i := range fresh.In.Edges {
+			if pooled.In.Edges[i] != fresh.In.Edges[i] {
+				t.Fatalf("query %d: edge %d = %+v, want %+v", qi, i, pooled.In.Edges[i], fresh.In.Edges[i])
+			}
+		}
+		for v := range fresh.In.Weights {
+			if pooled.In.Weights[v] != fresh.In.Weights[v] {
+				t.Fatalf("query %d: weight[%d] = %v, want %v", qi, v, pooled.In.Weights[v], fresh.In.Weights[v])
+			}
+		}
+		for v := range fresh.Sub.ToParent {
+			if pooled.Sub.ToParent[v] != fresh.Sub.ToParent[v] {
+				t.Fatalf("query %d: ToParent[%d] differs", qi, v)
+			}
+		}
+		for v := range fresh.NodeObjects {
+			if len(pooled.NodeObjects[v]) != len(fresh.NodeObjects[v]) {
+				t.Fatalf("query %d: node %d has %d objects, want %d",
+					qi, v, len(pooled.NodeObjects[v]), len(fresh.NodeObjects[v]))
+			}
+			for i := range fresh.NodeObjects[v] {
+				if pooled.NodeObjects[v][i] != fresh.NodeObjects[v][i] {
+					t.Fatalf("query %d: NodeObjects[%d][%d] differs", qi, v, i)
+				}
+			}
+		}
+	}
+}
+
+// TestInstantiateDeterministic guards the deterministic accumulation order:
+// two independent instantiations of the same query must agree bit-for-bit
+// on node weights (grid.Index.Search sorts its results for this).
+func TestInstantiateDeterministic(t *testing.T) {
+	d, err := USANWLike(Config{Seed: 5, Scale: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(33))
+	queries, err := d.GenQueries(rng, 3, 3, 50e6, 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi, q := range queries {
+		a, err := d.Instantiate(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := d.Instantiate(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range a.In.Weights {
+			if a.In.Weights[v] != b.In.Weights[v] {
+				t.Fatalf("query %d: weight[%d] differs between runs: %v vs %v",
+					qi, v, a.In.Weights[v], b.In.Weights[v])
+			}
+		}
+	}
+}

@@ -165,48 +165,11 @@ type QueryInstance struct {
 // aggregates object scores onto their road nodes: a node's weight σv is
 // the summed relevance of the objects mapped to it, zero for junctions and
 // irrelevant objects.
+//
+// Each call allocates a fresh Planner, so the returned QueryInstance is
+// independent of later calls; query loops should pool a Planner instead.
 func (d *Dataset) Instantiate(q Query) (*QueryInstance, error) {
-	sub := d.Graph.ExtractRect(q.Lambda)
-	prepared := d.Vocab.PrepareQuery(q.Keywords)
-	// The grid index finds the matching objects (an object matches iff it
-	// shares a term with the query, identically under all weight modes);
-	// the mode then decides the weight each match contributes.
-	scores, err := d.Index.Search(prepared, q.Lambda)
-	if err != nil {
-		return nil, fmt.Errorf("dataset: index search: %w", err)
-	}
-	var lm textindex.LMQuery
-	if q.Mode == WeightLanguageModel {
-		lm = d.Vocab.PrepareLMQuery(q.Keywords, 0)
-	}
-	weights := make([]float64, sub.NumNodes())
-	nodeObjs := make([][]grid.ObjectID, sub.NumNodes())
-	for _, os := range scores {
-		parent := d.ObjNode[os.Obj]
-		local := sub.Local(parent)
-		if local < 0 {
-			continue // object inside Λ but its node is outside
-		}
-		w := os.Score
-		switch q.Mode {
-		case WeightRating:
-			w = d.rating(os.Obj)
-		case WeightLanguageModel:
-			w = lm.Score(&d.Objects[os.Obj].Doc)
-		}
-		weights[local] += w
-		nodeObjs[local] = append(nodeObjs[local], os.Obj)
-	}
-	edges := make([]core.Edge, sub.NumEdges())
-	for i := range edges {
-		e := sub.Edge(roadnet.EdgeID(i))
-		edges[i] = core.Edge{U: int32(e.U), V: int32(e.V), Length: e.Length}
-	}
-	in, err := core.NewInstance(sub.NumNodes(), edges, weights)
-	if err != nil {
-		return nil, fmt.Errorf("dataset: instance: %w", err)
-	}
-	return &QueryInstance{In: in, Sub: sub, NodeObjects: nodeObjs, Prepared: prepared}, nil
+	return d.NewPlanner().Instantiate(q)
 }
 
 // rating returns the object's popularity score (1 when none recorded).

@@ -205,6 +205,7 @@ func (e *Env) All() ([]Table, error) {
 		{"ablation-kmst", e.AblationKMST},
 		{"ablation-order", e.AblationOrder},
 		{"ablation-weighting", e.AblationWeighting},
+		{"throughput", e.Throughput},
 	}
 	for _, r := range runners {
 		t, err := r.fn()
@@ -237,6 +238,7 @@ func (e *Env) Named(id string) (Table, bool, error) {
 		"ablation-kmst":      e.AblationKMST,
 		"ablation-order":     e.AblationOrder,
 		"ablation-weighting": e.AblationWeighting,
+		"throughput":         e.Throughput,
 	}
 	fn, ok := m[id]
 	if !ok {
@@ -254,5 +256,6 @@ func ExperimentIDs() []string {
 		"fig16kw", "fig16delta", "fig16lambda",
 		"examples", "maxrs", "fig21", "fig22",
 		"ablation-kmst", "ablation-order", "ablation-weighting",
+		"throughput",
 	}
 }

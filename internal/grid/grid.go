@@ -16,6 +16,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/geo"
 	"repro/internal/textindex"
@@ -269,6 +270,11 @@ func (idx *Index) Search(q textindex.Query, r geo.Rect) ([]ObjScore, error) {
 	for id, s := range acc {
 		out = append(out, ObjScore{Obj: id, Score: s / q.Norm})
 	}
+	// Map iteration order is randomized; sort by object ID so downstream
+	// floating-point accumulation (node weights in dataset.Planner) is
+	// deterministic — the parallel query engine's golden guarantee
+	// (identical results for any worker count) depends on this.
+	sort.Slice(out, func(i, j int) bool { return out[i].Obj < out[j].Obj })
 	return out, nil
 }
 

@@ -1,0 +1,101 @@
+package queryengine
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func testWorkload(t *testing.T, scale float64, count int) (*dataset.Dataset, []dataset.Query) {
+	t.Helper()
+	d, err := dataset.NYLike(dataset.Config{Seed: 7, Scale: scale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(70))
+	qs, err := d.GenQueries(rng, count, 3, 25e6, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, qs
+}
+
+// TestParallelMatchesSerial is the golden guarantee: for every method, a
+// parallel run must produce bit-identical results to the serial run on the
+// same seeded workload.
+func TestParallelMatchesSerial(t *testing.T) {
+	d, qs := testWorkload(t, 0.12, 12)
+	for _, method := range []Method{MethodTGEN, MethodGreedy, MethodAPP} {
+		serial, err := Run(d, qs, Options{Workers: 1, Method: method})
+		if err != nil {
+			t.Fatalf("%v serial: %v", method, err)
+		}
+		matched := 0
+		for _, r := range serial {
+			if r.Matched {
+				matched++
+			}
+		}
+		if matched == 0 {
+			t.Fatalf("%v: workload produced no matches; test is vacuous", method)
+		}
+		for _, workers := range []int{2, 4, 0} {
+			parallel, err := Run(d, qs, Options{Workers: workers, Method: method})
+			if err != nil {
+				t.Fatalf("%v workers=%d: %v", method, workers, err)
+			}
+			if !reflect.DeepEqual(serial, parallel) {
+				t.Fatalf("%v: workers=%d results differ from serial", method, workers)
+			}
+		}
+	}
+}
+
+// TestRepeatedRunsDeterministic re-runs the same workload and demands
+// identical output (guards against map-iteration or scheduling leaks).
+func TestRepeatedRunsDeterministic(t *testing.T) {
+	d, qs := testWorkload(t, 0.1, 8)
+	first, err := Run(d, qs, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Run(d, qs, Options{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("two runs of the same workload differ")
+	}
+}
+
+func TestRunFuncPropagatesError(t *testing.T) {
+	d, qs := testWorkload(t, 0.1, 8)
+	boom := errors.New("boom")
+	err := RunFunc(d, qs, 4, func(i int, qi *dataset.QueryInstance) error {
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+}
+
+func TestRunUnknownMethod(t *testing.T) {
+	d, qs := testWorkload(t, 0.1, 2)
+	if _, err := Run(d, qs, Options{Method: Method(99)}); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+}
+
+func TestRunEmptyWorkload(t *testing.T) {
+	d, _ := testWorkload(t, 0.1, 2)
+	res, err := Run(d, nil, Options{})
+	if err != nil || len(res) != 0 {
+		t.Fatalf("empty workload: res=%v err=%v", res, err)
+	}
+}

@@ -7,11 +7,10 @@ import (
 	"repro/internal/geo"
 )
 
-func benchGraph(b *testing.B) *Graph {
+func benchGraphSide(b *testing.B, side int) *Graph {
 	b.Helper()
 	rng := rand.New(rand.NewSource(5))
 	bld := NewBuilder()
-	const side = 80
 	for y := 0; y < side; y++ {
 		for x := 0; x < side; x++ {
 			bld.AddNode(geo.Point{X: float64(x) * 100, Y: float64(y) * 100})
@@ -35,6 +34,8 @@ func benchGraph(b *testing.B) *Graph {
 	return bld.Build()
 }
 
+func benchGraph(b *testing.B) *Graph { return benchGraphSide(b, 80) }
+
 func BenchmarkExtractRect(b *testing.B) {
 	g := benchGraph(b)
 	r := geo.Rect{MinX: 1000, MinY: 1000, MaxX: 5000, MaxY: 5000}
@@ -44,6 +45,50 @@ func BenchmarkExtractRect(b *testing.B) {
 		if sub := g.ExtractRect(r); sub.NumNodes() == 0 {
 			b.Fatal("empty extraction")
 		}
+	}
+}
+
+// BenchmarkExtractRectSelectivity verifies that extraction cost tracks the
+// rectangle, not the graph: on a fixed 200×200 grid (40k nodes, ~80k
+// edges), shrinking the rectangle area 100× must shrink ns/op by well over
+// 10×. The pooled extractor variant must report 0 allocs/op steady-state.
+func BenchmarkExtractRectSelectivity(b *testing.B) {
+	g := benchGraphSide(b, 200)
+	full := g.BBox()
+	cx, cy := full.Center().X, full.Center().Y
+	rectFrac := func(frac float64) geo.Rect {
+		hw, hh := full.Width()*frac/2, full.Height()*frac/2
+		return geo.Rect{MinX: cx - hw, MinY: cy - hh, MaxX: cx + hw, MaxY: cy + hh}
+	}
+	cases := []struct {
+		name string
+		rect geo.Rect
+	}{
+		{"area=100%", rectFrac(1.0)},
+		{"area=1%", rectFrac(0.1)},     // linear 10× smaller → area 100×
+		{"area=0.01%", rectFrac(0.01)}, // area 10000× smaller
+	}
+	for _, tc := range cases {
+		b.Run("pooled/"+tc.name, func(b *testing.B) {
+			ex := NewExtractor(g)
+			ex.ExtractRect(tc.rect) // warm the scratch buffers
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sub := ex.ExtractRect(tc.rect)
+				if sub.NumNodes() == 0 {
+					b.Fatal("empty extraction")
+				}
+			}
+		})
+		b.Run("oneshot/"+tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if sub := g.ExtractRect(tc.rect); sub.NumNodes() == 0 {
+					b.Fatal("empty extraction")
+				}
+			}
+		})
 	}
 }
 

@@ -10,6 +10,7 @@ package roadnet
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"repro/internal/geo"
@@ -45,6 +46,15 @@ type Graph struct {
 	offs []int32
 	adj  []Halfedge
 	bbox geo.Rect
+	// Node cell index: a uniform nx×ny grid over bbox with ~1 node per
+	// cell; the nodes of cell c are cellNodes[cellStart[c]:cellStart[c+1]]
+	// in ascending ID order. Rectangle queries walk only overlapping cells
+	// instead of scanning all nodes.
+	cellStart []int32
+	cellNodes []NodeID
+	nx, ny    int32
+	cellW     float64
+	cellH     float64
 }
 
 // Builder accumulates nodes and edges and produces an immutable Graph.
@@ -119,7 +129,137 @@ func (b *Builder) Build() *Graph {
 		cursor[e.V]++
 	}
 	g.bbox = computeBBox(g.pts)
+	g.sizeCells()
+	g.cellStart, g.cellNodes = g.buildCellIndex(nil, nil)
 	return g
+}
+
+// sizeCells picks the cell-grid dimensions for the bounding box: about one
+// node per cell, with the grid's aspect ratio following the bbox so cells
+// stay roughly square. Degenerate extents collapse to a single row/column.
+func (g *Graph) sizeCells() {
+	n := len(g.pts)
+	if n == 0 {
+		g.nx, g.ny, g.cellW, g.cellH = 0, 0, 1, 1
+		return
+	}
+	w, h := g.bbox.Width(), g.bbox.Height()
+	nx, ny := 1, 1
+	switch {
+	case w > 0 && h > 0:
+		nx = clampInt(int(math.Round(math.Sqrt(float64(n)*w/h))), 1, n)
+		ny = clampInt(int(math.Round(math.Sqrt(float64(n)*h/w))), 1, n)
+	case w > 0:
+		nx = n
+	case h > 0:
+		ny = n
+	}
+	g.nx, g.ny = int32(nx), int32(ny)
+	g.cellW, g.cellH = w/float64(nx), h/float64(ny)
+	if g.cellW <= 0 {
+		g.cellW = 1
+	}
+	if g.cellH <= 0 {
+		g.cellH = 1
+	}
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// cellOf returns the cell index of a point inside the bounding box.
+func (g *Graph) cellOf(p geo.Point) int32 {
+	cx := int32((p.X - g.bbox.MinX) / g.cellW)
+	cy := int32((p.Y - g.bbox.MinY) / g.cellH)
+	if cx >= g.nx {
+		cx = g.nx - 1
+	}
+	if cy >= g.ny {
+		cy = g.ny - 1
+	}
+	if cx < 0 {
+		cx = 0
+	}
+	if cy < 0 {
+		cy = 0
+	}
+	return cy*g.nx + cx
+}
+
+// buildCellIndex buckets all nodes into the cell grid, reusing the given
+// buffers when they are large enough. sizeCells must have run first.
+func (g *Graph) buildCellIndex(start []int32, nodes []NodeID) ([]int32, []NodeID) {
+	cells := int(g.nx) * int(g.ny)
+	start = growTo(start, cells+1)
+	for i := range start {
+		start[i] = 0
+	}
+	if cells == 0 {
+		return start, nodes[:0]
+	}
+	for _, p := range g.pts {
+		start[g.cellOf(p)+1]++
+	}
+	for c := 0; c < cells; c++ {
+		start[c+1] += start[c]
+	}
+	nodes = growTo(nodes, len(g.pts))
+	// Fill using start[c] as a cursor (ascending i keeps cells sorted),
+	// then shift right to restore the prefix offsets.
+	for i, p := range g.pts {
+		c := g.cellOf(p)
+		nodes[start[c]] = NodeID(i)
+		start[c]++
+	}
+	copy(start[1:cells+1], start[:cells])
+	start[0] = 0
+	return start, nodes
+}
+
+// growTo returns s with length n, reusing its backing array when possible.
+func growTo[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// appendNodesInRect appends the IDs of all nodes inside r to buf, walking
+// only the cells overlapping r, in cell order (ascending inside each cell).
+func (g *Graph) appendNodesInRect(r geo.Rect, buf []NodeID) []NodeID {
+	if g.nx == 0 {
+		return buf
+	}
+	// Clip to the bounding box before computing cell coordinates: for a
+	// rectangle far larger than the bbox the raw quotient can overflow
+	// int, whose conversion result is implementation-defined.
+	clipped, ok := r.Intersect(g.bbox)
+	if !ok {
+		return buf
+	}
+	cx0 := clampInt(int((clipped.MinX-g.bbox.MinX)/g.cellW), 0, int(g.nx)-1)
+	cx1 := clampInt(int((clipped.MaxX-g.bbox.MinX)/g.cellW), 0, int(g.nx)-1)
+	cy0 := clampInt(int((clipped.MinY-g.bbox.MinY)/g.cellH), 0, int(g.ny)-1)
+	cy1 := clampInt(int((clipped.MaxY-g.bbox.MinY)/g.cellH), 0, int(g.ny)-1)
+	for cy := cy0; cy <= cy1; cy++ {
+		row := int32(cy) * g.nx
+		for cx := cx0; cx <= cx1; cx++ {
+			c := row + int32(cx)
+			for _, v := range g.cellNodes[g.cellStart[c]:g.cellStart[c+1]] {
+				if r.Contains(g.pts[v]) {
+					buf = append(buf, v)
+				}
+			}
+		}
+	}
+	return buf
 }
 
 func computeBBox(pts []geo.Point) geo.Rect {
@@ -198,13 +338,10 @@ func (g *Graph) MaxEdgeLength() float64 {
 }
 
 // NodesInRect returns the IDs of all nodes inside r, in ascending order.
+// The cell index limits the scan to the cells overlapping r.
 func (g *Graph) NodesInRect(r geo.Rect) []NodeID {
-	var out []NodeID
-	for i, p := range g.pts {
-		if r.Contains(p) {
-			out = append(out, NodeID(i))
-		}
-	}
+	out := g.appendNodesInRect(r, nil)
+	slices.Sort(out)
 	return out
 }
 

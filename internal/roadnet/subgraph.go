@@ -7,55 +7,39 @@ import "repro/internal/geo"
 // only counts edges whose two endpoints are inside Q.Λ, so edges leaving
 // the rectangle are dropped. A Subgraph is itself a *Graph plus the mapping
 // back to parent node IDs.
+//
+// The parent→local mapping is slice-based: localOf and stamp are arrays
+// indexed by parent node ID, shared with the Extractor that produced the
+// subgraph, and a remap entry is live only when its stamp equals the
+// subgraph's epoch. This replaces the former map[NodeID]NodeID with O(1)
+// lookups and zero per-query map allocation.
 type Subgraph struct {
 	*Graph
 	// ToParent maps a local node ID to the node ID in the parent graph.
 	ToParent []NodeID
-	// fromParent maps parent node IDs to local IDs (-1 when outside).
-	fromParent map[NodeID]NodeID
+	localOf  []NodeID
+	stamp    []uint32
+	epoch    uint32
 }
 
 // ExtractRect returns the subgraph induced by the nodes of g inside r.
+// It allocates a fresh Extractor per call; hot paths that run many queries
+// should pool an Extractor per worker instead.
 func (g *Graph) ExtractRect(r geo.Rect) *Subgraph {
-	inside := g.NodesInRect(r)
-	return g.extract(inside)
+	return NewExtractor(g).ExtractRect(r)
 }
 
 // ExtractNodes returns the subgraph induced by the given parent node IDs
-// (duplicates ignored).
+// (duplicates ignored). See ExtractRect about pooling.
 func (g *Graph) ExtractNodes(nodes []NodeID) *Subgraph {
-	return g.extract(nodes)
-}
-
-func (g *Graph) extract(inside []NodeID) *Subgraph {
-	from := make(map[NodeID]NodeID, len(inside))
-	b := NewBuilder()
-	toParent := make([]NodeID, 0, len(inside))
-	for _, v := range inside {
-		if _, dup := from[v]; dup {
-			continue
-		}
-		local := b.AddNode(g.Point(v))
-		from[v] = local
-		toParent = append(toParent, v)
-	}
-	for id, e := range g.edges {
-		lu, okU := from[e.U]
-		lv, okV := from[e.V]
-		if okU && okV {
-			// Errors are impossible here: endpoints exist, lengths
-			// were validated when the parent graph was built.
-			_ = b.AddEdge(lu, lv, g.edges[id].Length)
-		}
-	}
-	return &Subgraph{Graph: b.Build(), ToParent: toParent, fromParent: from}
+	return NewExtractor(g).ExtractNodes(nodes)
 }
 
 // Local returns the local ID of a parent node, or -1 if it is outside the
 // subgraph.
 func (s *Subgraph) Local(parent NodeID) NodeID {
-	if local, ok := s.fromParent[parent]; ok {
-		return local
+	if parent >= 0 && int(parent) < len(s.stamp) && s.stamp[parent] == s.epoch {
+		return s.localOf[parent]
 	}
 	return -1
 }
