@@ -1,0 +1,75 @@
+//go:build !race
+
+package repro
+
+// Allocation-regression tests for the served hot path. The race detector
+// instruments allocations, so these run only in non-race builds (the CI
+// race step covers the same code for correctness, not allocs).
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/queryengine"
+)
+
+// TestServedSearchPathZeroAlloc pins the PR's core claim: a planner-driven
+// served query — request channel round trip, query preparation, grid
+// search, subgraph extraction, instance build, latency record — performs
+// zero steady-state allocations. The solver is exercised separately (it
+// still allocates its region).
+func TestServedSearchPathZeroAlloc(t *testing.T) {
+	d, err := dataset.NYLike(dataset.Config{Seed: 3, Scale: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	qs, err := d.GenQueries(rng, 16, 3, 25e6, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := queryengine.NewServer(d, queryengine.ServerOptions{Workers: 1})
+	defer srv.Close()
+	task := queryengine.Task{Visit: func(*dataset.QueryInstance) error { return nil }}
+	replay := func() {
+		for _, q := range qs {
+			task.Query = q
+			if err := srv.Do(&task); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	replay() // warm every pooled buffer across the whole workload
+	replay()
+	if allocs := testing.AllocsPerRun(3, replay); allocs != 0 {
+		t.Fatalf("served search path allocated %.1f times per %d-query replay, want 0", allocs, len(qs))
+	}
+}
+
+// TestPlannerInstantiateZeroAlloc is the same claim one layer down, without
+// the server: a pooled planner's Instantiate is allocation-free once warm.
+func TestPlannerInstantiateZeroAlloc(t *testing.T) {
+	d, err := dataset.NYLike(dataset.Config{Seed: 3, Scale: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	qs, err := d.GenQueries(rng, 16, 3, 25e6, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := d.NewPlanner()
+	replay := func() {
+		for _, q := range qs {
+			if _, err := p.Instantiate(q); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	replay()
+	replay()
+	if allocs := testing.AllocsPerRun(3, replay); allocs != 0 {
+		t.Fatalf("planner replay allocated %.1f times per %d queries, want 0", allocs, len(qs))
+	}
+}

@@ -47,20 +47,11 @@ func (db *Database) RunBatch(qs []Query, opts SearchOptions, workers int) ([]*Re
 	}
 	dqs := make([]dataset.Query, len(qs))
 	for i, q := range qs {
-		if len(q.Keywords) == 0 {
-			return nil, stats, fmt.Errorf("repro: query %d has no keywords", i)
+		dq, err := toDatasetQuery(q)
+		if err != nil {
+			return nil, stats, fmt.Errorf("repro: query %d: %w", i, err)
 		}
-		if q.Delta <= 0 {
-			return nil, stats, fmt.Errorf("repro: query %d ∆ must be positive, got %v", i, q.Delta)
-		}
-		mode := dataset.WeightRelevance
-		switch q.Weighting {
-		case WeightingRating:
-			mode = dataset.WeightRating
-		case WeightingLanguageModel:
-			mode = dataset.WeightLanguageModel
-		}
-		dqs[i] = dataset.Query{Keywords: q.Keywords, Delta: q.Delta, Lambda: q.Region.toGeo(), Mode: mode}
+		dqs[i] = dq
 	}
 	results := make([]*Result, len(qs))
 	start := time.Now()

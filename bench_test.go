@@ -181,6 +181,53 @@ func BenchmarkQueryThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkServeQuery replays a served workload through the streaming
+// server with one reusable Task per benchmark.
+//
+//   - searchpath measures the planner-driven served query up to (not
+//     including) the solver — request round trip, PrepareQueryInto,
+//     SearchInto, CSR extraction, instance build, latency record. It must
+//     report 0 B/op, 0 allocs/op steady-state (asserted by
+//     TestServedSearchPathZeroAlloc).
+//   - tgen-e2e measures the full default path including the TGEN solver
+//     and result mapping, i.e. what a real client sees.
+func BenchmarkServeQuery(b *testing.B) {
+	d, qs := throughputWorkload(b)
+	b.Run("searchpath", func(b *testing.B) {
+		srv := queryengine.NewServer(d, queryengine.ServerOptions{Workers: 1})
+		defer srv.Close()
+		task := queryengine.Task{Visit: func(*dataset.QueryInstance) error { return nil }}
+		for _, q := range qs { // warm the pooled buffers across the workload
+			task.Query = q
+			if err := srv.Do(&task); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			task.Query = qs[i%len(qs)]
+			if err := srv.Do(&task); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("tgen-e2e", func(b *testing.B) {
+		srv := queryengine.NewServer(d, queryengine.ServerOptions{Workers: 1})
+		defer srv.Close()
+		task := queryengine.Task{}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			task.Query = qs[i%len(qs)]
+			if err := srv.Do(&task); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+	})
+}
+
 // BenchmarkInstantiate isolates working-graph construction (extraction +
 // scoring + CSR instance) with a pooled planner, the per-query fixed cost
 // every method pays.

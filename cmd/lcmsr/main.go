@@ -6,6 +6,7 @@
 //	lcmsr -dataset ny -keywords "t0001,t0002" -delta 10000 -area 100 -method tgen
 //	lcmsr -dataset usanw -auto -k 3          # generate a query, top-3 regions
 //	lcmsr -auto -queries 200 -parallel 8     # workload mode: throughput run
+//	lcmsr -serve -queries 500 -rate 100      # serve mode: replay at 100 q/s
 //
 // -area is the Q.Λ area in km²; -delta the length budget in metres. With
 // -auto the keywords and region are drawn by the workload generator.
@@ -15,6 +16,11 @@
 // query engine with -parallel workers, reporting throughput instead of
 // per-region detail. -cpuprofile and -memprofile write pprof profiles of
 // the query phase for performance work.
+//
+// With -serve the command starts the streaming query server instead and
+// replays the workload against it at -rate queries/s (0 = as fast as the
+// server admits, closed loop), then prints throughput and p50/p95/p99
+// request latencies.
 package main
 
 import (
@@ -26,6 +32,9 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro"
 )
@@ -44,6 +53,8 @@ func main() {
 		auto       = flag.Bool("auto", false, "generate keywords and region automatically")
 		queries    = flag.Int("queries", 1, "number of queries (>1 switches to workload mode)")
 		parallel   = flag.Int("parallel", 0, "workload workers; 0 = GOMAXPROCS")
+		serve      = flag.Bool("serve", false, "replay the workload through the streaming server and report latency percentiles")
+		rate       = flag.Float64("rate", 0, "serve mode: target request rate in queries/s (0 = closed loop)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the query phase to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile after the query phase to this file")
 	)
@@ -119,9 +130,12 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	if *queries > 1 {
+	switch {
+	case *serve:
+		runServe(db, q, opts, *queries, *parallel, *rate, *seed, *areaKm2, *delta, *auto || *keywords == "")
+	case *queries > 1:
 		runWorkload(db, q, opts, *queries, *parallel, *seed, *areaKm2, *delta, *auto || *keywords == "")
-	} else {
+	default:
 		runSingle(db, q, opts, *k)
 	}
 
@@ -161,22 +175,7 @@ func runSingle(db *repro.Database, q repro.Query, opts repro.SearchOptions, k in
 // and reports throughput. Generated workloads draw fresh queries from the
 // dataset distribution; an explicit -keywords query is replicated n times.
 func runWorkload(db *repro.Database, q repro.Query, opts repro.SearchOptions, n, workers int, seed int64, areaKm2, delta float64, generated bool) {
-	var (
-		qs  []repro.Query
-		err error
-	)
-	if generated {
-		rng := rand.New(rand.NewSource(seed + 100))
-		qs, err = db.GenQueries(rng, n, 3, areaKm2*1e6, delta)
-		if err != nil {
-			fatal(err)
-		}
-	} else {
-		qs = make([]repro.Query, n)
-		for i := range qs {
-			qs[i] = q
-		}
-	}
+	qs := workloadQueries(db, q, n, seed, areaKm2, delta, generated)
 	results, stats, err := db.RunBatch(qs, opts, workers)
 	if err != nil {
 		fatal(err)
@@ -189,6 +188,116 @@ func runWorkload(db *repro.Database, q repro.Query, opts repro.SearchOptions, n,
 	}
 	fmt.Printf("workload: %d queries, %d workers: %.3fs total, %.1f queries/s, %d matched, Σweight=%.4f\n",
 		len(qs), stats.Workers, stats.Elapsed.Seconds(), stats.QueriesPerSecond(len(qs)), stats.Matched, totalWeight)
+}
+
+// workloadQueries generates n queries from the dataset distribution, or
+// replicates an explicit -keywords query n times.
+func workloadQueries(db *repro.Database, q repro.Query, n int, seed int64, areaKm2, delta float64, generated bool) []repro.Query {
+	if generated {
+		rng := rand.New(rand.NewSource(seed + 100))
+		qs, err := db.GenQueries(rng, n, 3, areaKm2*1e6, delta)
+		if err != nil {
+			fatal(err)
+		}
+		return qs
+	}
+	qs := make([]repro.Query, n)
+	for i := range qs {
+		qs[i] = q
+	}
+	return qs
+}
+
+// runServe replays the workload against the streaming server and prints
+// the latency percentiles the server measured.
+//
+// With rate > 0 it is an open-loop generator: each request is dispatched
+// on its own schedule regardless of earlier answers, so if the server
+// falls behind the target rate, queueing delay accumulates into the
+// latencies — by design. With rate <= 0 it is a closed loop: a bounded
+// set of clients submit sequentially, each waiting for its answer before
+// sending the next, which measures per-request service time at full
+// server utilization.
+func runServe(db *repro.Database, q repro.Query, opts repro.SearchOptions, n, workers int, rate float64, seed int64, areaKm2, delta float64, generated bool) {
+	qs := workloadQueries(db, q, n, seed, areaKm2, delta, generated)
+	srv, err := db.Serve(repro.ServeOptions{Workers: workers, Search: opts})
+	if err != nil {
+		fatal(err)
+	}
+	var (
+		wg       sync.WaitGroup
+		failed   atomic.Int64
+		errOnce  sync.Once
+		firstErr error
+	)
+	record := func(err error) {
+		failed.Add(1)
+		errOnce.Do(func() { firstErr = err })
+	}
+	var shed atomic.Int64
+	start := time.Now()
+	if rate > 0 {
+		// Cap in-flight submissions so a generator far outpacing the server
+		// cannot pile up one blocked goroutine per request. Over-cap
+		// requests are shed (counted, not sent), which keeps the open-loop
+		// schedule honest instead of silently degrading to a closed loop.
+		const maxInFlight = 16384
+		sem := make(chan struct{}, maxInFlight)
+		for i := range qs {
+			time.Sleep(time.Until(start.Add(time.Duration(float64(i) / rate * float64(time.Second)))))
+			select {
+			case sem <- struct{}{}:
+			default:
+				shed.Add(1)
+				continue
+			}
+			wg.Add(1)
+			go func(q repro.Query) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				if _, err := srv.Submit(q); err != nil {
+					record(err)
+				}
+			}(qs[i])
+		}
+	} else {
+		clients := 2 * workers
+		if clients <= 0 {
+			clients = 2 * runtime.GOMAXPROCS(0)
+		}
+		var next atomic.Int64
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(qs) {
+						return
+					}
+					if _, err := srv.Submit(qs[i]); err != nil {
+						record(err)
+					}
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	srv.Close()
+	st := srv.Stats()
+	served := int64(n) - shed.Load()
+	fmt.Printf("serve: %d queries, rate target %.0f q/s: %.3fs total, %.1f queries/s, %d matched, %d failed",
+		n, rate, elapsed.Seconds(), float64(served)/elapsed.Seconds(), st.Matched, failed.Load())
+	if ns := shed.Load(); ns > 0 {
+		fmt.Printf(", %d shed (in-flight cap)", ns)
+	}
+	fmt.Println()
+	fmt.Printf("latency: p50=%v p95=%v p99=%v max=%v (window %d)\n",
+		st.P50, st.P95, st.P99, st.Max, st.Window)
+	if nf := failed.Load(); nf > 0 {
+		fatal(fmt.Errorf("%d/%d serve requests failed; first error: %w", nf, n, firstErr))
+	}
 }
 
 func fatal(err error) {

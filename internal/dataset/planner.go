@@ -27,6 +27,8 @@ type Planner struct {
 	weights  []float64
 	edges    []core.Edge
 	nodeObjs [][]grid.ObjectID
+	qscratch textindex.QueryScratch
+	sscratch grid.SearchScratch
 	qi       QueryInstance
 }
 
@@ -43,11 +45,14 @@ func (d *Dataset) NewPlanner() *Planner {
 func (p *Planner) Instantiate(q Query) (*QueryInstance, error) {
 	d := p.d
 	sub := p.ex.ExtractRect(q.Lambda)
-	prepared := d.Vocab.PrepareQuery(q.Keywords)
+	prepared := d.Vocab.PrepareQueryInto(q.Keywords, &p.qscratch)
 	// The grid index finds the matching objects (an object matches iff it
 	// shares a term with the query, identically under all weight modes);
-	// the mode then decides the weight each match contributes.
-	scores, err := d.Index.Search(prepared, q.Lambda)
+	// the mode then decides the weight each match contributes. The pooled
+	// SearchInto/PrepareQueryInto variants keep the steady-state relevance
+	// path allocation-free (the language-model side path still allocates
+	// its LMQuery).
+	scores, err := d.Index.SearchInto(prepared, q.Lambda, &p.sscratch)
 	if err != nil {
 		return nil, fmt.Errorf("dataset: index search: %w", err)
 	}

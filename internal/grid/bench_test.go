@@ -44,3 +44,22 @@ func BenchmarkSearch(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkSearchInto is the pooled counterpart of BenchmarkSearch; with
+// the in-memory store it must report 0 allocs/op steady-state.
+func BenchmarkSearchInto(b *testing.B) {
+	idx, v := benchIndex(b)
+	q := v.PrepareQuery([]string{"aa", "ba", "ca"})
+	r := geo.Rect{MinX: 5000, MinY: 5000, MaxX: 15000, MaxY: 15000}
+	var scratch SearchScratch
+	if _, err := idx.SearchInto(q, r, &scratch); err != nil { // warm the buffers
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := idx.SearchInto(q, r, &scratch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

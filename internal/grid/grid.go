@@ -10,6 +10,30 @@
 // Q.Λ. Posting lists live behind the Store interface: MemStore keeps them
 // in memory, and the btreestore sub-package persists them in the
 // disk-based B+-tree, exactly as the paper describes.
+//
+// # Invariants and ownership rules
+//
+// An Index is immutable after NewIndex and safe for concurrent readers;
+// MemStore is read-only at query time, while BTreeStore serializes tree
+// access behind its own mutex. Each cell keeps a term directory sorted by
+// ascending TermID with posting-list lengths: term membership is a binary
+// search, the pooled search path merge-joins the query terms against it
+// (stopping as soon as either sorted list is exhausted), and the recorded
+// lengths pre-size its result scratch.
+//
+// Searching comes in two flavors with bit-identical results — both walk
+// cells in row-major order and query terms in ascending TermID order, so
+// every object's score is accumulated in the same floating-point order,
+// and both sort results by ObjectID for deterministic downstream
+// accumulation:
+//
+//   - Search allocates its accumulator per call (a map) and returns a
+//     fresh result slice owned by the caller.
+//   - SearchInto uses a caller-owned SearchScratch: an epoch-stamped
+//     score array replaces the map, and the returned slice aliases the
+//     scratch, valid only until the next SearchInto call on it. Pool one
+//     scratch per worker (dataset.Planner does) and steady-state search
+//     performs zero allocations with a MemStore-backed index.
 package grid
 
 import (
@@ -102,6 +126,14 @@ func DecodePostings(b []byte) ([]Posting, error) {
 	return out, nil
 }
 
+// termEntry is one row of a cell's term directory: a term present in the
+// cell and the length of its posting list, for query planning (which lists
+// exist, how much scratch a search needs).
+type termEntry struct {
+	term  textindex.TermID
+	count int32
+}
+
 // Index is a uniform grid over the object space.
 type Index struct {
 	objects  []Object
@@ -109,8 +141,10 @@ type Index struct {
 	cellSize float64
 	nx, ny   int
 	store    Store
-	// terms per cell, for query planning (which lists exist).
-	cellTerms map[uint32][]textindex.TermID
+	// cellDir is the per-cell term directory, sorted by ascending TermID
+	// so membership is a binary search and query∩cell intersection is a
+	// merge-join that exits as soon as either side is exhausted.
+	cellDir map[uint32][]termEntry
 }
 
 // NewIndex builds a grid index over objects with the given cell size (same
@@ -132,13 +166,13 @@ func NewIndex(objects []Object, bounds geo.Rect, cellSize float64, store Store) 
 		ny = 1
 	}
 	idx := &Index{
-		objects:   objects,
-		bounds:    bounds,
-		cellSize:  cellSize,
-		nx:        nx,
-		ny:        ny,
-		store:     store,
-		cellTerms: make(map[uint32][]textindex.TermID),
+		objects:  objects,
+		bounds:   bounds,
+		cellSize: cellSize,
+		nx:       nx,
+		ny:       ny,
+		store:    store,
+		cellDir:  make(map[uint32][]termEntry),
 	}
 	// Group postings per (cell, term) to batch Append calls.
 	batch := make(map[CellKey][]Posting)
@@ -156,7 +190,10 @@ func NewIndex(objects []Object, bounds geo.Rect, cellSize float64, store Store) 
 		if err := store.Append(key, ps); err != nil {
 			return nil, fmt.Errorf("grid: store append: %w", err)
 		}
-		idx.cellTerms[key.Cell] = append(idx.cellTerms[key.Cell], key.Term)
+		idx.cellDir[key.Cell] = append(idx.cellDir[key.Cell], termEntry{term: key.Term, count: int32(len(ps))})
+	}
+	for _, dir := range idx.cellDir {
+		sort.Slice(dir, func(i, j int) bool { return dir[i].term < dir[j].term })
 	}
 	return idx, nil
 }
@@ -194,27 +231,27 @@ func (idx *Index) cellRect(cell uint32) geo.Rect {
 	return geo.Rect{MinX: minX, MinY: minY, MaxX: minX + idx.cellSize, MaxY: minY + idx.cellSize}
 }
 
+// cellRange returns the inclusive cell-coordinate range covered by r, or
+// ok == false when r misses the grid entirely. Search and SearchInto both
+// derive their cell walks from it, so they visit identical cells.
+func (idx *Index) cellRange(r geo.Rect) (x0, x1, y0, y1 int, ok bool) {
+	clipped, ok := r.Intersect(idx.bounds)
+	if !ok {
+		return 0, 0, 0, 0, false
+	}
+	x0 = clampCell(int((clipped.MinX-idx.bounds.MinX)/idx.cellSize), idx.nx-1)
+	x1 = clampCell(int((clipped.MaxX-idx.bounds.MinX)/idx.cellSize), idx.nx-1)
+	y0 = clampCell(int((clipped.MinY-idx.bounds.MinY)/idx.cellSize), idx.ny-1)
+	y1 = clampCell(int((clipped.MaxY-idx.bounds.MinY)/idx.cellSize), idx.ny-1)
+	return x0, x1, y0, y1, true
+}
+
 // cellsOverlapping returns ids of all cells intersecting r.
 func (idx *Index) cellsOverlapping(r geo.Rect) []uint32 {
-	clipped, ok := r.Intersect(idx.bounds)
+	x0, x1, y0, y1, ok := idx.cellRange(r)
 	if !ok {
 		return nil
 	}
-	x0 := int((clipped.MinX - idx.bounds.MinX) / idx.cellSize)
-	x1 := int((clipped.MaxX - idx.bounds.MinX) / idx.cellSize)
-	y0 := int((clipped.MinY - idx.bounds.MinY) / idx.cellSize)
-	y1 := int((clipped.MaxY - idx.bounds.MinY) / idx.cellSize)
-	clamp := func(v, hi int) int {
-		if v < 0 {
-			return 0
-		}
-		if v > hi {
-			return hi
-		}
-		return v
-	}
-	x0, x1 = clamp(x0, idx.nx-1), clamp(x1, idx.nx-1)
-	y0, y1 = clamp(y0, idx.ny-1), clamp(y1, idx.ny-1)
 	out := make([]uint32, 0, (x1-x0+1)*(y1-y0+1))
 	for cy := y0; cy <= y1; cy++ {
 		for cx := x0; cx <= x1; cx++ {
@@ -241,8 +278,8 @@ func (idx *Index) Search(q textindex.Query, r geo.Rect) ([]ObjScore, error) {
 	}
 	acc := make(map[ObjectID]float64)
 	for _, cell := range idx.cellsOverlapping(r) {
-		terms := idx.cellTerms[cell]
-		if len(terms) == 0 {
+		dir := idx.cellDir[cell]
+		if len(dir) == 0 {
 			continue
 		}
 		fullInside := false
@@ -251,7 +288,7 @@ func (idx *Index) Search(q textindex.Query, r geo.Rect) ([]ObjScore, error) {
 			fullInside = true
 		}
 		for qi, t := range q.Terms {
-			if !termInCell(terms, t) {
+			if !termInCell(dir, t) {
 				continue
 			}
 			ps, err := idx.store.Postings(CellKey{Cell: cell, Term: t})
@@ -278,11 +315,8 @@ func (idx *Index) Search(q textindex.Query, r geo.Rect) ([]ObjScore, error) {
 	return out, nil
 }
 
-func termInCell(terms []textindex.TermID, t textindex.TermID) bool {
-	for _, x := range terms {
-		if x == t {
-			return true
-		}
-	}
-	return false
+// termInCell reports whether the (sorted) cell directory contains t.
+func termInCell(dir []termEntry, t textindex.TermID) bool {
+	i := sort.Search(len(dir), func(i int) bool { return dir[i].term >= t })
+	return i < len(dir) && dir[i].term == t
 }

@@ -1,0 +1,132 @@
+package grid
+
+import (
+	"fmt"
+	"slices"
+
+	"repro/internal/geo"
+	"repro/internal/textindex"
+)
+
+// SearchScratch is pooled accumulator state for Index.SearchInto. The zero
+// value is ready to use; a scratch may be reused across indexes (its arrays
+// grow to the largest object count seen). It serves one search at a time
+// and is not safe for concurrent use; pool one per worker.
+type SearchScratch struct {
+	epoch uint32
+	// stamp[o] == epoch marks object o as touched by the current search;
+	// its partial score lives in score[o]. Resetting between queries is a
+	// single counter increment, not an O(objects) clear.
+	stamp   []uint32
+	score   []float64
+	touched []ObjectID
+	out     []ObjScore
+}
+
+// reset prepares the scratch for an index with n objects.
+func (s *SearchScratch) reset(n int) {
+	if cap(s.stamp) < n {
+		s.stamp = make([]uint32, n)
+		s.score = make([]float64, n)
+	}
+	s.stamp = s.stamp[:n]
+	s.score = s.score[:n]
+	s.epoch++
+	if s.epoch == 0 { // wrapped after 2³² queries: stale stamps could collide
+		clear(s.stamp[:cap(s.stamp)]) // full capacity: the tail may serve a larger index later
+		s.epoch = 1
+	}
+	s.touched = s.touched[:0]
+}
+
+// SearchInto is Search with caller-owned scratch: it returns exactly the
+// same ObjScore slice as Search(q, r) — same objects, bit-identical scores,
+// ascending ObjectID — but accumulates into s's epoch-stamped arrays
+// instead of a per-query map and reuses s's result slice. The returned
+// slice aliases s and is valid only until the next SearchInto call on the
+// same scratch. With a MemStore-backed index the steady state performs
+// zero allocations.
+func (idx *Index) SearchInto(q textindex.Query, r geo.Rect, s *SearchScratch) ([]ObjScore, error) {
+	if len(q.Terms) == 0 || q.Norm == 0 {
+		return nil, nil
+	}
+	s.reset(len(idx.objects))
+	// Same cell walk as cellsOverlapping, without materializing the list.
+	x0, x1, y0, y1, ok := idx.cellRange(r)
+	if !ok {
+		return s.out[:0], nil
+	}
+	for cy := y0; cy <= y1; cy++ {
+		for cx := x0; cx <= x1; cx++ {
+			cell := uint32(cy*idx.nx + cx)
+			dir := idx.cellDir[cell]
+			if len(dir) == 0 {
+				continue
+			}
+			cr := idx.cellRect(cell)
+			fullInside := cr.MinX >= r.MinX && cr.MaxX <= r.MaxX &&
+				cr.MinY >= r.MinY && cr.MaxY <= r.MaxY
+			if err := idx.scoreCell(q, r, cell, dir, fullInside, s); err != nil {
+				return nil, err
+			}
+		}
+	}
+	slices.Sort(s.touched)
+	if cap(s.out) < len(s.touched) {
+		s.out = make([]ObjScore, 0, len(s.touched))
+	}
+	s.out = s.out[:0]
+	for _, id := range s.touched {
+		s.out = append(s.out, ObjScore{Obj: id, Score: s.score[id] / q.Norm})
+	}
+	return s.out, nil
+}
+
+// scoreCell merge-joins the query terms against one cell's directory and
+// accumulates posting contributions into the scratch. Both lists are sorted
+// by ascending TermID, so the join visits terms in the same order Search
+// does and stops as soon as either side is exhausted.
+func (idx *Index) scoreCell(q textindex.Query, r geo.Rect, cell uint32, dir []termEntry, fullInside bool, s *SearchScratch) error {
+	qi, di := 0, 0
+	for qi < len(q.Terms) && di < len(dir) {
+		switch {
+		case q.Terms[qi] < dir[di].term:
+			qi++
+		case q.Terms[qi] > dir[di].term:
+			di++
+		default:
+			ps, err := idx.store.Postings(CellKey{Cell: cell, Term: q.Terms[qi]})
+			if err != nil {
+				return fmt.Errorf("grid: postings(%d,%d): %w", cell, q.Terms[qi], err)
+			}
+			// The directory records the list length, so the touched set can
+			// grow once up front instead of reallocating mid-scan.
+			s.touched = slices.Grow(s.touched, int(dir[di].count))
+			for _, p := range ps {
+				if !fullInside && !r.Contains(idx.objects[p.Obj].Point) {
+					continue
+				}
+				if s.stamp[p.Obj] != s.epoch {
+					s.stamp[p.Obj] = s.epoch
+					s.score[p.Obj] = 0
+					s.touched = append(s.touched, p.Obj)
+				}
+				s.score[p.Obj] += q.IDF[qi] * p.Weight
+			}
+			qi++
+			di++
+		}
+	}
+	return nil
+}
+
+// clampCell clamps a cell coordinate to [0, hi].
+func clampCell(v, hi int) int {
+	if v < 0 {
+		return 0
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

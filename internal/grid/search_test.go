@@ -1,0 +1,144 @@
+package grid
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/textindex"
+)
+
+// randomCorpus builds a randomized object set for equivalence trials.
+func randomCorpus(t testing.TB, n int, seed int64) (*textindex.Vocabulary, []string, []Object) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	v := textindex.NewVocabulary()
+	vocab := []string{"cafe", "restaurant", "bar", "pizza", "museum", "park", "shop"}
+	objs := make([]Object, 0, n)
+	for i := 0; i < n; i++ {
+		toks := make([]string, 1+rng.Intn(3))
+		for j := range toks {
+			toks[j] = vocab[rng.Intn(len(vocab))]
+		}
+		objs = append(objs, Object{
+			Point: geo.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000},
+			Doc:   v.IndexDoc(toks),
+		})
+	}
+	return v, vocab, objs
+}
+
+// TestSearchIntoMatchesSearch is the golden comparison: across random
+// queries and rectangles (boundary cells included), the pooled variant must
+// return exactly what the allocating variant does — same objects in the
+// same order with bit-identical scores — while reusing one scratch.
+func TestSearchIntoMatchesSearch(t *testing.T) {
+	v, vocab, objs := randomCorpus(t, 300, 17)
+	bounds := geo.Rect{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000}
+	idx, err := NewIndex(objs, bounds, 50, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(18))
+	var scratch SearchScratch
+	nonEmpty := 0
+	for trial := 0; trial < 100; trial++ {
+		kws := []string{vocab[rng.Intn(len(vocab))], vocab[rng.Intn(len(vocab))]}
+		q := v.PrepareQuery(kws)
+		x, y := rng.Float64()*900, rng.Float64()*900
+		r := geo.Rect{MinX: x, MinY: y, MaxX: x + 25 + rng.Float64()*300, MaxY: y + 25 + rng.Float64()*300}
+		want, err := idx.Search(q, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := idx.SearchInto(q, r, &scratch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: SearchInto %d results, Search %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d result %d: SearchInto %+v, Search %+v", trial, i, got[i], want[i])
+			}
+		}
+		if len(want) > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty == 0 {
+		t.Fatal("every trial returned no results; test is vacuous")
+	}
+}
+
+// TestSearchIntoEdgeCases covers the empty-query and disjoint-rectangle
+// paths and the epoch reset across many reuses.
+func TestSearchIntoEdgeCases(t *testing.T) {
+	v, _, objs := randomCorpus(t, 50, 5)
+	bounds := geo.Rect{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000}
+	idx, err := NewIndex(objs, bounds, 100, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var scratch SearchScratch
+	if got, err := idx.SearchInto(v.PrepareQuery([]string{"nosuchterm"}), bounds, &scratch); err != nil || got != nil {
+		t.Errorf("unknown keyword: got %v, %v", got, err)
+	}
+	q := v.PrepareQuery([]string{"cafe"})
+	if got, err := idx.SearchInto(q, geo.Rect{MinX: 5000, MinY: 5000, MaxX: 6000, MaxY: 6000}, &scratch); err != nil || len(got) != 0 {
+		t.Errorf("disjoint rect: got %v, %v", got, err)
+	}
+	// Reuse the scratch many times; stale stamps must never leak scores.
+	for i := 0; i < 50; i++ {
+		want, _ := idx.Search(q, bounds)
+		got, err := idx.SearchInto(q, bounds, &scratch)
+		if err != nil || len(got) != len(want) {
+			t.Fatalf("reuse %d: %d results (want %d), err %v", i, len(got), len(want), err)
+		}
+	}
+}
+
+// TestSearchIntoBTreeStore checks the pooled path against the disk-backed
+// posting store too (it allocates there, but results must be identical).
+func TestSearchIntoBTreeStore(t *testing.T) {
+	v, vocab, objs := randomCorpus(t, 200, 23)
+	bounds := geo.Rect{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000}
+	store, err := NewBTreeStore(filepath.Join(t.TempDir(), "postings.bt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	diskIdx, err := NewIndex(objs, bounds, 50, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	memIdx, err := NewIndex(objs, bounds, 50, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(24))
+	var scratch SearchScratch
+	for trial := 0; trial < 20; trial++ {
+		q := v.PrepareQuery([]string{vocab[rng.Intn(len(vocab))]})
+		x, y := rng.Float64()*800, rng.Float64()*800
+		r := geo.Rect{MinX: x, MinY: y, MaxX: x + 200, MaxY: y + 200}
+		want, err := memIdx.Search(q, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := diskIdx.SearchInto(q, r, &scratch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: disk SearchInto %d results, mem Search %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d result %d: disk %+v, mem %+v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}

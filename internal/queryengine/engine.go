@@ -1,17 +1,31 @@
-// Package queryengine executes LCMSR query workloads across a pool of
-// workers. Each worker owns one dataset.Planner — a pooled extractor,
-// instance, and scratch buffers — so steady-state query execution reuses
-// memory instead of allocating per query, and throughput scales with
-// worker count while results stay bit-identical to the serial path.
+// Package queryengine executes LCMSR queries across a pool of workers, in
+// two modes sharing one execution core:
 //
-// Concurrency model: the Dataset (graph, vocabulary, grid index) is
-// immutable at query time and shared read-only by all workers; the grid's
-// MemStore is safe for concurrent reads, and BTreeStore serializes tree
-// access behind its mutex. All mutable per-query state lives in the
-// worker-local Planner. Work is distributed by an atomic cursor over the
-// query slice, and results are written to disjoint slots, so output order
-// (and content — extraction, scoring, and the solvers are deterministic)
-// is independent of scheduling.
+//   - Batch (Run/RunFunc): a fixed query slice fanned out over workers,
+//     used by experiments and RunBatch.
+//   - Streaming (Server): a long-lived service fed through a bounded
+//     request channel, with graceful shutdown and per-request latency
+//     percentiles, used by Database.Serve and cmd/lcmsr -serve.
+//
+// Each worker owns one dataset.Planner — a pooled extractor, instance,
+// query/search scratch, and buffers — so steady-state query execution
+// reuses memory instead of allocating per query, and throughput scales
+// with worker count while results stay bit-identical to the serial path.
+//
+// # Concurrency model and pooling ownership
+//
+// The Dataset (graph, vocabulary, grid index) is immutable at query time
+// and shared read-only by all workers; the grid's MemStore is safe for
+// concurrent reads, and BTreeStore serializes tree access behind its
+// mutex. All mutable per-query state lives in the worker-local Planner,
+// which only its owning goroutine touches; a QueryInstance handed to a
+// callback (RunFunc's fn, Task.Visit) aliases that planner's buffers and
+// is valid only for the duration of the call. In batch mode work is
+// distributed by an atomic cursor over the query slice and results are
+// written to disjoint slots, so output order (and content — extraction,
+// scoring, and the solvers are deterministic) is independent of
+// scheduling; the streaming server inherits the same guarantee because
+// every request is answered from the same immutable state.
 package queryengine
 
 import (

@@ -1,0 +1,212 @@
+package queryengine
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/roadnet"
+)
+
+// ErrServerClosed is returned by Do and Submit after Close.
+var ErrServerClosed = errors.New("queryengine: server closed")
+
+// ServerOptions configures a streaming Server.
+type ServerOptions struct {
+	// Workers is the number of serving goroutines, each owning one pooled
+	// dataset.Planner; <= 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// Options selects the algorithm and its tuning for the default solve
+	// path (its Workers field is ignored; ServerOptions.Workers rules).
+	Options Options
+	// Queue is the request-channel capacity. A full queue makes Do block —
+	// that backpressure is the server's admission control. <= 0 means
+	// 2×Workers.
+	Queue int
+	// LatencyWindow is the number of per-worker latency samples retained
+	// for percentile reporting (a ring buffer of the most recent requests);
+	// <= 0 means 4096.
+	LatencyWindow int
+}
+
+// Task is one streamed query request. A Task is reusable: submitting the
+// same Task again through Do reuses its internal completion channel and the
+// Result's Nodes backing array, so a caller replaying queries through one
+// Task allocates nothing per request.
+type Task struct {
+	// Query is the request.
+	Query dataset.Query
+	// Visit, when non-nil, replaces the default solve: it runs on the
+	// worker goroutine with the materialized working graph, which aliases
+	// the worker's pooled planner buffers and is valid only for the
+	// duration of the call. The caller typically runs Solve itself and
+	// consumes the region in place.
+	Visit func(qi *dataset.QueryInstance) error
+	// Result holds the default-path outcome after Do returns (zero value
+	// when Visit was set or no region matched). A matched Result's Nodes
+	// aliases the task's pooled backing array and is valid until the task
+	// is submitted again.
+	Result Result
+
+	start time.Time
+	done  chan error
+	nodes []roadnet.NodeID // pooled Result.Nodes backing array
+}
+
+// Server answers a continuous stream of LCMSR queries. Requests enter
+// through a bounded channel and are picked up by a fixed pool of workers,
+// each owning one pooled dataset.Planner, so the steady-state search path
+// (query preparation, grid search, subgraph extraction, instance build) is
+// allocation-free. Results are bit-identical to Run/RunFunc on the same
+// dataset: the shared state is immutable and all per-query computation is
+// deterministic, so scheduling cannot change answers.
+//
+// A Server must be Closed when done; Close drains queued requests and waits
+// for the workers to exit.
+type Server struct {
+	d    *dataset.Dataset
+	opts Options
+
+	tasks   chan *Task
+	workers []*workerState
+
+	mu     sync.RWMutex // guards closed vs. in-flight sends
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// workerState is one worker's latency/match bookkeeping. The ring buffer is
+// preallocated so recording a sample never allocates.
+type workerState struct {
+	mu      sync.Mutex
+	lat     []time.Duration // ring of the most recent samples
+	next    int             // overwrite cursor once the ring is full
+	served  int64
+	matched int64
+}
+
+func (ws *workerState) record(d time.Duration, matched bool) {
+	ws.mu.Lock()
+	if len(ws.lat) < cap(ws.lat) {
+		ws.lat = append(ws.lat, d)
+	} else if len(ws.lat) > 0 {
+		ws.lat[ws.next] = d
+		ws.next++
+		if ws.next == len(ws.lat) {
+			ws.next = 0
+		}
+	}
+	ws.served++
+	if matched {
+		ws.matched++
+	}
+	ws.mu.Unlock()
+}
+
+// NewServer starts a streaming query server over d. The returned server is
+// immediately ready; callers submit through Do or Submit from any number of
+// goroutines and must Close it when done.
+func NewServer(d *dataset.Dataset, opts ServerOptions) *Server {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	queue := opts.Queue
+	if queue <= 0 {
+		queue = 2 * workers
+	}
+	window := opts.LatencyWindow
+	if window <= 0 {
+		window = 4096
+	}
+	s := &Server{
+		d:     d,
+		opts:  opts.Options,
+		tasks: make(chan *Task, queue),
+	}
+	for i := 0; i < workers; i++ {
+		ws := &workerState{lat: make([]time.Duration, 0, window)}
+		s.workers = append(s.workers, ws)
+		s.wg.Add(1)
+		go s.worker(ws)
+	}
+	return s
+}
+
+// Do submits t and blocks until it is served, returning the per-query
+// error. Latency is measured from submission, so queueing delay under
+// backpressure is part of the reported percentiles. Do is safe for
+// concurrent use with distinct Tasks; a single Task must not be submitted
+// concurrently with itself.
+func (s *Server) Do(t *Task) error {
+	if t.done == nil {
+		t.done = make(chan error, 1)
+	}
+	t.start = time.Now()
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return ErrServerClosed
+	}
+	s.tasks <- t
+	s.mu.RUnlock()
+	return <-t.done
+}
+
+// Submit answers one query through the default solve path. It is the
+// convenience form of Do with a fresh Task per call.
+func (s *Server) Submit(q dataset.Query) (Result, error) {
+	t := Task{Query: q}
+	err := s.Do(&t)
+	return t.Result, err
+}
+
+// Close stops accepting new requests, serves everything already queued,
+// and waits for the workers to exit. It is idempotent.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.tasks)
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// worker owns one planner and serves tasks until the channel closes.
+func (s *Server) worker(ws *workerState) {
+	defer s.wg.Done()
+	p := s.d.NewPlanner()
+	for t := range s.tasks {
+		t.done <- s.serve(p, ws, t)
+	}
+}
+
+// serve answers one task on the worker's planner and records its latency.
+func (s *Server) serve(p *dataset.Planner, ws *workerState, t *Task) error {
+	t.Result = Result{} // a reused Task must never carry a stale answer
+	matched := false
+	qi, err := p.Instantiate(t.Query)
+	if err == nil {
+		if t.Visit != nil {
+			err = t.Visit(qi)
+		} else {
+			var region *core.Region
+			region, err = Solve(qi, t.Query.Delta, s.opts)
+			if err == nil && region != nil {
+				matched = true
+				nodes := t.nodes[:0] // reuse the task's pooled backing array
+				for _, v := range region.Nodes {
+					nodes = append(nodes, qi.Sub.ToParent[v])
+				}
+				t.nodes = nodes
+				t.Result = Result{Matched: true, Score: region.Score, Length: region.Length, Nodes: nodes}
+			}
+		}
+	}
+	ws.record(time.Since(t.start), matched)
+	return err
+}

@@ -1,0 +1,70 @@
+package queryengine
+
+import (
+	"fmt"
+	"math"
+	"slices"
+	"time"
+)
+
+// ServerStats is a point-in-time summary of a Server's traffic. Counters
+// cover the server's whole lifetime; the latency percentiles cover the
+// retained window (the most recent LatencyWindow samples per worker).
+type ServerStats struct {
+	// Served counts requests answered, including errored ones.
+	Served int64
+	// Matched counts default-path requests that produced a region.
+	Matched int64
+	// Window is the number of latency samples the percentiles summarize.
+	Window int
+	// P50, P95, P99 and Max are request latencies (submission to answer,
+	// queueing included) at the 50th/95th/99th percentile and the window
+	// maximum. Zero when no request has completed yet.
+	P50, P95, P99, Max time.Duration
+}
+
+// String formats the stats as one readable line.
+func (st ServerStats) String() string {
+	return fmt.Sprintf("served=%d matched=%d p50=%v p95=%v p99=%v max=%v (window %d)",
+		st.Served, st.Matched, st.P50, st.P95, st.P99, st.Max, st.Window)
+}
+
+// Stats snapshots the server's counters and latency percentiles. It may be
+// called concurrently with traffic; it briefly locks each worker's sample
+// ring in turn, so the snapshot is per-worker consistent.
+func (s *Server) Stats() ServerStats {
+	var st ServerStats
+	var all []time.Duration
+	for _, ws := range s.workers {
+		ws.mu.Lock()
+		st.Served += ws.served
+		st.Matched += ws.matched
+		all = append(all, ws.lat...)
+		ws.mu.Unlock()
+	}
+	st.Window = len(all)
+	if len(all) == 0 {
+		return st
+	}
+	slices.Sort(all)
+	st.P50 = percentile(all, 50)
+	st.P95 = percentile(all, 95)
+	st.P99 = percentile(all, 99)
+	st.Max = all[len(all)-1]
+	return st
+}
+
+// percentile returns the nearest-rank p-th percentile of a sorted sample.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}

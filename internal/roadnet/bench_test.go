@@ -92,6 +92,25 @@ func BenchmarkExtractRectSelectivity(b *testing.B) {
 	}
 }
 
+// BenchmarkNearestNode probes random points on a 40k-node grid. The spiral
+// cell walk should make this independent of |V| (a handful of cells per
+// probe) — it was a full O(|V|) scan before.
+func BenchmarkNearestNode(b *testing.B) {
+	g := benchGraphSide(b, 200)
+	rng := rand.New(rand.NewSource(7))
+	probes := make([]geo.Point, 1024)
+	for i := range probes {
+		probes[i] = geo.Point{X: rng.Float64() * 20000, Y: rng.Float64() * 20000}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if v := g.NearestNode(probes[i%len(probes)]); v < 0 {
+			b.Fatal("no node")
+		}
+	}
+}
+
 func BenchmarkComponents(b *testing.B) {
 	g := benchGraph(b)
 	b.ReportAllocs()

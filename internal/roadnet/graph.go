@@ -345,14 +345,80 @@ func (g *Graph) NodesInRect(r geo.Rect) []NodeID {
 	return out
 }
 
-// NearestNode returns the node closest to p in Euclidean distance, scanning
-// all nodes. Dataset construction snaps each geo-textual object to its
-// nearest road node exactly as §7.1 does. Returns -1 for an empty graph.
+// NearestNode returns the node closest to p in Euclidean distance (lowest
+// ID on exact ties, matching a full ascending scan). Dataset construction
+// snaps each geo-textual object to its nearest road node exactly as §7.1
+// does. Returns -1 for an empty graph.
+//
+// The search walks the node cell index in growing rings around p's cell (a
+// spiral) and stops as soon as the best node found is provably closer than
+// anything outside the scanned ring, so snapping cost is proportional to
+// local node density, not |V|.
 func (g *Graph) NearestNode(p geo.Point) NodeID {
+	if len(g.pts) == 0 {
+		return -1
+	}
+	cx := clampInt(int((p.X-g.bbox.MinX)/g.cellW), 0, int(g.nx)-1)
+	cy := clampInt(int((p.Y-g.bbox.MinY)/g.cellH), 0, int(g.ny)-1)
 	best, bestD := NodeID(-1), math.Inf(1)
-	for i, q := range g.pts {
-		if d := p.Dist(q); d < bestD {
-			best, bestD = NodeID(i), d
+	scan := func(x, y int) {
+		c := int32(y)*g.nx + int32(x)
+		for _, v := range g.cellNodes[g.cellStart[c]:g.cellStart[c+1]] {
+			d := p.Dist(g.pts[v])
+			if d < bestD || (d == bestD && v < best) {
+				best, bestD = v, d
+			}
+		}
+	}
+	// Rings past nx+ny cover the whole grid; the bound makes degenerate
+	// inputs (NaN/Inf probe or node coordinates, where every distance
+	// comparison is false) terminate with best = -1 like the full scan
+	// did, instead of looping on a never-improving bestD.
+	maxK := int(g.nx) + int(g.ny)
+	for k := 0; k <= maxK; k++ {
+		x0, x1 := cx-k, cx+k
+		y0, y1 := cy-k, cy+k
+		// Ring at Chebyshev distance k, clipped to the grid: top and
+		// bottom rows in full, left and right columns without the corners.
+		if y0 >= 0 {
+			for x := max(x0, 0); x <= min(x1, int(g.nx)-1); x++ {
+				scan(x, y0)
+			}
+		}
+		if y1 <= int(g.ny)-1 && k > 0 {
+			for x := max(x0, 0); x <= min(x1, int(g.nx)-1); x++ {
+				scan(x, y1)
+			}
+		}
+		if x0 >= 0 {
+			for y := max(y0+1, 0); y <= min(y1-1, int(g.ny)-1); y++ {
+				scan(x0, y)
+			}
+		}
+		if x1 <= int(g.nx)-1 && k > 0 {
+			for y := max(y0+1, 0); y <= min(y1-1, int(g.ny)-1); y++ {
+				scan(x1, y)
+			}
+		}
+		// Everything not yet scanned lies outside the rectangle R_k of
+		// cells within ring k. A side that has passed the grid edge holds
+		// no further nodes; for the others, any unscanned node is at least
+		// the distance from p to that side's boundary away.
+		exit := math.Inf(1)
+		if x0 > 0 {
+			exit = math.Min(exit, p.X-(g.bbox.MinX+float64(x0)*g.cellW))
+		}
+		if x1 < int(g.nx)-1 {
+			exit = math.Min(exit, g.bbox.MinX+float64(x1+1)*g.cellW-p.X)
+		}
+		if y0 > 0 {
+			exit = math.Min(exit, p.Y-(g.bbox.MinY+float64(y0)*g.cellH))
+		}
+		if y1 < int(g.ny)-1 {
+			exit = math.Min(exit, g.bbox.MinY+float64(y1+1)*g.cellH-p.Y)
+		}
+		if bestD < exit {
+			return best
 		}
 	}
 	return best

@@ -163,6 +163,62 @@ func TestNodesInRectAndNearest(t *testing.T) {
 	}
 }
 
+// TestNearestNodeMatchesBruteForce pins the spiral cell walk to the full
+// scan it replaced: same node for random probes inside, on the edge of,
+// and far outside the bounding box, with the lowest ID winning exact ties.
+func TestNearestNodeMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	b := NewBuilder()
+	for i := 0; i < 400; i++ {
+		b.AddNode(geo.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 500})
+	}
+	// Duplicate positions so exact distance ties occur.
+	for i := 0; i < 20; i++ {
+		b.AddNode(b.pts[rng.Intn(200)])
+	}
+	g := b.Build()
+	brute := func(p geo.Point) NodeID {
+		best, bestD := NodeID(-1), math.Inf(1)
+		for i, q := range g.pts {
+			if d := p.Dist(q); d < bestD {
+				best, bestD = NodeID(i), d
+			}
+		}
+		return best
+	}
+	probes := []geo.Point{
+		{X: -500, Y: -500},   // far outside, min corner
+		{X: 5000, Y: 250},    // far outside, one axis
+		{X: 0, Y: 0},         // bbox corner
+		{X: 1000, Y: 500},    // bbox max corner
+		{X: 500.001, Y: 250}, // interior
+	}
+	for i := 0; i < 200; i++ {
+		probes = append(probes, geo.Point{X: rng.Float64()*1400 - 200, Y: rng.Float64()*900 - 200})
+	}
+	// Probe at exact node positions too (guaranteed ties at duplicates).
+	for i := 0; i < 50; i++ {
+		probes = append(probes, g.pts[rng.Intn(g.NumNodes())])
+	}
+	for _, p := range probes {
+		if got, want := g.NearestNode(p), brute(p); got != want {
+			t.Fatalf("NearestNode(%v) = %d, brute force %d", p, got, want)
+		}
+	}
+	// Non-finite probes must terminate and return -1 like the full scan
+	// (every distance comparison is false), not spin forever.
+	for _, p := range []geo.Point{
+		{X: math.NaN(), Y: 10},
+		{X: 10, Y: math.NaN()},
+		{X: math.Inf(1), Y: 10},
+		{X: math.Inf(-1), Y: math.Inf(1)},
+	} {
+		if got := g.NearestNode(p); got != -1 {
+			t.Fatalf("NearestNode(%v) = %d, want -1", p, got)
+		}
+	}
+}
+
 func TestComponents(t *testing.T) {
 	b := NewBuilder()
 	for i := 0; i < 7; i++ {

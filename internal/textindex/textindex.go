@@ -5,11 +5,31 @@
 // they depend on. The grid index (package grid) stores these term weights
 // in its per-cell inverted lists so that query-time scoring only multiplies
 // precomputed factors.
+//
+// # Invariants and ownership rules
+//
+// A Vocabulary is mutable only while documents are indexed (IndexDoc); once
+// a dataset is assembled it is read-only and safe for concurrent use by any
+// number of query workers. Doc and Query keep their term lists sorted by
+// ascending TermID — every scoring routine (Query.Score, LMQuery.Score,
+// grid.Index search) relies on that order for merge-joins and for
+// deterministic floating-point accumulation.
+//
+// Query preparation comes in two flavors with identical results:
+//
+//   - PrepareQuery allocates a fresh Query per call; the result is owned by
+//     the caller and never mutated afterwards.
+//   - PrepareQueryInto writes into a caller-owned QueryScratch and returns
+//     a Query aliasing the scratch buffers. The Query is valid only until
+//     the next PrepareQueryInto call on the same scratch; pool one scratch
+//     per worker (dataset.Planner does) and steady-state preparation
+//     performs zero allocations.
 package textindex
 
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 	"strings"
 )
@@ -179,6 +199,46 @@ func (v *Vocabulary) PrepareQuery(keywords []string) Query {
 		norm2 += q.IDF[i] * q.IDF[i]
 	}
 	q.Norm = math.Sqrt(norm2)
+	return q
+}
+
+// QueryScratch is pooled storage for PrepareQueryInto. The zero value is
+// ready to use. A scratch serves one prepared query at a time and is not
+// safe for concurrent use; pool one per worker.
+type QueryScratch struct {
+	terms []TermID
+	idf   []float64
+}
+
+// PrepareQueryInto is PrepareQuery with caller-owned scratch: it returns a
+// Query identical to PrepareQuery(keywords) whose Terms and IDF slices alias
+// s. The result is valid only until the next PrepareQueryInto call on the
+// same scratch. Steady state performs zero allocations — duplicates are
+// collapsed by a linear scan over the (small) distinct-term list instead of
+// a map.
+func (v *Vocabulary) PrepareQueryInto(keywords []string, s *QueryScratch) Query {
+	s.terms = s.terms[:0]
+	for _, kw := range keywords {
+		id := v.Lookup(kw)
+		if id < 0 || slices.Contains(s.terms, id) {
+			continue
+		}
+		s.terms = append(s.terms, id)
+	}
+	slices.Sort(s.terms)
+	if cap(s.idf) < len(s.terms) {
+		s.idf = make([]float64, len(s.terms))
+	}
+	s.idf = s.idf[:len(s.terms)]
+	var norm2 float64
+	for i, t := range s.terms {
+		s.idf[i] = v.IDF(t)
+		norm2 += s.idf[i] * s.idf[i]
+	}
+	q := Query{IDF: s.idf, Norm: math.Sqrt(norm2)}
+	if len(s.terms) > 0 {
+		q.Terms = s.terms
+	}
 	return q
 }
 

@@ -197,12 +197,13 @@ func (db *Database) GenQueries(rng *rand.Rand, count, numKeywords int, areaM2, d
 	return out, nil
 }
 
-func (db *Database) instantiate(q Query) (*dataset.QueryInstance, error) {
+// toDatasetQuery validates a public query and converts it for the engine.
+func toDatasetQuery(q Query) (dataset.Query, error) {
 	if len(q.Keywords) == 0 {
-		return nil, fmt.Errorf("repro: query has no keywords")
+		return dataset.Query{}, fmt.Errorf("query has no keywords")
 	}
 	if q.Delta <= 0 {
-		return nil, fmt.Errorf("repro: query ∆ must be positive, got %v", q.Delta)
+		return dataset.Query{}, fmt.Errorf("query ∆ must be positive, got %v", q.Delta)
 	}
 	mode := dataset.WeightRelevance
 	switch q.Weighting {
@@ -211,12 +212,20 @@ func (db *Database) instantiate(q Query) (*dataset.QueryInstance, error) {
 	case WeightingLanguageModel:
 		mode = dataset.WeightLanguageModel
 	}
-	return db.ds.Instantiate(dataset.Query{
+	return dataset.Query{
 		Keywords: q.Keywords,
 		Delta:    q.Delta,
 		Lambda:   q.Region.toGeo(),
 		Mode:     mode,
-	})
+	}, nil
+}
+
+func (db *Database) instantiate(q Query) (*dataset.QueryInstance, error) {
+	dq, err := toDatasetQuery(q)
+	if err != nil {
+		return nil, fmt.Errorf("repro: %w", err)
+	}
+	return db.ds.Instantiate(dq)
 }
 
 // defaultTGENAlpha sizes TGEN's scaling parameter so that σ̂max ≈ 9

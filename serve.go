@@ -1,0 +1,121 @@
+package repro
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/queryengine"
+)
+
+// ServeOptions configures a streaming query server (Database.Serve).
+type ServeOptions struct {
+	// Workers is the serving-goroutine count; <= 0 means GOMAXPROCS. Each
+	// worker owns one pooled planner, so memory grows with workers, not
+	// with traffic.
+	Workers int
+	// Search selects the algorithm and tuning, exactly as for Run/RunBatch.
+	Search SearchOptions
+	// Queue bounds the number of requests waiting for a worker; a full
+	// queue makes Submit block (backpressure). <= 0 means 2×Workers.
+	Queue int
+	// LatencyWindow is how many recent per-worker latency samples the
+	// percentile report covers; <= 0 means 4096.
+	LatencyWindow int
+}
+
+// ServeStats summarizes a server's traffic so far. Latency percentiles are
+// measured from submission to answer, so queueing delay under load is
+// included.
+type ServeStats struct {
+	// Served counts answered requests (errored ones included); Matched
+	// counts those that produced a region.
+	Served, Matched int64
+	// Window is the number of samples behind the percentiles.
+	Window int
+	// P50, P95, P99, Max are request latencies over the window.
+	P50, P95, P99, Max time.Duration
+}
+
+// String formats the stats as one readable line.
+func (st ServeStats) String() string {
+	return fmt.Sprintf("served=%d matched=%d p50=%v p95=%v p99=%v max=%v (window %d)",
+		st.Served, st.Matched, st.P50, st.P95, st.P99, st.Max, st.Window)
+}
+
+// Server is a long-lived streaming query service over one Database. Any
+// number of goroutines may Submit concurrently; answers are bit-identical
+// to Run/RunBatch on the same database. Close it when done.
+type Server struct {
+	db      *Database
+	inner   *queryengine.Server
+	opts    queryengine.Options
+	matched atomic.Int64
+}
+
+// Serve starts a streaming query server. Unlike RunBatch, which answers a
+// fixed workload and returns, the server accepts requests continuously
+// until Close, with per-request latency tracking (Stats).
+func (db *Database) Serve(opts ServeOptions) (*Server, error) {
+	qeOpts, err := toEngineOptions(opts.Search, opts.Workers)
+	if err != nil {
+		return nil, err
+	}
+	inner := queryengine.NewServer(db.ds, queryengine.ServerOptions{
+		Workers:       opts.Workers,
+		Options:       qeOpts,
+		Queue:         opts.Queue,
+		LatencyWindow: opts.LatencyWindow,
+	})
+	return &Server{db: db, inner: inner, opts: qeOpts}, nil
+}
+
+// Submit answers one query, blocking until a worker is free (that is the
+// server's backpressure) and the answer is computed. It returns nil when no
+// object inside Q.Λ matches the keywords, exactly like Run.
+func (s *Server) Submit(q Query) (*Result, error) {
+	dq, err := toDatasetQuery(q)
+	if err != nil {
+		return nil, fmt.Errorf("repro: %w", err)
+	}
+	var res *Result
+	t := queryengine.Task{Query: dq, Visit: func(qi *dataset.QueryInstance) error {
+		region, err := queryengine.Solve(qi, dq.Delta, s.opts)
+		if err != nil || region == nil {
+			return err
+		}
+		// Materialize on the worker: the instance aliases pooled planner
+		// buffers that are reused for the next request.
+		res = s.db.materialize(qi, region)
+		return nil
+	}}
+	if err := s.inner.Do(&t); err != nil {
+		return nil, err
+	}
+	if res != nil {
+		s.matched.Add(1)
+	}
+	return res, nil
+}
+
+// Close stops accepting requests, drains the queue, and waits for the
+// workers to exit. It is idempotent; Submit after Close returns
+// queryengine.ErrServerClosed.
+func (s *Server) Close() {
+	s.inner.Close()
+}
+
+// Stats snapshots the server's counters and latency percentiles.
+func (s *Server) Stats() ServeStats {
+	st := s.inner.Stats()
+	return ServeStats{
+		Served:  st.Served,
+		Matched: s.matched.Load(),
+		Window:  st.Window,
+		P50:     st.P50,
+		P95:     st.P95,
+		P99:     st.P99,
+		Max:     st.Max,
+	}
+}

@@ -1,0 +1,100 @@
+package repro
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/queryengine"
+)
+
+func serveWorkload(t *testing.T) (*Database, []Query) {
+	t.Helper()
+	db, err := NYLike(4, 0.12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(44))
+	qs, err := db.GenQueries(rng, 10, 3, 25e6, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, qs
+}
+
+// TestServeMatchesRunBatch is the acceptance guarantee for the streaming
+// service: for every method, submitting a workload through a server —
+// concurrently, from several clients — returns exactly what RunBatch
+// returns for the same queries.
+func TestServeMatchesRunBatch(t *testing.T) {
+	db, qs := serveWorkload(t)
+	for _, method := range []Method{MethodTGEN, MethodAPP, MethodGreedy} {
+		opts := SearchOptions{Method: method}
+		want, _, err := db.RunBatch(qs, opts, 2)
+		if err != nil {
+			t.Fatalf("%v batch: %v", method, err)
+		}
+		srv, err := db.Serve(ServeOptions{Workers: 2, Search: opts})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]*Result, len(qs))
+		var wg sync.WaitGroup
+		for i := range qs {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				r, err := srv.Submit(qs[i])
+				if err != nil {
+					t.Errorf("%v submit %d: %v", method, i, err)
+					return
+				}
+				got[i] = r
+			}(i)
+		}
+		wg.Wait()
+		srv.Close()
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%v: served results differ from RunBatch", method)
+		}
+		wantMatched := 0
+		for _, r := range want {
+			if r != nil {
+				wantMatched++
+			}
+		}
+		st := srv.Stats()
+		if st.Matched != int64(wantMatched) {
+			t.Fatalf("%v: Stats().Matched = %d, want %d", method, st.Matched, wantMatched)
+		}
+		if st.Served != int64(len(qs)) {
+			t.Fatalf("%v: Stats().Served = %d, want %d", method, st.Served, len(qs))
+		}
+	}
+}
+
+func TestServeValidationAndClose(t *testing.T) {
+	db, qs := serveWorkload(t)
+	srv, err := db.Serve(ServeOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Submit(Query{Delta: 10}); err == nil {
+		t.Error("query without keywords accepted")
+	}
+	if _, err := srv.Submit(Query{Keywords: []string{"a"}, Delta: -1}); err == nil {
+		t.Error("non-positive ∆ accepted")
+	}
+	if _, err := srv.Submit(qs[0]); err != nil {
+		t.Fatalf("valid submit: %v", err)
+	}
+	srv.Close()
+	if _, err := srv.Submit(qs[0]); !errors.Is(err, queryengine.ErrServerClosed) {
+		t.Fatalf("submit after close = %v, want ErrServerClosed", err)
+	}
+	if _, err := db.Serve(ServeOptions{Search: SearchOptions{Method: Method(99)}}); err == nil {
+		t.Error("unknown method accepted")
+	}
+}
