@@ -14,21 +14,29 @@ import (
 	"repro/internal/queryengine"
 )
 
-// TestServedSearchPathZeroAlloc pins the PR's core claim: a planner-driven
-// served query — request channel round trip, query preparation, grid
-// search, subgraph extraction, instance build, latency record — performs
-// zero steady-state allocations. The solver is exercised separately (it
-// still allocates its region).
-func TestServedSearchPathZeroAlloc(t *testing.T) {
+// allocWorkload builds the shared NY-scale dataset and query workload the
+// allocation gates replay.
+func allocWorkload(t *testing.T, querySeed int64) (*dataset.Dataset, []dataset.Query) {
+	t.Helper()
 	d, err := dataset.NYLike(dataset.Config{Seed: 3, Scale: 0.15})
 	if err != nil {
 		t.Fatal(err)
 	}
-	rng := rand.New(rand.NewSource(5))
+	rng := rand.New(rand.NewSource(querySeed))
 	qs, err := d.GenQueries(rng, 16, 3, 25e6, 5000)
 	if err != nil {
 		t.Fatal(err)
 	}
+	return d, qs
+}
+
+// TestServedSearchPathZeroAlloc pins PR 2's claim: a planner-driven served
+// query — request channel round trip, query preparation, grid search,
+// subgraph extraction, instance build, latency record — performs zero
+// steady-state allocations. TestServedQueryZeroAlloc below extends the
+// claim through the solve phase.
+func TestServedSearchPathZeroAlloc(t *testing.T) {
+	d, qs := allocWorkload(t, 5)
 	srv := queryengine.NewServer(d, queryengine.ServerOptions{Workers: 1})
 	defer srv.Close()
 	task := queryengine.Task{Visit: func(*dataset.QueryInstance) error { return nil }}
@@ -44,6 +52,48 @@ func TestServedSearchPathZeroAlloc(t *testing.T) {
 	replay()
 	if allocs := testing.AllocsPerRun(3, replay); allocs != 0 {
 		t.Fatalf("served search path allocated %.1f times per %d-query replay, want 0", allocs, len(qs))
+	}
+}
+
+// TestServedQueryZeroAlloc is the tentpole gate: the FULL served query —
+// Submit through the request channel, search path, solver (pooled scratch:
+// region arena, tuple arrays, kmst/pcst state), and answer mapping back to
+// parent node IDs — performs zero steady-state allocations for every
+// solver method.
+func TestServedQueryZeroAlloc(t *testing.T) {
+	d, qs := allocWorkload(t, 5)
+	for _, method := range []queryengine.Method{
+		queryengine.MethodTGEN, queryengine.MethodAPP, queryengine.MethodGreedy,
+	} {
+		t.Run(method.String(), func(t *testing.T) {
+			srv := queryengine.NewServer(d, queryengine.ServerOptions{
+				Workers: 1,
+				Options: queryengine.Options{Method: method},
+			})
+			defer srv.Close()
+			task := queryengine.Task{}
+			matched := 0
+			replay := func() {
+				for _, q := range qs {
+					task.Query = q
+					if err := srv.Do(&task); err != nil {
+						t.Fatal(err)
+					}
+					if task.Result.Matched {
+						matched++
+					}
+				}
+			}
+			replay() // warm every pooled buffer across the whole workload
+			replay()
+			if matched == 0 {
+				t.Fatal("workload matched nothing; the gate would be vacuous")
+			}
+			if allocs := testing.AllocsPerRun(3, replay); allocs != 0 {
+				t.Fatalf("%v served query allocated %.1f times per %d-query replay, want 0",
+					method, allocs, len(qs))
+			}
+		})
 	}
 }
 

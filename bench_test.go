@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"strings"
 	"sync"
 	"testing"
 
@@ -186,11 +187,13 @@ func BenchmarkQueryThroughput(b *testing.B) {
 //
 //   - searchpath measures the planner-driven served query up to (not
 //     including) the solver — request round trip, PrepareQueryInto,
-//     SearchInto, CSR extraction, instance build, latency record. It must
-//     report 0 B/op, 0 allocs/op steady-state (asserted by
-//     TestServedSearchPathZeroAlloc).
-//   - tgen-e2e measures the full default path including the TGEN solver
-//     and result mapping, i.e. what a real client sees.
+//     SearchInto, CSR extraction, instance build, latency record.
+//   - tgen-e2e / app-e2e / greedy-e2e measure the full served path per
+//     solver method — search, pooled solve, and result mapping, i.e. what
+//     a real client sees.
+//
+// Every sub-benchmark must report 0 B/op, 0 allocs/op steady-state
+// (asserted by TestServedSearchPathZeroAlloc and TestServedQueryZeroAlloc).
 func BenchmarkServeQuery(b *testing.B) {
 	d, qs := throughputWorkload(b)
 	b.Run("searchpath", func(b *testing.B) {
@@ -212,20 +215,33 @@ func BenchmarkServeQuery(b *testing.B) {
 			}
 		}
 	})
-	b.Run("tgen-e2e", func(b *testing.B) {
-		srv := queryengine.NewServer(d, queryengine.ServerOptions{Workers: 1})
-		defer srv.Close()
-		task := queryengine.Task{}
-		b.ReportAllocs()
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			task.Query = qs[i%len(qs)]
-			if err := srv.Do(&task); err != nil {
-				b.Fatal(err)
+	for _, m := range []queryengine.Method{
+		queryengine.MethodTGEN, queryengine.MethodAPP, queryengine.MethodGreedy,
+	} {
+		b.Run(strings.ToLower(m.String())+"-e2e", func(b *testing.B) {
+			srv := queryengine.NewServer(d, queryengine.ServerOptions{
+				Workers: 1,
+				Options: queryengine.Options{Method: m},
+			})
+			defer srv.Close()
+			task := queryengine.Task{}
+			for _, q := range qs { // warm the pooled buffers across the workload
+				task.Query = q
+				if err := srv.Do(&task); err != nil {
+					b.Fatal(err)
+				}
 			}
-		}
-		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
-	})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				task.Query = qs[i%len(qs)]
+				if err := srv.Do(&task); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+		})
+	}
 }
 
 // BenchmarkInstantiate isolates working-graph construction (extraction +

@@ -1,0 +1,52 @@
+package container
+
+// Arena is a chunked bump allocator for pooled per-query storage: Alloc
+// returns slices whose backing memory never moves, so earlier allocations
+// stay valid while the arena grows, and Reset reuses every chunk from the
+// start without freeing. Once the chunks cover a workload's high-water
+// mark, steady-state Alloc/Reset cycles perform no heap allocations.
+//
+// The zero value is ready to use. An Arena is not safe for concurrent use.
+type Arena[T any] struct {
+	chunks  [][]T
+	ci, off int
+}
+
+// arenaChunk is the default chunk capacity (in elements).
+const arenaChunk = 1 << 12
+
+// Alloc returns a slice of length and capacity n. The contents are
+// whatever the previous cycle left there — callers must overwrite.
+func (a *Arena[T]) Alloc(n int) []T {
+	for {
+		if a.ci == len(a.chunks) {
+			size := arenaChunk
+			if n > size {
+				size = n
+			}
+			a.chunks = append(a.chunks, make([]T, size))
+		}
+		c := a.chunks[a.ci]
+		if a.off+n <= len(c) {
+			s := c[a.off : a.off+n : a.off+n]
+			a.off += n
+			return s
+		}
+		a.ci++
+		a.off = 0
+	}
+}
+
+// Reset invalidates every slice handed out since the last Reset and makes
+// their storage available for reuse.
+func (a *Arena[T]) Reset() { a.ci, a.off = 0, 0 }
+
+// GrowTo returns s with length n, reusing its backing array when its
+// capacity suffices; existing contents are not preserved on reallocation.
+// It is the shared resize step of the pooled scratch types.
+func GrowTo[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}

@@ -4,7 +4,8 @@
 package container
 
 // Heap is a binary min-heap ordered by the provided less function.
-// The zero value is not usable; construct with NewHeap.
+// The zero value is not usable; construct with NewHeap, or embed a Heap
+// value in pooled scratch state and call Init once before first use.
 type Heap[T any] struct {
 	items []T
 	less  func(a, b T) bool
@@ -13,6 +14,25 @@ type Heap[T any] struct {
 // NewHeap returns an empty heap ordered by less.
 func NewHeap[T any](less func(a, b T) bool) *Heap[T] {
 	return &Heap[T]{less: less}
+}
+
+// Init prepares a zero-value (typically embedded) heap: it installs the
+// ordering and empties the heap, keeping any backing storage. Calling Init
+// on an already-initialized heap is equivalent to Reset with a new order.
+func (h *Heap[T]) Init(less func(a, b T) bool) {
+	h.less = less
+	h.Reset()
+}
+
+// Reset empties the heap while keeping its backing storage, so a pooled
+// heap can serve many rounds without reallocating. Elements are zeroed to
+// release any references they hold.
+func (h *Heap[T]) Reset() {
+	var zero T
+	for i := range h.items {
+		h.items[i] = zero
+	}
+	h.items = h.items[:0]
 }
 
 // Len returns the number of elements in the heap.

@@ -9,15 +9,26 @@ type UnionFind struct {
 
 // NewUnionFind returns a forest of n singleton sets labelled 0..n-1.
 func NewUnionFind(n int) *UnionFind {
-	uf := &UnionFind{
-		parent: make([]int32, n),
-		rank:   make([]int8, n),
-		count:  n,
+	uf := &UnionFind{}
+	uf.Reset(n)
+	return uf
+}
+
+// Reset re-initializes the forest to n singleton sets in place, reusing the
+// backing arrays once they have grown to the workload's high-water mark
+// (zero value usable: Reset on a zero UnionFind behaves like NewUnionFind).
+func (uf *UnionFind) Reset(n int) {
+	if cap(uf.parent) < n {
+		uf.parent = make([]int32, n)
+		uf.rank = make([]int8, n)
 	}
+	uf.parent = uf.parent[:n]
+	uf.rank = uf.rank[:n]
 	for i := range uf.parent {
 		uf.parent[i] = int32(i)
+		uf.rank[i] = 0
 	}
-	return uf
+	uf.count = n
 }
 
 // Find returns the canonical representative of x's set.

@@ -120,3 +120,51 @@ func BenchmarkTopK3TGEN(b *testing.B) {
 		}
 	}
 }
+
+// --- pooled-scratch counterparts: same workloads, zero steady-state allocs
+
+func BenchmarkSolveAPP(b *testing.B) {
+	in, delta := benchInstance(b)
+	s := NewSolveScratch()
+	if _, err := SolveAPP(s, in, delta, APPOptions{}); err != nil { // warm
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveAPP(s, in, delta, APPOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveTGEN(b *testing.B) {
+	in, delta := benchInstance(b)
+	alpha := float64(in.NumNodes) / 9
+	s := NewSolveScratch()
+	if _, err := SolveTGEN(s, in, delta, TGENOptions{Alpha: alpha}); err != nil { // warm
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveTGEN(s, in, delta, TGENOptions{Alpha: alpha}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveGreedy(b *testing.B) {
+	in, delta := benchInstance(b)
+	s := NewSolveScratch()
+	if _, err := SolveGreedy(s, in, delta, GreedyOptions{}); err != nil { // warm
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveGreedy(s, in, delta, GreedyOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

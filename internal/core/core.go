@@ -15,6 +15,22 @@
 //   - top-k variants of all three (§6.2);
 //   - Exact: exhaustive baselines for small instances (used to measure
 //     approximation quality in tests and benchmarks).
+//
+// # Pooling ownership
+//
+// Each algorithm exists in two forms: the original allocating functions
+// (TGEN, APP, Greedy) and pooled counterparts (SolveTGEN, SolveAPP,
+// SolveGreedy) that draw all per-query working state — epoch-stamped node
+// and edge sets, the free-list Region arena behind the tuple arrays, and
+// the kmst/pcst solver state — from a per-worker SolveScratch. The two
+// forms return bit-identical regions (golden-tested); a warm scratch
+// answers queries with zero steady-state allocations.
+//
+// A SolveScratch serves one goroutine. The *Region returned by a pooled
+// solve aliases the scratch's arenas and is invalidated by the next SolveX
+// call on the same scratch: consume or copy it before solving again. The
+// allocating forms return independently-owned regions with no lifetime
+// restrictions (the top-k variants always use them).
 package core
 
 import (

@@ -45,16 +45,22 @@ func Greedy(in *Instance, delta float64, opts GreedyOptions) (*Region, error) {
 		return nil, nil
 	}
 	banned := make([]bool, in.NumNodes)
-	return greedyFrom(in, delta, opts.Mu, sigmaMax, seed, banned), nil
+	var inRegion stampSet
+	return greedyFrom(in, delta, opts.Mu, sigmaMax, seed, banned, &inRegion, &Region{}), nil
 }
 
-// greedyFrom grows one region from the given seed. Nodes marked banned are
-// never added (used by the top-k extension to keep regions disjoint).
-func greedyFrom(in *Instance, delta float64, mu, sigmaMax float64, seed NodeID, banned []bool) *Region {
+// greedyFrom grows one region from the given seed into r, reusing r's
+// Nodes/Edges as backing buffers (callers pass a fresh or pooled Region).
+// Membership is tracked in the caller's epoch-stamped inRegion set — the
+// former map[NodeID]bool — which greedyFrom re-begins; tie-breaking is
+// unchanged because the set is only probed, never iterated. Nodes marked
+// banned are never added (used by the top-k extension to keep regions
+// disjoint).
+func greedyFrom(in *Instance, delta float64, mu, sigmaMax float64, seed NodeID, banned []bool, inRegion *stampSet, r *Region) *Region {
 	tauMax := in.MaxEdgeLength()
-	inRegion := make(map[NodeID]bool, 16)
-	inRegion[seed] = true
-	r := &Region{Score: in.Weights[seed], Nodes: []int32{seed}}
+	inRegion.begin(in.NumNodes)
+	inRegion.add(seed)
+	*r = Region{Score: in.Weights[seed], Nodes: append(r.Nodes[:0], seed), Edges: r.Edges[:0]}
 
 	for {
 		// Scan the frontier: nodes adjacent to the region, not banned,
@@ -63,13 +69,13 @@ func greedyFrom(in *Instance, delta float64, mu, sigmaMax float64, seed NodeID, 
 		var bestNode NodeID = -1
 		var bestEdge int32 = -1
 		remaining := delta - r.Length
-		// Iterate the region's sorted node list, not the membership map:
-		// map order is randomized and would break the engine's guarantee
-		// of identical results across runs when scores tie.
+		// Iterate the region's sorted node list, not the membership set:
+		// iterating an unordered structure would break the engine's
+		// guarantee of identical results across runs when scores tie.
 		for _, v := range r.Nodes {
 			for _, he := range in.Neighbors(NodeID(v)) {
 				to := he.To
-				if inRegion[to] || banned[to] {
+				if inRegion.has(to) || banned[to] {
 					continue
 				}
 				tau := in.Edges[he.Edge].Length
@@ -95,7 +101,7 @@ func greedyFrom(in *Instance, delta float64, mu, sigmaMax float64, seed NodeID, 
 		if bestNode < 0 {
 			return r
 		}
-		inRegion[bestNode] = true
+		inRegion.add(bestNode)
 		r.Nodes = insertSorted(r.Nodes, bestNode)
 		r.Edges = append(r.Edges, bestEdge)
 		r.Length += in.Edges[bestEdge].Length

@@ -22,25 +22,39 @@ type Scaling struct {
 // An error is returned when the instance has no relevant node (σmax = 0),
 // in which case no meaningful region exists.
 func Scale(in *Instance, alpha float64) (*Scaling, error) {
+	s := &Scaling{}
+	if err := ScaleInto(in, alpha, s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// ScaleInto is Scale into caller-owned storage: sc's Scaled slice is
+// reused when large enough, so a pooled Scaling scales a new instance with
+// zero steady-state allocations. The semantics and error cases are exactly
+// Scale's.
+func ScaleInto(in *Instance, alpha float64, sc *Scaling) error {
 	if alpha <= 0 || math.IsNaN(alpha) || math.IsInf(alpha, 0) {
-		return nil, fmt.Errorf("core: scaling parameter α must be positive, got %v", alpha)
+		return fmt.Errorf("core: scaling parameter α must be positive, got %v", alpha)
 	}
 	if in.NumNodes == 0 {
-		return nil, fmt.Errorf("core: cannot scale an empty instance")
+		return fmt.Errorf("core: cannot scale an empty instance")
 	}
 	sigmaMax, _ := in.MaxWeight()
 	if sigmaMax <= 0 {
-		return nil, fmt.Errorf("core: no node is relevant to the query (σmax = 0)")
+		return fmt.Errorf("core: no node is relevant to the query (σmax = 0)")
 	}
 	theta := alpha * sigmaMax / float64(in.NumNodes)
-	s := &Scaling{Alpha: alpha, Theta: theta, Scaled: make([]int64, in.NumNodes)}
+	sc.Alpha, sc.Theta = alpha, theta
+	sc.MaxHat, sc.SumHat = 0, 0
+	sc.Scaled = growTo(sc.Scaled, in.NumNodes)
 	for v, w := range in.Weights {
 		hat := int64(math.Floor(w / theta))
-		s.Scaled[v] = hat
-		if hat > s.MaxHat {
-			s.MaxHat = hat
+		sc.Scaled[v] = hat
+		if hat > sc.MaxHat {
+			sc.MaxHat = hat
 		}
-		s.SumHat += hat
+		sc.SumHat += hat
 	}
-	return s, nil
+	return nil
 }

@@ -1,0 +1,346 @@
+package core
+
+import (
+	"math/bits"
+
+	"repro/internal/container"
+	"repro/internal/kmst"
+	"repro/internal/pcst"
+)
+
+// SolveScratch is the pooled per-worker working state of the solve phase:
+// an epoch-stamped replacement for every per-query boolean map/array the
+// solvers build (TGEN's processed/enqueued/edgeDone, Greedy's region
+// membership), a free-list Region arena behind the tuple machinery, the
+// sorted-slice replacement for the map-backed tuple arrays, and the pooled
+// kmst/pcst solver state APP drives. SolveTGEN, SolveAPP, and SolveGreedy
+// run the same algorithms as TGEN, APP, and Greedy — bit-identical
+// results — but a warm scratch answers queries with zero steady-state
+// allocations.
+//
+// Ownership rules: a SolveScratch serves one goroutine; pool one per
+// worker (dataset.Planner embeds one). The *Region returned by a SolveX
+// call aliases the scratch's arenas and is valid only until the next
+// SolveX call on the same scratch — copy it out to retain it.
+type SolveScratch struct {
+	pool    regionPool
+	scaling Scaling
+	best    *poolRegion
+
+	// Tuple arrays (TGEN: graph-indexed; findOptTree: tree-local indexed).
+	arrays [][]tupleEntry
+
+	// TGEN traversal state.
+	processed stampSet
+	enqueued  stampSet
+	edgeDone  stampSet
+	queue     []int32
+	newTuples []*poolRegion
+	order     []int32 // OrderAscLength edge order
+	remaining []int32 // OrderAscLength per-node unprocessed-edge counts
+
+	// Greedy state.
+	inRegion stampSet
+	noBan    []bool // all-false banned slice (nothing ever writes true)
+	gRegion  Region
+
+	// APP state.
+	pcstEdges []pcst.Edge
+	tcEdges   []int32 // kmst.Result.Edges converted to int32
+	garg      *kmst.GargSolver
+	spt       *kmst.SPTSolver
+
+	// findOptTree state (local tree indices via pos remap).
+	pos      []int32
+	deg      []int32
+	removed  []bool
+	adjOffs  []int32
+	adjTo    []int32
+	adjEdge  []int32
+	cursor   []int32
+	foQueue  []int32
+	snapshot []*poolRegion
+}
+
+// NewSolveScratch returns an empty scratch; it warms up as it serves.
+func NewSolveScratch() *SolveScratch { return &SolveScratch{} }
+
+// begin starts a new query: all regions handed out by the previous query
+// die and their storage is recycled.
+func (s *SolveScratch) begin() {
+	s.pool.reset()
+	s.best = nil
+}
+
+// ensureArrays sizes the per-node tuple arrays to n empty arrays, keeping
+// grown entry capacity from earlier queries.
+func (s *SolveScratch) ensureArrays(n int) {
+	if cap(s.arrays) < n {
+		s.arrays = append(s.arrays[:cap(s.arrays)], make([][]tupleEntry, n-cap(s.arrays))...)
+	}
+	s.arrays = s.arrays[:n]
+	for i := range s.arrays {
+		s.arrays[i] = s.arrays[i][:0]
+	}
+}
+
+// considerScore offers r as the query answer under betterScore (original
+// weights), taking a reference when it wins.
+func (s *SolveScratch) considerScore(r *poolRegion) {
+	var cur *Region
+	if s.best != nil {
+		cur = &s.best.Region
+	}
+	if r.Region.betterScore(cur) {
+		if s.best != nil {
+			s.pool.deref(s.best)
+		}
+		s.pool.ref(r)
+		s.best = r
+	}
+}
+
+// considerFeasible is considerScore gated on the length budget (the
+// findOptTree consider).
+func (s *SolveScratch) considerFeasible(r *poolRegion, delta float64) {
+	if r.Length <= delta {
+		s.considerScore(r)
+	}
+}
+
+// bestRegion returns the tracked best as a plain *Region (nil when none).
+func (s *SolveScratch) bestRegion() *Region {
+	if s.best == nil {
+		return nil
+	}
+	return &s.best.Region
+}
+
+// singleton builds the one-node region {v} in the arena (scaled weight
+// from the scratch's current scaling).
+func (s *SolveScratch) singleton(in *Instance, v NodeID) *poolRegion {
+	r := s.pool.newRegion()
+	nodes := s.pool.allocInts(1)
+	nodes[0] = v
+	r.Region = Region{Score: in.Weights[v], Scaled: s.scaling.Scaled[v], Nodes: nodes}
+	return r
+}
+
+// combine is combine into arena storage: it joins two node-disjoint
+// regions through the edge with index edgeIdx.
+func (s *SolveScratch) combine(in *Instance, a, b *poolRegion, edgeIdx int32) *poolRegion {
+	e := in.Edges[edgeIdx]
+	out := s.pool.newRegion()
+	nodes := s.pool.allocInts(len(a.Nodes) + len(b.Nodes))
+	mergeSortedInto(nodes, a.Nodes, b.Nodes)
+	edges := s.pool.allocInts(len(a.Edges) + len(b.Edges) + 1)
+	copy(edges, a.Edges)
+	copy(edges[len(a.Edges):], b.Edges)
+	edges[len(edges)-1] = edgeIdx
+	out.Region = Region{
+		Length: a.Length + b.Length + e.Length,
+		Score:  a.Score + b.Score,
+		Scaled: a.Scaled + b.Scaled,
+		Nodes:  nodes,
+		Edges:  edges,
+	}
+	return out
+}
+
+// mergeSortedInto merges sorted a and b into dst (len(dst) = len(a)+len(b)).
+func mergeSortedInto(dst, a, b []int32) {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			dst[k] = a[i]
+			i++
+		} else {
+			dst[k] = b[j]
+			j++
+		}
+		k++
+	}
+	k += copy(dst[k:], a[i:])
+	copy(dst[k:], b[j:])
+}
+
+// update installs r into the tuple array at index idx — the sorted-slice
+// form of tupleArray.update: per scaled weight keep the shortest region,
+// with identical replace-on-strictly-shorter semantics. Returns whether
+// the array changed.
+func (s *SolveScratch) update(idx int32, r *poolRegion) bool {
+	ta := s.arrays[idx]
+	lo, hi := 0, len(ta)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ta[mid].scaled < r.Scaled {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(ta) && ta[lo].scaled == r.Scaled {
+		if r.Length < ta[lo].r.Length {
+			s.pool.deref(ta[lo].r)
+			s.pool.ref(r)
+			ta[lo].r = r
+			return true
+		}
+		return false
+	}
+	ta = append(ta, tupleEntry{})
+	copy(ta[lo+1:], ta[lo:])
+	ta[lo] = tupleEntry{scaled: r.Scaled, r: r}
+	s.pool.ref(r)
+	s.arrays[idx] = ta
+	return true
+}
+
+// dropArray releases every tuple of the array at idx (the §5 memory
+// optimization: a finished node's array is discarded).
+func (s *SolveScratch) dropArray(idx int32) {
+	ta := s.arrays[idx]
+	for i := range ta {
+		s.pool.deref(ta[i].r)
+		ta[i].r = nil
+	}
+	s.arrays[idx] = ta[:0]
+}
+
+// tupleEntry is one slot of a sorted-by-scaled-weight tuple array.
+type tupleEntry struct {
+	scaled int64
+	r      *poolRegion
+}
+
+// poolRegion is a Region plus the reference count of the free-list arena:
+// how many tuple arrays (and possibly the best-answer slot) point at it.
+type poolRegion struct {
+	Region
+	refs int32
+}
+
+// regionPool is the free-list Region arena: region structs come from
+// chunked storage so pointers stay stable, node/edge lists come from
+// power-of-two size classes, and both are recycled the moment a region's
+// last reference drops. reset reclaims everything at once between queries.
+type regionPool struct {
+	chunks   [][]poolRegion
+	ci, off  int
+	freeRegs []*poolRegion
+
+	ints      container.Arena[int32]
+	freeSlice [32][][]int32 // by log2(capacity)
+}
+
+const regionChunk = 512
+
+// reset recycles every region and slice handed out since the last reset.
+func (p *regionPool) reset() {
+	p.ci, p.off = 0, 0
+	p.freeRegs = p.freeRegs[:0]
+	for c := range p.freeSlice {
+		p.freeSlice[c] = p.freeSlice[c][:0]
+	}
+	p.ints.Reset()
+}
+
+// newRegion returns a region with refs == 0; the caller sets every field.
+func (p *regionPool) newRegion() *poolRegion {
+	if n := len(p.freeRegs); n > 0 {
+		r := p.freeRegs[n-1]
+		p.freeRegs = p.freeRegs[:n-1]
+		r.refs = 0
+		return r
+	}
+	for {
+		if p.ci == len(p.chunks) {
+			p.chunks = append(p.chunks, make([]poolRegion, regionChunk))
+		}
+		if p.off < len(p.chunks[p.ci]) {
+			r := &p.chunks[p.ci][p.off]
+			p.off++
+			r.refs = 0
+			return r
+		}
+		p.ci++
+		p.off = 0
+	}
+}
+
+// allocInts returns a slice of length n whose capacity is the n's
+// power-of-two size class, recycled from the class free list when
+// possible. n == 0 returns nil (singleton regions have nil edge lists,
+// matching the allocating implementations).
+func (p *regionPool) allocInts(n int) []int32 {
+	if n == 0 {
+		return nil
+	}
+	c := sizeClass(n)
+	if l := len(p.freeSlice[c]); l > 0 {
+		s := p.freeSlice[c][l-1]
+		p.freeSlice[c] = p.freeSlice[c][:l-1]
+		return s[:n]
+	}
+	return p.ints.Alloc(1 << c)[:n]
+}
+
+// sizeClass returns ceil(log2(n)) for n >= 1.
+func sizeClass(n int) int {
+	return bits.Len(uint(n - 1))
+}
+
+// ref takes a reference on r.
+func (p *regionPool) ref(r *poolRegion) { r.refs++ }
+
+// deref drops a reference, recycling r when it was the last one.
+func (p *regionPool) deref(r *poolRegion) {
+	r.refs--
+	if r.refs == 0 {
+		p.free(r)
+	}
+}
+
+// free recycles an unreferenced region: its node/edge lists return to
+// their size-class free lists and the struct to the region free list.
+// The caller guarantees no live pointer to r remains.
+func (p *regionPool) free(r *poolRegion) {
+	if cap(r.Nodes) > 0 {
+		p.freeSlice[sizeClass(cap(r.Nodes))] = append(p.freeSlice[sizeClass(cap(r.Nodes))], r.Nodes[:cap(r.Nodes)])
+	}
+	if cap(r.Edges) > 0 {
+		p.freeSlice[sizeClass(cap(r.Edges))] = append(p.freeSlice[sizeClass(cap(r.Edges))], r.Edges[:cap(r.Edges)])
+	}
+	r.Region = Region{}
+	p.freeRegs = append(p.freeRegs, r)
+}
+
+// stampSet is an epoch-stamped boolean array: begin starts a new
+// generation in O(1), membership is stamp[i] == epoch. It replaces the
+// per-query map[NodeID]bool / []bool working sets of the solvers.
+type stampSet struct {
+	stamp []uint32
+	epoch uint32
+}
+
+// begin resets the set to empty over the domain [0, n).
+func (s *stampSet) begin(n int) {
+	if cap(s.stamp) < n {
+		s.stamp = make([]uint32, n)
+	}
+	s.stamp = s.stamp[:n]
+	s.epoch++
+	if s.epoch == 0 { // uint32 wrap: stale stamps would alias the new epoch
+		full := s.stamp[:cap(s.stamp)] // clear the whole capacity, not just [0,n)
+		for i := range full {
+			full[i] = 0
+		}
+		s.epoch = 1
+	}
+}
+
+// has reports membership of i.
+func (s *stampSet) has(i int32) bool { return s.stamp[i] == s.epoch }
+
+// add inserts i.
+func (s *stampSet) add(i int32) { s.stamp[i] = s.epoch }

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// regionEq reports whether two regions are bit-identical answers: same
+// length, score, scaled weight, and the same node and edge lists (nil and
+// empty compare equal — the pooled path reuses zero-length buffers).
+func regionEq(a, b *Region) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	if a.Length != b.Length || a.Score != b.Score || a.Scaled != b.Scaled {
+		return false
+	}
+	if len(a.Nodes) != len(b.Nodes) || len(a.Edges) != len(b.Edges) {
+		return false
+	}
+	for i := range a.Nodes {
+		if a.Nodes[i] != b.Nodes[i] {
+			return false
+		}
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// goldenInstances builds the shared golden workload: random instances of
+// varying size across several RNG seeds, with a spread of length budgets.
+// One pooled scratch is reused across every solve, so reuse contamination
+// (stale stamps, leaked arena state) would surface as a mismatch.
+func goldenInstances(t *testing.T, seed int64) []*Instance {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	sizes := []int{2, 5, 12, 30, 60}
+	out := make([]*Instance, 0, len(sizes))
+	for _, n := range sizes {
+		out = append(out, randomInstance(t, rng, n))
+	}
+	return out
+}
+
+var goldenSeeds = []int64{1, 2, 3, 4}
+var goldenDeltas = []float64{0, 1.5, 4, 10, 1e9}
+
+// TestSolveTGENMatchesTGEN: the pooled tuple-generation path must return
+// bit-identical regions to the allocating TGEN across seeds, budgets, and
+// both edge-processing orders, with the scratch reused throughout.
+func TestSolveTGENMatchesTGEN(t *testing.T) {
+	s := NewSolveScratch()
+	for _, seed := range goldenSeeds {
+		for _, in := range goldenInstances(t, seed) {
+			for _, delta := range goldenDeltas {
+				for _, order := range []EdgeOrder{OrderBFS, OrderAscLength} {
+					opts := TGENOptions{Alpha: float64(in.NumNodes) / 9, Order: order}
+					if opts.Alpha < 1 {
+						opts.Alpha = 1
+					}
+					want, err := TGEN(in, delta, opts)
+					if err != nil {
+						t.Fatalf("seed %d n %d δ %v: TGEN: %v", seed, in.NumNodes, delta, err)
+					}
+					got, err := SolveTGEN(s, in, delta, opts)
+					if err != nil {
+						t.Fatalf("seed %d n %d δ %v: SolveTGEN: %v", seed, in.NumNodes, delta, err)
+					}
+					if !regionEq(got, want) {
+						t.Fatalf("seed %d n %d δ %v order %d: pooled %v != %v", seed, in.NumNodes, delta, order, got, want)
+					}
+					if want != nil {
+						checkRegion(t, in, got, delta)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSolveAPPMatchesAPP: the pooled approximation path — including the
+// pooled kmst and pcst solvers underneath — must match the allocating APP
+// bit-identically under both quota-tree solvers (Garg and SPT).
+func TestSolveAPPMatchesAPP(t *testing.T) {
+	s := NewSolveScratch()
+	for _, seed := range goldenSeeds {
+		for _, in := range goldenInstances(t, seed) {
+			for _, delta := range goldenDeltas {
+				for _, kind := range []SolverKind{SolverGarg, SolverSPT} {
+					opts := APPOptions{Solver: kind}
+					want, err := APP(in, delta, opts)
+					if err != nil {
+						t.Fatalf("seed %d n %d δ %v: APP: %v", seed, in.NumNodes, delta, err)
+					}
+					got, err := SolveAPP(s, in, delta, opts)
+					if err != nil {
+						t.Fatalf("seed %d n %d δ %v: SolveAPP: %v", seed, in.NumNodes, delta, err)
+					}
+					if !regionEq(got, want) {
+						t.Fatalf("seed %d n %d δ %v solver %d: pooled %v != %v", seed, in.NumNodes, delta, kind, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSolveGreedyMatchesGreedy: the pooled greedy path (epoch-stamped
+// membership, reused region buffers) must match the allocating Greedy.
+func TestSolveGreedyMatchesGreedy(t *testing.T) {
+	s := NewSolveScratch()
+	for _, seed := range goldenSeeds {
+		for _, in := range goldenInstances(t, seed) {
+			for _, delta := range goldenDeltas {
+				for _, mu := range []float64{0, 0.2, 0.7, 1} {
+					opts := GreedyOptions{Mu: mu, MuSet: true}
+					want, err := Greedy(in, delta, opts)
+					if err != nil {
+						t.Fatalf("seed %d n %d δ %v: Greedy: %v", seed, in.NumNodes, delta, err)
+					}
+					got, err := SolveGreedy(s, in, delta, opts)
+					if err != nil {
+						t.Fatalf("seed %d n %d δ %v: SolveGreedy: %v", seed, in.NumNodes, delta, err)
+					}
+					if !regionEq(got, want) {
+						t.Fatalf("seed %d n %d δ %v µ %v: pooled %v != %v", seed, in.NumNodes, delta, mu, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSolveScratchMethodInterleaving reuses one scratch across all three
+// methods query after query, the way a serving worker alternating request
+// types would, and checks every answer against the allocating baselines.
+func TestSolveScratchMethodInterleaving(t *testing.T) {
+	s := NewSolveScratch()
+	rng := rand.New(rand.NewSource(99))
+	for round := 0; round < 30; round++ {
+		in := randomInstance(t, rng, 3+rng.Intn(40))
+		delta := rng.Float64() * 8
+		switch round % 3 {
+		case 0:
+			want, _ := TGEN(in, delta, TGENOptions{})
+			got, err := SolveTGEN(s, in, delta, TGENOptions{})
+			if err != nil || !regionEq(got, want) {
+				t.Fatalf("round %d TGEN: got %v (%v), want %v", round, got, err, want)
+			}
+		case 1:
+			want, _ := APP(in, delta, APPOptions{})
+			got, err := SolveAPP(s, in, delta, APPOptions{})
+			if err != nil || !regionEq(got, want) {
+				t.Fatalf("round %d APP: got %v (%v), want %v", round, got, err, want)
+			}
+		default:
+			want, _ := Greedy(in, delta, GreedyOptions{})
+			got, err := SolveGreedy(s, in, delta, GreedyOptions{})
+			if err != nil || !regionEq(got, want) {
+				t.Fatalf("round %d Greedy: got %v (%v), want %v", round, got, err, want)
+			}
+		}
+	}
+}
+
+// TestSolveValidation mirrors the baseline error contract.
+func TestSolveValidation(t *testing.T) {
+	s := NewSolveScratch()
+	in := pathInstance(t, []float64{1, 2}, []float64{1})
+	if _, err := SolveTGEN(s, in, -1, TGENOptions{}); err == nil {
+		t.Error("SolveTGEN accepted negative δ")
+	}
+	if _, err := SolveAPP(s, in, -1, APPOptions{}); err == nil {
+		t.Error("SolveAPP accepted negative δ")
+	}
+	if _, err := SolveGreedy(s, in, -1, GreedyOptions{}); err == nil {
+		t.Error("SolveGreedy accepted negative δ")
+	}
+	if _, err := SolveGreedy(s, in, 1, GreedyOptions{Mu: 2}); err == nil {
+		t.Error("SolveGreedy accepted µ > 1")
+	}
+	// No relevant node: nil region, nil error, like the baselines.
+	zero := pathInstance(t, []float64{0, 0}, []float64{1})
+	for name, got := range map[string]func() (*Region, error){
+		"TGEN":   func() (*Region, error) { return SolveTGEN(s, zero, 1, TGENOptions{}) },
+		"APP":    func() (*Region, error) { return SolveAPP(s, zero, 1, APPOptions{}) },
+		"Greedy": func() (*Region, error) { return SolveGreedy(s, zero, 1, GreedyOptions{}) },
+	} {
+		r, err := got()
+		if r != nil || err != nil {
+			t.Errorf("%s on irrelevant instance: region %v err %v, want nil/nil", name, r, err)
+		}
+	}
+}

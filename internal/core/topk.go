@@ -56,6 +56,7 @@ func TopKGreedy(in *Instance, delta float64, k int, opts GreedyOptions) ([]*Regi
 		return nil, nil
 	}
 	banned := make([]bool, in.NumNodes)
+	var inRegion stampSet
 	var out []*Region
 	for len(out) < k {
 		// Heaviest unbanned node seeds the next region.
@@ -69,7 +70,7 @@ func TopKGreedy(in *Instance, delta float64, k int, opts GreedyOptions) ([]*Regi
 		if seed < 0 {
 			break
 		}
-		r := greedyFrom(in, delta, opts.Mu, sigmaMax, seed, banned)
+		r := greedyFrom(in, delta, opts.Mu, sigmaMax, seed, banned, &inRegion, &Region{})
 		out = append(out, r)
 		for _, v := range r.Nodes {
 			banned[v] = true

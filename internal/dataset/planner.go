@@ -11,10 +11,13 @@ import (
 
 // Planner materializes query working graphs with pooled per-worker scratch
 // state: a roadnet.Extractor for zero-allocation subgraph extraction, a
-// core.Instance whose CSR adjacency is rebuilt in place, and reusable
-// weight/edge/object buffers. One planner serves one query at a time: the
-// QueryInstance returned by Instantiate aliases the planner's buffers and
-// is valid only until the next Instantiate call on the same planner.
+// core.Instance whose CSR adjacency is rebuilt in place, reusable
+// weight/edge/object buffers, and a core.SolveScratch so the solve phase
+// (SolveTGEN/SolveAPP/SolveGreedy) runs allocation-free too. One planner
+// serves one query at a time: the QueryInstance returned by Instantiate
+// aliases the planner's buffers and is valid only until the next
+// Instantiate call on the same planner; a region produced through the
+// planner's SolveScratch is valid only until the next solve on it.
 //
 // A Planner is not safe for concurrent use; pool one per worker (see
 // internal/queryengine). Dataset.Instantiate remains the convenience path
@@ -29,6 +32,7 @@ type Planner struct {
 	nodeObjs [][]grid.ObjectID
 	qscratch textindex.QueryScratch
 	sscratch grid.SearchScratch
+	solve    core.SolveScratch
 	qi       QueryInstance
 }
 
@@ -36,6 +40,10 @@ type Planner struct {
 func (d *Dataset) NewPlanner() *Planner {
 	return &Planner{d: d, ex: roadnet.NewExtractor(d.Graph)}
 }
+
+// SolveScratch exposes the planner's pooled solver scratch for callers
+// that drive the core solvers directly.
+func (p *Planner) SolveScratch() *core.SolveScratch { return &p.solve }
 
 // Instantiate restricts the road network to Q.Λ, scores the objects inside
 // it against the keywords through the grid index (Equation 2), and
@@ -96,7 +104,7 @@ func (p *Planner) Instantiate(q Query) (*QueryInstance, error) {
 	if err := p.inst.Reset(n, p.edges, p.weights); err != nil {
 		return nil, fmt.Errorf("dataset: instance: %w", err)
 	}
-	p.qi = QueryInstance{In: &p.inst, Sub: sub, NodeObjects: p.nodeObjs, Prepared: prepared}
+	p.qi = QueryInstance{In: &p.inst, Sub: sub, NodeObjects: p.nodeObjs, Prepared: prepared, Scratch: &p.solve}
 	return &p.qi, nil
 }
 

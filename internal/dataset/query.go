@@ -158,6 +158,11 @@ type QueryInstance struct {
 	NodeObjects [][]grid.ObjectID
 	// Prepared is the IR-model view of the keywords.
 	Prepared textindex.Query
+	// Scratch is the owning planner's pooled solver state. Solvers run
+	// through it (queryengine.Solve does) reuse per-query working memory;
+	// their result regions are valid only until the next solve on the same
+	// planner. Always set by Planner.Instantiate.
+	Scratch *core.SolveScratch
 }
 
 // Instantiate restricts the road network to Q.Λ, scores the objects inside

@@ -14,6 +14,16 @@
 // strips unneeded leaves. A Prim-MST fallback guarantees a tree is found
 // whenever any connected component carries the quota. The SPT solver is a
 // cheap shortest-path-tree heuristic used for ablation benchmarks.
+//
+// # Pooling ownership
+//
+// NewGarg/NewSPT build allocating solvers tied to one Graph. Their pooled
+// counterparts GargSolver/SPTSolver are reusable across queries via
+// Reset(n, edges, weights) and return bit-identical Results
+// (golden-tested) with zero steady-state allocations. A pooled solver
+// serves one goroutine; Results it returns alias its internal arenas and
+// stay valid across later Tree calls — APP's binary search holds earlier
+// trees while probing new quotas — until the next Reset reclaims them.
 package kmst
 
 import (

@@ -1,0 +1,612 @@
+package kmst
+
+import (
+	"fmt"
+	"math"
+	"slices"
+
+	"repro/internal/container"
+	"repro/internal/pcst"
+)
+
+// This file holds the pooled counterparts of NewGarg/NewSPT: quota solvers
+// whose per-query state (CSR adjacency, the λ-cache, PCST solver state,
+// Prim/Dijkstra heaps, quota-pruning scratch, and the storage behind
+// returned Results) is reused across queries via Reset. A warm pooled
+// solver answers Tree calls with zero steady-state allocations.
+//
+// Ownership: Results returned by Tree (their Nodes and Edges) alias the
+// solver's arenas and stay valid across later Tree calls on the same
+// solver — APP's binary search holds earlier trees while probing new
+// quotas — until the next Reset, which reclaims them all. One solver
+// serves one goroutine.
+
+// quotaState is the shared base of the pooled solvers: the graph in CSR
+// form, result arenas, and map-free quota-pruning scratch.
+type quotaState struct {
+	n       int
+	edges   []pcst.Edge
+	weights []int64
+
+	offs    []int32
+	adjTo   []int32
+	adjEdge []int32
+	cursor  []int32
+
+	// Arenas backing returned Results; reclaimed by reset.
+	nodeArena container.Arena[int32]
+	edgeArena container.Arena[int]
+
+	// quotaPrune scratch (local tree indices via pos remap).
+	pos       []int32
+	deg       []int32
+	alive     []bool
+	edgeAlive []bool
+	incOffs   []int32
+	inc       []int32
+
+	// Pre-arena result assembly buffers.
+	tmpNodes []int32
+	tmpEdges []int
+}
+
+// reset revalidates and re-indexes the graph in place, reclaiming all
+// previously returned Results.
+func (q *quotaState) reset(n int, edges []pcst.Edge, weights []int64) error {
+	if len(weights) != n {
+		return fmt.Errorf("kmst: %d weights for %d nodes", len(weights), n)
+	}
+	for i, w := range weights {
+		if w < 0 {
+			return fmt.Errorf("kmst: node %d has negative weight %d", i, w)
+		}
+	}
+	for i, e := range edges {
+		if e.U < 0 || int(e.U) >= n || e.V < 0 || int(e.V) >= n {
+			return fmt.Errorf("pcst: edge %d endpoints (%d,%d) out of range", i, e.U, e.V)
+		}
+		if e.U == e.V {
+			return fmt.Errorf("pcst: edge %d is a self loop", i)
+		}
+		if e.Cost < 0 || math.IsNaN(e.Cost) || math.IsInf(e.Cost, 0) {
+			return fmt.Errorf("pcst: edge %d has invalid cost %v", i, e.Cost)
+		}
+	}
+	q.n, q.edges, q.weights = n, edges, weights
+	q.nodeArena.Reset()
+	q.edgeArena.Reset()
+
+	q.offs = container.GrowTo(q.offs, n+1)
+	for i := range q.offs {
+		q.offs[i] = 0
+	}
+	for _, e := range edges {
+		q.offs[e.U+1]++
+		q.offs[e.V+1]++
+	}
+	for i := 0; i < n; i++ {
+		q.offs[i+1] += q.offs[i]
+	}
+	q.cursor = container.GrowTo(q.cursor, n)
+	copy(q.cursor, q.offs[:n])
+	q.adjTo = container.GrowTo(q.adjTo, 2*len(edges))
+	q.adjEdge = container.GrowTo(q.adjEdge, 2*len(edges))
+	for i, e := range edges {
+		q.adjTo[q.cursor[e.U]] = e.V
+		q.adjEdge[q.cursor[e.U]] = int32(i)
+		q.cursor[e.U]++
+		q.adjTo[q.cursor[e.V]] = e.U
+		q.adjEdge[q.cursor[e.V]] = int32(i)
+		q.cursor[e.V]++
+	}
+	return nil
+}
+
+// finish copies the assembled tmp result into arena-backed storage.
+func (q *quotaState) finish(r Result) Result {
+	nodes := q.nodeArena.Alloc(len(r.Nodes))
+	copy(nodes, r.Nodes)
+	r.Nodes = nodes
+	if len(r.Edges) > 0 {
+		edges := q.edgeArena.Alloc(len(r.Edges))
+		copy(edges, r.Edges)
+		r.Edges = edges
+	} else {
+		r.Edges = nil // match the allocating solvers' nil edge lists
+	}
+	return r
+}
+
+// quotaPrune mirrors quotaPrune with pooled, map-free scratch: the tree is
+// remapped to local indices, incident-edge lists become a CSR in r.Edges
+// order, and leaf selection scans r.Nodes in the same order with the same
+// strict comparisons, so the pruned tree is identical.
+func (q *quotaState) quotaPrune(r *Result, quota int64) {
+	if len(r.Nodes) <= 1 {
+		return
+	}
+	nt := len(r.Nodes)
+	q.pos = container.GrowTo(q.pos, q.n)
+	for i, v := range r.Nodes {
+		q.pos[v] = int32(i)
+	}
+	q.deg = container.GrowTo(q.deg, nt)
+	q.alive = container.GrowTo(q.alive, nt)
+	for i := 0; i < nt; i++ {
+		q.deg[i] = 0
+		q.alive[i] = true
+	}
+	q.edgeAlive = container.GrowTo(q.edgeAlive, len(r.Edges))
+	q.incOffs = container.GrowTo(q.incOffs, nt+1)
+	for i := 0; i <= nt; i++ {
+		q.incOffs[i] = 0
+	}
+	for i, ei := range r.Edges {
+		e := q.edges[ei]
+		q.deg[q.pos[e.U]]++
+		q.deg[q.pos[e.V]]++
+		q.incOffs[q.pos[e.U]+1]++
+		q.incOffs[q.pos[e.V]+1]++
+		q.edgeAlive[i] = true
+	}
+	for i := 0; i < nt; i++ {
+		q.incOffs[i+1] += q.incOffs[i]
+	}
+	q.cursor = container.GrowTo(q.cursor, nt)
+	copy(q.cursor, q.incOffs[:nt])
+	q.inc = container.GrowTo(q.inc, 2*len(r.Edges))
+	for i, ei := range r.Edges {
+		e := q.edges[ei]
+		q.inc[q.cursor[q.pos[e.U]]] = int32(i)
+		q.cursor[q.pos[e.U]]++
+		q.inc[q.cursor[q.pos[e.V]]] = int32(i)
+		q.cursor[q.pos[e.V]]++
+	}
+	for {
+		// Find the best removable leaf.
+		bestLeaf := int32(-1)
+		bestEdge := -1
+		bestScore := math.Inf(-1)
+		for _, v := range r.Nodes {
+			lv := q.pos[v]
+			if !q.alive[lv] || q.deg[lv] != 1 {
+				continue
+			}
+			if r.Weight-q.weights[v] < quota {
+				continue
+			}
+			// Its single alive incident edge.
+			ei := -1
+			for k := q.incOffs[lv]; k < q.incOffs[lv+1]; k++ {
+				if q.edgeAlive[q.inc[k]] {
+					ei = int(q.inc[k])
+					break
+				}
+			}
+			if ei < 0 {
+				continue
+			}
+			length := q.edges[r.Edges[ei]].Cost
+			var score float64
+			if q.weights[v] == 0 {
+				score = math.Inf(1) // free removal
+			} else {
+				score = length / float64(q.weights[v])
+			}
+			if score > bestScore {
+				bestScore = score
+				bestLeaf = v
+				bestEdge = ei
+			}
+		}
+		if bestLeaf < 0 {
+			break
+		}
+		e := q.edges[r.Edges[bestEdge]]
+		if e.Cost <= 0 && q.weights[bestLeaf] > 0 {
+			break
+		}
+		q.alive[q.pos[bestLeaf]] = false
+		q.edgeAlive[bestEdge] = false
+		other := e.U
+		if other == bestLeaf {
+			other = e.V
+		}
+		q.deg[q.pos[other]]--
+		q.deg[q.pos[bestLeaf]]--
+		r.Weight -= q.weights[bestLeaf]
+		r.Length -= e.Cost
+	}
+	// Compact in place, preserving order.
+	nodes := r.Nodes[:0]
+	for _, v := range r.Nodes {
+		if q.alive[q.pos[v]] {
+			nodes = append(nodes, v)
+		}
+	}
+	edges := r.Edges[:0]
+	for i, ei := range r.Edges {
+		if q.edgeAlive[i] {
+			edges = append(edges, ei)
+		}
+	}
+	r.Nodes, r.Edges = nodes, edges
+}
+
+// GargSolver is the pooled Garg quota solver: the same λ binary search
+// over cached GW runs as Garg, with every piece of state reused across
+// queries. See the file comment for the Result ownership rules.
+type GargSolver struct {
+	quotaState
+
+	ps        pcst.Solver
+	pg        pcst.Graph
+	prizes    []float64
+	lambdaMax float64
+
+	compWeight []int64
+	uf         container.UnionFind
+	sums       []int64
+
+	cacheLam   []float64     // sorted ascending
+	cacheTrees [][]pcst.Tree // parallel to cacheLam
+
+	inTree []bool
+	h      container.Heap[primItem]
+	hReady bool
+}
+
+type primItem struct {
+	cost float64
+	to   int32
+	edge int32
+}
+
+// NewGargSolver returns an empty pooled Garg solver; call Reset before use.
+func NewGargSolver() *GargSolver { return &GargSolver{} }
+
+// Reset points the solver at a new quota graph, reclaiming the previous
+// query's Results, λ-cache, and PCST state.
+func (s *GargSolver) Reset(n int, edges []pcst.Edge, weights []int64) error {
+	if err := s.quotaState.reset(n, edges, weights); err != nil {
+		return err
+	}
+	s.ps.Reset()
+	s.cacheLam = s.cacheLam[:0]
+	s.cacheTrees = s.cacheTrees[:0]
+
+	// Component weights, for feasibility checks and the MST fallback.
+	s.uf.Reset(n)
+	for _, e := range edges {
+		s.uf.Union(int(e.U), int(e.V))
+	}
+	s.sums = container.GrowTo(s.sums, n)
+	for i := range s.sums {
+		s.sums[i] = 0
+	}
+	for v := 0; v < n; v++ {
+		s.sums[s.uf.Find(v)] += weights[v]
+	}
+	s.compWeight = container.GrowTo(s.compWeight, n)
+	for v := 0; v < n; v++ {
+		s.compWeight[v] = s.sums[s.uf.Find(v)]
+	}
+	var totalCost float64
+	for _, e := range edges {
+		totalCost += e.Cost
+	}
+	s.lambdaMax = totalCost + 1
+	return nil
+}
+
+// Tree implements Solver. The returned Result aliases the solver's arenas
+// and stays valid until the next Reset.
+func (s *GargSolver) Tree(quota int64) (Result, bool) {
+	if quota <= 0 {
+		if s.n == 0 {
+			return Result{}, false
+		}
+		best := 0
+		for v := 1; v < s.n; v++ {
+			if s.weights[v] > s.weights[best] {
+				best = v
+			}
+		}
+		nodes := s.nodeArena.Alloc(1)
+		nodes[0] = int32(best)
+		return Result{Nodes: nodes, Weight: s.weights[best]}, true
+	}
+	feasible := false
+	for v := 0; v < s.n; v++ {
+		if s.compWeight[v] >= quota {
+			feasible = true
+			break
+		}
+	}
+	if !feasible {
+		return Result{}, false
+	}
+
+	// Binary search λ over [0, λmax] for the smallest multiplier whose GW
+	// forest contains a quota tree; identical midpoint sequence and cache
+	// behavior to Garg.Tree.
+	lo, hi := 0.0, s.lambdaMax
+	var bestTree *pcst.Tree
+	var bestW int64
+	for iter := 0; iter < 48 && hi-lo > 1e-9*s.lambdaMax; iter++ {
+		mid := (lo + hi) / 2
+		if tr, w := s.quotaTreeAt(mid, quota); tr != nil {
+			if bestTree == nil || tr.Cost < bestTree.Cost {
+				bestTree, bestW = tr, w
+			}
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	if bestTree == nil {
+		if tr, w := s.quotaTreeAt(s.lambdaMax, quota); tr != nil {
+			bestTree, bestW = tr, w
+		}
+	}
+	var res Result
+	if bestTree != nil {
+		res = Result{
+			Nodes:  append(s.tmpNodes[:0], bestTree.Nodes...),
+			Edges:  append(s.tmpEdges[:0], bestTree.Edges...),
+			Length: bestTree.Cost,
+			Weight: bestW,
+		}
+	} else {
+		// GW pruning can in principle keep withholding the quota; fall
+		// back to the component MST, which always carries it.
+		res = s.mstFallback(quota)
+	}
+	s.tmpNodes, s.tmpEdges = res.Nodes, res.Edges // keep grown capacity
+	s.quotaPrune(&res, quota)
+	return s.finish(res), true
+}
+
+// quotaTreeAt runs (λ-cached) GW with prizes λ·w and returns the minimum-
+// length tree meeting the quota with its weight, or nil. Returned pointers
+// reference the PCST solver's arena and stay valid until Reset. The cache
+// is a sorted slice probed by binary search, matching the allocating
+// Garg's map lookup cost without its allocations.
+func (s *GargSolver) quotaTreeAt(lambda float64, quota int64) (*pcst.Tree, int64) {
+	var trees []pcst.Tree
+	idx, found := slices.BinarySearch(s.cacheLam, lambda)
+	if found {
+		trees = s.cacheTrees[idx]
+	} else {
+		s.prizes = container.GrowTo(s.prizes, s.n)
+		for v := 0; v < s.n; v++ {
+			s.prizes[v] = lambda * float64(s.weights[v])
+		}
+		s.pg = pcst.Graph{N: s.n, Edges: s.edges, Prizes: s.prizes}
+		var err error
+		trees, err = s.ps.Solve(&s.pg)
+		if err != nil {
+			// Inputs were validated in Reset; a failure here is a bug.
+			panic(fmt.Sprintf("kmst: pcst solve: %v", err))
+		}
+		s.cacheLam = append(s.cacheLam, 0)
+		copy(s.cacheLam[idx+1:], s.cacheLam[idx:])
+		s.cacheLam[idx] = lambda
+		s.cacheTrees = append(s.cacheTrees, nil)
+		copy(s.cacheTrees[idx+1:], s.cacheTrees[idx:])
+		s.cacheTrees[idx] = trees
+	}
+	var best *pcst.Tree
+	var bestW int64
+	for i := range trees {
+		var w int64
+		for _, v := range trees[i].Nodes {
+			w += s.weights[v]
+		}
+		if w < quota {
+			continue
+		}
+		if best == nil || trees[i].Cost < best.Cost {
+			best, bestW = &trees[i], w
+		}
+	}
+	return best, bestW
+}
+
+// mstFallback spans the lightest-length quota-carrying component with a
+// Prim MST, assembling into the tmp buffers.
+func (s *GargSolver) mstFallback(quota int64) Result {
+	seed := -1
+	for v := 0; v < s.n; v++ {
+		if s.compWeight[v] >= quota && (seed < 0 || s.compWeight[v] > s.compWeight[seed]) {
+			seed = v
+		}
+	}
+	s.inTree = container.GrowTo(s.inTree, s.n)
+	for i := range s.inTree {
+		s.inTree[i] = false
+	}
+	if !s.hReady {
+		s.h.Init(func(a, b primItem) bool { return a.cost < b.cost })
+		s.hReady = true
+	} else {
+		s.h.Reset()
+	}
+	res := Result{Nodes: append(s.tmpNodes[:0], int32(seed)), Edges: s.tmpEdges[:0], Weight: s.weights[seed]}
+	s.inTree[seed] = true
+	for k := s.offs[seed]; k < s.offs[seed+1]; k++ {
+		s.h.Push(primItem{cost: s.edges[s.adjEdge[k]].Cost, to: s.adjTo[k], edge: s.adjEdge[k]})
+	}
+	for {
+		it, ok := s.h.Pop()
+		if !ok {
+			break
+		}
+		if s.inTree[it.to] {
+			continue
+		}
+		s.inTree[it.to] = true
+		res.Nodes = append(res.Nodes, it.to)
+		res.Edges = append(res.Edges, int(it.edge))
+		res.Length += s.edges[it.edge].Cost
+		res.Weight += s.weights[it.to]
+		for k := s.offs[it.to]; k < s.offs[it.to+1]; k++ {
+			if !s.inTree[s.adjTo[k]] {
+				s.h.Push(primItem{cost: s.edges[s.adjEdge[k]].Cost, to: s.adjTo[k], edge: s.adjEdge[k]})
+			}
+		}
+	}
+	slices.Sort(res.Nodes)
+	return res
+}
+
+// SPTSolver is the pooled shortest-path-tree quota solver (ablation
+// baseline), the reusable counterpart of NewSPT.
+type SPTSolver struct {
+	quotaState
+	seeds int
+
+	order      []int32
+	dist       []float64
+	parentEdge []int32
+	settled    []bool
+	h          container.Heap[sptItem]
+	hReady     bool
+
+	// Double-buffered candidate/best assembly.
+	candNodes, bestNodes []int32
+	candEdges, bestEdges []int
+}
+
+type sptItem struct {
+	dist float64
+	v    int32
+}
+
+// NewSPTSolver returns an empty pooled SPT solver trying the given number
+// of seeds (clamped to at least 1); call Reset before use.
+func NewSPTSolver(seeds int) *SPTSolver {
+	if seeds < 1 {
+		seeds = 1
+	}
+	return &SPTSolver{seeds: seeds}
+}
+
+// Reset points the solver at a new quota graph, reclaiming the previous
+// query's Results.
+func (s *SPTSolver) Reset(n int, edges []pcst.Edge, weights []int64) error {
+	return s.quotaState.reset(n, edges, weights)
+}
+
+// Tree implements Solver. The returned Result aliases the solver's arenas
+// and stays valid until the next Reset.
+func (s *SPTSolver) Tree(quota int64) (Result, bool) {
+	if s.n == 0 {
+		return Result{}, false
+	}
+	s.order = container.GrowTo(s.order, s.n)
+	for i := range s.order {
+		s.order[i] = int32(i)
+	}
+	slices.SortFunc(s.order, func(a, b int32) int {
+		// Heaviest first; same predicate as NewSPT's sort.Slice, so the
+		// unstable pdqsort yields the same permutation.
+		switch {
+		case s.weights[a] > s.weights[b]:
+			return -1
+		case s.weights[b] > s.weights[a]:
+			return 1
+		default:
+			return 0
+		}
+	})
+	haveBest := false
+	var best Result
+	tries := s.seeds
+	if tries > s.n {
+		tries = s.n
+	}
+	for k := 0; k < tries; k++ {
+		r, ok := s.fromSeed(int(s.order[k]), quota)
+		if !ok {
+			continue
+		}
+		switch {
+		case !haveBest:
+			// r owns the candidate buffers now; recycle the parked best
+			// buffers from the previous Tree call as the next candidate's.
+			best, haveBest = r, true
+			s.candNodes, s.candEdges = s.bestNodes[:0], s.bestEdges[:0]
+		case r.Length < best.Length:
+			s.candNodes, s.candEdges = best.Nodes, best.Edges
+			best = r
+		default:
+			s.candNodes, s.candEdges = r.Nodes, r.Edges
+		}
+	}
+	if !haveBest {
+		return Result{}, false
+	}
+	s.quotaPrune(&best, quota)
+	s.bestNodes, s.bestEdges = best.Nodes, best.Edges // park grown capacity
+	return s.finish(best), true
+}
+
+// fromSeed grows a shortest-path ball from seed until the quota is met,
+// assembling into the candidate buffers.
+func (s *SPTSolver) fromSeed(seed int, quota int64) (Result, bool) {
+	s.dist = container.GrowTo(s.dist, s.n)
+	s.parentEdge = container.GrowTo(s.parentEdge, s.n)
+	s.settled = container.GrowTo(s.settled, s.n)
+	for i := 0; i < s.n; i++ {
+		s.dist[i] = math.Inf(1)
+		s.parentEdge[i] = -1
+		s.settled[i] = false
+	}
+	s.dist[seed] = 0
+	if !s.hReady {
+		s.h.Init(func(a, b sptItem) bool { return a.dist < b.dist })
+		s.hReady = true
+	} else {
+		s.h.Reset()
+	}
+	s.h.Push(sptItem{0, int32(seed)})
+	res := Result{Nodes: s.candNodes[:0], Edges: s.candEdges[:0]}
+	var acc int64
+	met := false
+	for {
+		it, ok := s.h.Pop()
+		if !ok {
+			break
+		}
+		if s.settled[it.v] {
+			continue
+		}
+		s.settled[it.v] = true
+		res.Nodes = append(res.Nodes, it.v)
+		if s.parentEdge[it.v] >= 0 {
+			res.Edges = append(res.Edges, int(s.parentEdge[it.v]))
+			res.Length += s.edges[s.parentEdge[it.v]].Cost
+		}
+		acc += s.weights[it.v]
+		if acc >= quota {
+			met = true
+			break
+		}
+		for k := s.offs[it.v]; k < s.offs[it.v+1]; k++ {
+			nd := it.dist + s.edges[s.adjEdge[k]].Cost
+			if nd < s.dist[s.adjTo[k]] {
+				s.dist[s.adjTo[k]] = nd
+				s.parentEdge[s.adjTo[k]] = s.adjEdge[k]
+				s.h.Push(sptItem{nd, s.adjTo[k]})
+			}
+		}
+	}
+	if !met {
+		s.candNodes, s.candEdges = res.Nodes, res.Edges // keep grown capacity
+		return Result{}, false
+	}
+	res.Weight = acc
+	slices.Sort(res.Nodes)
+	return res, true
+}

@@ -1,0 +1,108 @@
+package kmst
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/pcst"
+)
+
+// randomQuotaGraph builds a random graph with integer node weights in the
+// small-σ̂ regime APP's scaling produces.
+func randomQuotaGraph(rng *rand.Rand, n int) (int, []pcst.Edge, []int64) {
+	var edges []pcst.Edge
+	for i := 1; i < n; i++ {
+		if rng.Float64() < 0.1 {
+			continue // split some components
+		}
+		edges = append(edges, pcst.Edge{U: int32(rng.Intn(i)), V: int32(i), Cost: 0.25 + 2*rng.Float64()})
+	}
+	for k := rng.Intn(n); k > 0; k-- {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			edges = append(edges, pcst.Edge{U: int32(u), V: int32(v), Cost: 0.25 + 2*rng.Float64()})
+		}
+	}
+	weights := make([]int64, n)
+	for i := range weights {
+		weights[i] = int64(rng.Intn(8))
+	}
+	weights[rng.Intn(n)] = 5 + int64(rng.Intn(5))
+	return n, edges, weights
+}
+
+// TestPooledSolversMatchAllocating is the golden gate for the pooled quota
+// solvers: on random graphs across a sweep of quotas, one reused
+// GargSolver/SPTSolver must return bit-identical Results to fresh
+// NewGarg/NewSPT solvers.
+func TestPooledSolversMatchAllocating(t *testing.T) {
+	garg := NewGargSolver()
+	spt := NewSPTSolver(8)
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n, edges, weights := randomQuotaGraph(rng, 5+rng.Intn(40))
+		g, err := New(n, edges, weights)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := garg.Reset(n, edges, weights); err != nil {
+			t.Fatalf("seed %d: garg reset: %v", seed, err)
+		}
+		if err := spt.Reset(n, edges, weights); err != nil {
+			t.Fatalf("seed %d: spt reset: %v", seed, err)
+		}
+		var total int64
+		for _, w := range weights {
+			total += w
+		}
+		baseGarg := NewGarg(g)
+		baseSPT := NewSPT(g, 8)
+		for _, quota := range []int64{0, 1, 2, total / 4, total / 2, total, total + 1} {
+			wantR, wantOK := baseGarg.Tree(quota)
+			gotR, gotOK := garg.Tree(quota)
+			if wantOK != gotOK || (wantOK && !reflect.DeepEqual(gotR, wantR)) {
+				t.Fatalf("seed %d quota %d: Garg pooled (%v,%v) != allocating (%v,%v)",
+					seed, quota, gotR, gotOK, wantR, wantOK)
+			}
+			wantR, wantOK = baseSPT.Tree(quota)
+			gotR, gotOK = spt.Tree(quota)
+			if wantOK != gotOK || (wantOK && !reflect.DeepEqual(gotR, wantR)) {
+				t.Fatalf("seed %d quota %d: SPT pooled (%v,%v) != allocating (%v,%v)",
+					seed, quota, gotR, gotOK, wantR, wantOK)
+			}
+		}
+	}
+}
+
+// TestPooledResultsSurviveLaterTrees pins the ownership contract APP's
+// binary search depends on: a Result from one Tree call keeps its content
+// while later Tree calls run, until the solver is Reset.
+func TestPooledResultsSurviveLaterTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n, edges, weights := randomQuotaGraph(rng, 30)
+	garg := NewGargSolver()
+	if err := garg.Reset(n, edges, weights); err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, w := range weights {
+		total += w
+	}
+	first, ok := garg.Tree(total / 2)
+	if !ok {
+		t.Skip("quota infeasible for this seed")
+	}
+	snap := Result{
+		Nodes:  append([]int32(nil), first.Nodes...),
+		Edges:  append([]int(nil), first.Edges...),
+		Length: first.Length,
+		Weight: first.Weight,
+	}
+	for q := int64(1); q <= total; q += total/8 + 1 {
+		garg.Tree(q)
+	}
+	if !reflect.DeepEqual(first, snap) {
+		t.Fatalf("result mutated by later Tree calls:\n got %+v\nwant %+v", first, snap)
+	}
+}

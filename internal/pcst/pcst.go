@@ -12,6 +12,15 @@
 // inside each forest component, the subtree with the best net worth
 // Σπ − Σc. The classic guarantee is a 2-approximation for the PCST
 // objective min c(T) + π(V \ T).
+//
+// # Pooling ownership
+//
+// The package-level Solve allocates its working state per run. The pooled
+// Solver type runs the identical algorithm (golden-tested bit-identical)
+// from reusable state with zero steady-state allocations; it serves one
+// goroutine. Trees returned by Solver.Solve alias the solver's arenas and
+// stay valid across later Solve calls — the kmst λ-cache retains them —
+// until Solver.Reset reclaims them all at once.
 package pcst
 
 import (

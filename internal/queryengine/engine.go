@@ -172,17 +172,30 @@ func Run(d *dataset.Dataset, queries []dataset.Query, opts Options) ([]Result, e
 
 // Solve runs the configured algorithm on one materialized query. Callers
 // composing their own RunFunc loops (package repro's RunBatch) share this
-// dispatch so method selection lives in one place.
+// dispatch so method selection lives in one place. When the instance
+// carries its planner's SolveScratch (always, through Planner.Instantiate)
+// the pooled solver path runs — bit-identical results, zero steady-state
+// allocations — and the returned region is valid only until the next solve
+// on the same planner.
 func Solve(qi *dataset.QueryInstance, delta float64, opts Options) (*core.Region, error) {
 	switch opts.Method {
 	case MethodAPP:
+		if qi.Scratch != nil {
+			return core.SolveAPP(qi.Scratch, qi.In, delta, opts.APP)
+		}
 		return core.APP(qi.In, delta, opts.APP)
 	case MethodGreedy:
+		if qi.Scratch != nil {
+			return core.SolveGreedy(qi.Scratch, qi.In, delta, opts.Greedy)
+		}
 		return core.Greedy(qi.In, delta, opts.Greedy)
 	case MethodTGEN:
 		t := opts.TGEN
 		if t.Alpha == 0 {
 			t.Alpha = autoAlpha(qi.In.NumNodes)
+		}
+		if qi.Scratch != nil {
+			return core.SolveTGEN(qi.Scratch, qi.In, delta, t)
 		}
 		return core.TGEN(qi.In, delta, t)
 	default:
