@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"time"
@@ -33,7 +34,10 @@ func (s BatchStats) QueriesPerSecond(n int) float64 {
 // (internal/queryengine). workers <= 0 selects GOMAXPROCS. The returned
 // slice has one entry per query — nil when no object matched — and is
 // identical to calling Run on each query in order, for any worker count.
-func (db *Database) RunBatch(qs []Query, opts SearchOptions, workers int) ([]*Result, BatchStats, error) {
+// ctx bounds the whole batch: once it fires, in-flight solves return
+// ctx.Err() through their checkpoints, no further queries start, and
+// RunBatch returns ctx.Err().
+func (db *Database) RunBatch(ctx context.Context, qs []Query, opts SearchOptions, workers int) ([]*Result, BatchStats, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -55,8 +59,8 @@ func (db *Database) RunBatch(qs []Query, opts SearchOptions, workers int) ([]*Re
 	}
 	results := make([]*Result, len(qs))
 	start := time.Now()
-	err = queryengine.RunFunc(db.ds, dqs, workers, func(i int, qi *dataset.QueryInstance) error {
-		region, err := queryengine.Solve(qi, dqs[i].Delta, qeOpts)
+	err = queryengine.RunFunc(ctx, db.ds, dqs, workers, func(i int, qi *dataset.QueryInstance) error {
+		region, err := queryengine.Solve(ctx, qi, dqs[i].Delta, qeOpts)
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -22,14 +23,14 @@ func TestRunBatchMatchesRun(t *testing.T) {
 		opts := SearchOptions{Method: method}
 		want := make([]*Result, len(qs))
 		for i, q := range qs {
-			r, err := db.Run(q, opts)
+			r, err := db.Run(context.Background(), q, opts)
 			if err != nil {
 				t.Fatalf("%v run %d: %v", method, i, err)
 			}
 			want[i] = r
 		}
 		for _, workers := range []int{1, 4} {
-			got, stats, err := db.RunBatch(qs, opts, workers)
+			got, stats, err := db.RunBatch(context.Background(), qs, opts, workers)
 			if err != nil {
 				t.Fatalf("%v batch workers=%d: %v", method, workers, err)
 			}
@@ -54,13 +55,13 @@ func TestRunBatchValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := db.RunBatch([]Query{{Delta: 100}}, SearchOptions{}, 1); err == nil {
+	if _, _, err := db.RunBatch(context.Background(), []Query{{Delta: 100}}, SearchOptions{}, 1); err == nil {
 		t.Error("query without keywords accepted")
 	}
-	if _, _, err := db.RunBatch([]Query{{Keywords: []string{"a"}, Delta: -1}}, SearchOptions{}, 1); err == nil {
+	if _, _, err := db.RunBatch(context.Background(), []Query{{Keywords: []string{"a"}, Delta: -1}}, SearchOptions{}, 1); err == nil {
 		t.Error("non-positive delta accepted")
 	}
-	res, stats, err := db.RunBatch(nil, SearchOptions{}, 0)
+	res, stats, err := db.RunBatch(context.Background(), nil, SearchOptions{}, 0)
 	if err != nil || len(res) != 0 {
 		t.Fatalf("empty batch: res=%v err=%v", res, err)
 	}

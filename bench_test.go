@@ -6,6 +6,7 @@ package repro
 // finishes in minutes; run cmd/benchfig for full-size tables.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -169,7 +170,7 @@ func BenchmarkQueryThroughput(b *testing.B) {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				res, err := queryengine.Run(d, qs, queryengine.Options{Workers: w})
+				res, err := queryengine.Run(context.Background(), d, qs, queryengine.Options{Workers: w})
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -7,6 +7,7 @@
 //	lcmsr -dataset usanw -auto -k 3          # generate a query, top-3 regions
 //	lcmsr -auto -queries 200 -parallel 8     # workload mode: throughput run
 //	lcmsr -serve -queries 500 -rate 100      # serve mode: replay at 100 q/s
+//	lcmsr -serve -http :8080 -timeout 500ms  # HTTP mode: POST /query, GET /stats
 //
 // -area is the Q.Λ area in km²; -delta the length budget in metres. With
 // -auto the keywords and region are drawn by the workload generator.
@@ -20,20 +21,31 @@
 // With -serve the command starts the streaming query server instead and
 // replays the workload against it at -rate queries/s (0 = as fast as the
 // server admits, closed loop), then prints throughput and p50/p95/p99
-// request latencies.
+// request latencies. -timeout bounds each request with a context deadline
+// and -max-queue-age sheds requests that out-wait the queue.
+//
+// With -serve -http ADDR the command exposes the server over HTTP as JSON
+// (POST /query, GET /stats) until SIGINT/SIGTERM, honoring client
+// disconnects and per-request timeouts end to end.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
 	"math/rand"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro"
@@ -55,6 +67,9 @@ func main() {
 		parallel   = flag.Int("parallel", 0, "workload workers; 0 = GOMAXPROCS")
 		serve      = flag.Bool("serve", false, "replay the workload through the streaming server and report latency percentiles")
 		rate       = flag.Float64("rate", 0, "serve mode: target request rate in queries/s (0 = closed loop)")
+		httpAddr   = flag.String("http", "", "listen on this address (e.g. :8080) and answer POST /query, GET /stats as JSON (implies -serve; no workload replay)")
+		timeout    = flag.Duration("timeout", 0, "serve mode: per-request timeout (0 = unbounded)")
+		queueAge   = flag.Duration("max-queue-age", 0, "serve mode: shed requests queued longer than this (0 = no shedding)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the query phase to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile after the query phase to this file")
 	)
@@ -103,17 +118,12 @@ func main() {
 		}
 	}
 	opts := repro.SearchOptions{}
-	switch strings.ToLower(*method) {
-	case "tgen":
-		opts.Method = repro.MethodTGEN
-	case "app":
-		opts.Method = repro.MethodAPP
-	case "greedy":
-		opts.Method = repro.MethodGreedy
-	default:
-		fmt.Fprintf(os.Stderr, "lcmsr: unknown method %q\n", *method)
+	m, err := repro.ParseMethod(*method)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lcmsr:", err)
 		os.Exit(2)
 	}
+	opts.Method = m
 
 	fmt.Printf("query: keywords=%v ∆=%.0fm Λ=%.0fkm² method=%v\n",
 		q.Keywords, q.Delta, (q.Region.MaxX-q.Region.MinX)*(q.Region.MaxY-q.Region.MinY)/1e6, opts.Method)
@@ -131,8 +141,10 @@ func main() {
 	}
 
 	switch {
+	case *httpAddr != "": // -http implies serve mode
+		runHTTP(db, opts, *httpAddr, *parallel, *timeout, *queueAge)
 	case *serve:
-		runServe(db, q, opts, *queries, *parallel, *rate, *seed, *areaKm2, *delta, *auto || *keywords == "")
+		runServe(db, q, opts, *queries, *parallel, *rate, *timeout, *queueAge, *seed, *areaKm2, *delta, *auto || *keywords == "")
 	case *queries > 1:
 		runWorkload(db, q, opts, *queries, *parallel, *seed, *areaKm2, *delta, *auto || *keywords == "")
 	default:
@@ -154,7 +166,7 @@ func main() {
 
 // runSingle answers one query and prints its regions in full detail.
 func runSingle(db *repro.Database, q repro.Query, opts repro.SearchOptions, k int) {
-	results, err := db.RunTopK(q, k, opts)
+	results, err := db.RunTopK(context.Background(), q, k, opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -176,7 +188,7 @@ func runSingle(db *repro.Database, q repro.Query, opts repro.SearchOptions, k in
 // dataset distribution; an explicit -keywords query is replicated n times.
 func runWorkload(db *repro.Database, q repro.Query, opts repro.SearchOptions, n, workers int, seed int64, areaKm2, delta float64, generated bool) {
 	qs := workloadQueries(db, q, n, seed, areaKm2, delta, generated)
-	results, stats, err := db.RunBatch(qs, opts, workers)
+	results, stats, err := db.RunBatch(context.Background(), qs, opts, workers)
 	if err != nil {
 		fatal(err)
 	}
@@ -218,19 +230,39 @@ func workloadQueries(db *repro.Database, q repro.Query, n int, seed int64, areaK
 // set of clients submit sequentially, each waiting for its answer before
 // sending the next, which measures per-request service time at full
 // server utilization.
-func runServe(db *repro.Database, q repro.Query, opts repro.SearchOptions, n, workers int, rate float64, seed int64, areaKm2, delta float64, generated bool) {
+func runServe(db *repro.Database, q repro.Query, opts repro.SearchOptions, n, workers int, rate float64, timeout, queueAge time.Duration, seed int64, areaKm2, delta float64, generated bool) {
 	qs := workloadQueries(db, q, n, seed, areaKm2, delta, generated)
-	srv, err := db.Serve(repro.ServeOptions{Workers: workers, Search: opts})
+	srv, err := db.Serve(repro.ServeOptions{Workers: workers, Search: opts, MaxQueueAge: queueAge})
 	if err != nil {
 		fatal(err)
 	}
+	submit := func(q repro.Query) error {
+		ctx := context.Background()
+		if timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, timeout)
+			defer cancel()
+		}
+		_, err := srv.Submit(ctx, q)
+		return err
+	}
 	var (
-		wg       sync.WaitGroup
-		failed   atomic.Int64
-		errOnce  sync.Once
-		firstErr error
+		wg         sync.WaitGroup
+		failed     atomic.Int64 // real failures, not policy rejections
+		policy     atomic.Int64 // deadline misses + queue-age sheds
+		errOnce    sync.Once
+		firstErr   error
+		policyOnce sync.Once
+		firstPol   error
 	)
 	record := func(err error) {
+		// A deadline miss or a queue-age shed is the configured policy
+		// doing its job under overload; anything else is a real failure.
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, repro.ErrOverloaded) {
+			policy.Add(1)
+			policyOnce.Do(func() { firstPol = err })
+			return
+		}
 		failed.Add(1)
 		errOnce.Do(func() { firstErr = err })
 	}
@@ -255,7 +287,7 @@ func runServe(db *repro.Database, q repro.Query, opts repro.SearchOptions, n, wo
 			go func(q repro.Query) {
 				defer wg.Done()
 				defer func() { <-sem }()
-				if _, err := srv.Submit(q); err != nil {
+				if err := submit(q); err != nil {
 					record(err)
 				}
 			}(qs[i])
@@ -275,7 +307,7 @@ func runServe(db *repro.Database, q repro.Query, opts repro.SearchOptions, n, wo
 					if i >= len(qs) {
 						return
 					}
-					if _, err := srv.Submit(qs[i]); err != nil {
+					if err := submit(qs[i]); err != nil {
 						record(err)
 					}
 				}
@@ -292,11 +324,56 @@ func runServe(db *repro.Database, q repro.Query, opts repro.SearchOptions, n, wo
 	if ns := shed.Load(); ns > 0 {
 		fmt.Printf(", %d shed (in-flight cap)", ns)
 	}
+	if st.Shed > 0 {
+		fmt.Printf(", %d shed (queue age)", st.Shed)
+	}
 	fmt.Println()
 	fmt.Printf("latency: p50=%v p95=%v p99=%v max=%v (window %d)\n",
 		st.P50, st.P95, st.P99, st.Max, st.Window)
+	if np := policy.Load(); np > 0 {
+		fmt.Printf("policy rejections: %d (first: %v)\n", np, firstPol)
+	}
 	if nf := failed.Load(); nf > 0 {
 		fatal(fmt.Errorf("%d/%d serve requests failed; first error: %w", nf, n, firstErr))
+	}
+}
+
+// runHTTP serves the streaming query service over HTTP until SIGINT or
+// SIGTERM: POST /query answers LCMSR queries as JSON, GET /stats reports
+// counters and latency percentiles. The per-request -timeout becomes the
+// handler's deadline bound and -max-queue-age the shedding policy.
+func runHTTP(db *repro.Database, opts repro.SearchOptions, addr string, workers int, timeout, queueAge time.Duration) {
+	srv, err := db.Serve(repro.ServeOptions{Workers: workers, Search: opts, MaxQueueAge: queueAge})
+	if err != nil {
+		fatal(err)
+	}
+	hs := &http.Server{
+		Addr:    addr,
+		Handler: srv.HTTPHandler(repro.HTTPOptions{Timeout: timeout}),
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("http: serving POST /query and GET /stats on %s (method=%v timeout=%v max-queue-age=%v)\n",
+		ln.Addr(), opts.Method, timeout, queueAge)
+	done := make(chan error, 1)
+	go func() { done <- hs.Serve(ln) }()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-done:
+		srv.Close()
+		fatal(err)
+	case s := <-sig:
+		fmt.Printf("http: %v, shutting down\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "lcmsr: shutdown:", err)
+		}
+		srv.Close()
+		fmt.Println("http:", srv.Stats())
 	}
 }
 

@@ -1,6 +1,7 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -30,7 +31,7 @@ func Example() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := db.Run(repro.Query{
+	res, err := db.Run(context.Background(), repro.Query{
 		Keywords: []string{"cafe"},
 		Delta:    220,
 		Region:   db.Bounds(),

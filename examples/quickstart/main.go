@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -48,7 +49,7 @@ func main() {
 		Region:   db.Bounds(),
 	}
 	for _, method := range []repro.Method{repro.MethodTGEN, repro.MethodAPP, repro.MethodGreedy} {
-		res, err := db.Run(query, repro.SearchOptions{Method: method})
+		res, err := db.Run(context.Background(), query, repro.SearchOptions{Method: method})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -35,7 +36,7 @@ func main() {
 
 	var best *repro.Result
 	for _, method := range []repro.Method{repro.MethodTGEN, repro.MethodAPP, repro.MethodGreedy} {
-		res, err := db.Run(q, repro.SearchOptions{Method: method})
+		res, err := db.Run(context.Background(), q, repro.SearchOptions{Method: method})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -30,7 +31,7 @@ func main() {
 
 	const k = 3
 	for _, method := range []repro.Method{repro.MethodTGEN, repro.MethodGreedy} {
-		results, err := db.RunTopK(q, k, repro.SearchOptions{Method: method})
+		results, err := db.RunTopK(context.Background(), q, k, repro.SearchOptions{Method: method})
 		if err != nil {
 			log.Fatal(err)
 		}

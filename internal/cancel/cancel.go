@@ -1,0 +1,109 @@
+// Package cancel provides the amortized cancellation checkpoint the
+// solver hot loops share. A Check wraps a context.Context so that inner
+// loops can poll for cancellation at a bounded, nearly-free cost: Tick is
+// a plain counter increment that probes the context's Done channel only
+// once every checkInterval calls, so a cancelled context is observed
+// within a bounded number of loop iterations without a per-iteration
+// atomic or channel operation.
+//
+// Checks are sticky: once a probe observes cancellation, every later Tick
+// and Now returns true immediately and Err returns the context's error,
+// so nested loops unwind quickly after the first hit. A Check built from
+// a context that can never be cancelled (Done() == nil, e.g.
+// context.Background()) makes every checkpoint a nil-channel comparison.
+//
+// A nil *Check never reports cancellation, so optional call paths thread
+// nil instead of building a dummy context. A Check serves one goroutine;
+// Reset it at the start of each unit of work.
+package cancel
+
+import "context"
+
+// checkInterval is how many Tick calls elapse between channel probes. A
+// power of two keeps the modulus a mask; 256 bounds the post-cancel delay
+// to a few hundred cheap iterations while keeping steady-state cost to an
+// increment and a branch.
+const checkInterval = 256
+
+// Check is an amortized cancellation checkpoint over one context.
+type Check struct {
+	done  <-chan struct{}
+	ctx   context.Context
+	n     uint32
+	fired bool
+}
+
+// Reset points the check at ctx and clears the sticky state. A ctx whose
+// Done returns nil disables every checkpoint (the zero-cost path).
+func (c *Check) Reset(ctx context.Context) {
+	c.ctx = ctx
+	c.done = ctx.Done()
+	c.n = 0
+	c.fired = false
+}
+
+// Tick is the hot-loop checkpoint: it reports whether the context has
+// been observed cancelled, probing the Done channel once every
+// checkInterval calls. Safe on a nil receiver (always false).
+func (c *Check) Tick() bool {
+	if c == nil || c.done == nil {
+		return false
+	}
+	if c.fired {
+		return true
+	}
+	c.n++
+	if c.n%checkInterval != 0 {
+		return false
+	}
+	return c.probe()
+}
+
+// Now probes the context immediately — for coarse per-phase checkpoints
+// (a binary-search step, a solve entry) where the amortization of Tick
+// would delay the observation. Safe on a nil receiver (always false).
+func (c *Check) Now() bool {
+	if c == nil || c.done == nil {
+		return false
+	}
+	if c.fired {
+		return true
+	}
+	return c.probe()
+}
+
+func (c *Check) probe() bool {
+	select {
+	case <-c.done:
+		c.fired = true
+		return true
+	default:
+		return false
+	}
+}
+
+// Release drops the context reference once the unit of work is done, so
+// a completed solve does not pin its caller's context tree (and whatever
+// hangs off it) until the owner's next Reset. The check reports no
+// cancellation afterwards. Safe on a nil receiver.
+func (c *Check) Release() {
+	if c == nil {
+		return
+	}
+	c.ctx = nil
+	c.done = nil
+	c.fired = false
+}
+
+// Cancelled reports whether any checkpoint has observed cancellation
+// since the last Reset, without probing. Safe on a nil receiver.
+func (c *Check) Cancelled() bool { return c != nil && c.fired }
+
+// Err returns the context's error once a checkpoint has observed
+// cancellation, nil otherwise. Safe on a nil receiver.
+func (c *Check) Err() error {
+	if c == nil || !c.fired {
+		return nil
+	}
+	return c.ctx.Err()
+}

@@ -1,0 +1,93 @@
+package cancel
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestNilAndBackgroundAreFree(t *testing.T) {
+	var nilCheck *Check
+	if nilCheck.Tick() || nilCheck.Now() || nilCheck.Cancelled() || nilCheck.Err() != nil {
+		t.Fatal("nil Check must never report cancellation")
+	}
+	var c Check
+	c.Reset(context.Background())
+	for i := 0; i < 4*checkInterval; i++ {
+		if c.Tick() {
+			t.Fatal("background context reported cancelled")
+		}
+	}
+	if c.Now() || c.Cancelled() || c.Err() != nil {
+		t.Fatal("background context reported cancelled")
+	}
+}
+
+func TestTickObservesWithinInterval(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var c Check
+	c.Reset(ctx)
+	if c.Tick() {
+		t.Fatal("cancelled before cancel()")
+	}
+	cancel()
+	hit := -1
+	for i := 0; i < 2*checkInterval; i++ {
+		if c.Tick() {
+			hit = i
+			break
+		}
+	}
+	if hit < 0 || hit >= checkInterval {
+		t.Fatalf("cancellation observed after %d ticks, want < %d", hit, checkInterval)
+	}
+	// Sticky: every later checkpoint fires immediately.
+	if !c.Tick() || !c.Now() || !c.Cancelled() {
+		t.Fatal("cancellation not sticky")
+	}
+	if !errors.Is(c.Err(), context.Canceled) {
+		t.Fatalf("Err = %v, want context.Canceled", c.Err())
+	}
+}
+
+func TestNowProbesImmediately(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var c Check
+	c.Reset(ctx)
+	if !c.Now() {
+		t.Fatal("Now missed an already-cancelled context")
+	}
+	if !errors.Is(c.Err(), context.Canceled) {
+		t.Fatalf("Err = %v, want context.Canceled", c.Err())
+	}
+}
+
+func TestResetClearsStickyState(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var c Check
+	c.Reset(ctx)
+	if !c.Now() {
+		t.Fatal("setup: expected cancelled")
+	}
+	c.Reset(context.Background())
+	if c.Now() || c.Cancelled() || c.Err() != nil {
+		t.Fatal("Reset kept sticky cancellation")
+	}
+}
+
+func TestDeadlineErrSurfaced(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	var c Check
+	c.Reset(ctx)
+	<-ctx.Done()
+	if !c.Now() {
+		t.Fatal("expired deadline not observed")
+	}
+	if !errors.Is(c.Err(), context.DeadlineExceeded) {
+		t.Fatalf("Err = %v, want context.DeadlineExceeded", c.Err())
+	}
+}

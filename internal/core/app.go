@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/cancel"
 	"repro/internal/kmst"
 )
 
@@ -80,7 +81,7 @@ func APP(in *Instance, delta float64, opts APPOptions) (*Region, error) {
 		solver = kmst.NewGarg(qg)
 	}
 
-	tc, ok := binarySearch(sc, solver, delta, opts.Beta, opts.Trace)
+	tc, ok := binarySearch(sc, solver, delta, opts.Beta, opts.Trace, nil)
 	_, argmax := in.MaxWeight()
 	fallback := singleton(in, sc, argmax)
 	if !ok {
@@ -109,8 +110,10 @@ func APP(in *Instance, delta float64, opts APPOptions) (*Region, error) {
 // tree TC has length ≤ 3Q.∆ while the tree under (1+β)X is longer than
 // 3Q.∆ (Lemma 4). Lemma 5 provides the bounds: L = σ̂max (the best region
 // weighs at least the best single node) and U = Σσ̂ (it cannot exceed the
-// region's total). Infeasible quotas behave as length +∞.
-func binarySearch(sc *Scaling, solver kmst.Solver, delta, beta float64, trace *[]TraceStep) (kmst.Result, bool) {
+// region's total). Infeasible quotas behave as length +∞. A non-nil chk
+// aborts the search between quota probes once cancellation is observed;
+// the caller surfaces chk.Err().
+func binarySearch(sc *Scaling, solver kmst.Solver, delta, beta float64, trace *[]TraceStep, chk *cancel.Check) (kmst.Result, bool) {
 	lo := float64(sc.MaxHat)
 	hi := float64(sc.SumHat)
 	var have kmst.Result
@@ -131,6 +134,9 @@ func binarySearch(sc *Scaling, solver kmst.Solver, delta, beta float64, trace *[
 	// The search interval is over integers once quotas are ceiled, so
 	// log2(U-L) iterations suffice; the cap also guards degenerate floats.
 	for iter := 0; iter < 64 && hi-lo >= 1; iter++ {
+		if chk.Now() {
+			return kmst.Result{}, false
+		}
 		x := (lo + hi) / 2
 		tc, lenTC := solve(x)
 		step := TraceStep{L: lo, U: hi, X: x, TCLen: lenTC}
@@ -166,6 +172,9 @@ func binarySearch(sc *Scaling, solver kmst.Solver, delta, beta float64, trace *[
 	// graph fits in 3Q.∆). The heaviest feasible tree seen plays TC.
 	if found {
 		return have, true
+	}
+	if chk.Now() {
+		return kmst.Result{}, false
 	}
 	// Try the lower bound itself (single heaviest node quota).
 	tc, lenTC := solve(lo)

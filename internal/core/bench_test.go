@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 )
@@ -115,7 +116,7 @@ func BenchmarkTopK3TGEN(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := TopKTGEN(in, delta, 3, TGENOptions{Alpha: alpha}); err != nil {
+		if _, err := TopKTGEN(context.Background(), in, delta, 3, TGENOptions{Alpha: alpha}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -126,13 +127,13 @@ func BenchmarkTopK3TGEN(b *testing.B) {
 func BenchmarkSolveAPP(b *testing.B) {
 	in, delta := benchInstance(b)
 	s := NewSolveScratch()
-	if _, err := SolveAPP(s, in, delta, APPOptions{}); err != nil { // warm
+	if _, err := SolveAPP(context.Background(), s, in, delta, APPOptions{}); err != nil { // warm
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := SolveAPP(s, in, delta, APPOptions{}); err != nil {
+		if _, err := SolveAPP(context.Background(), s, in, delta, APPOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -142,13 +143,13 @@ func BenchmarkSolveTGEN(b *testing.B) {
 	in, delta := benchInstance(b)
 	alpha := float64(in.NumNodes) / 9
 	s := NewSolveScratch()
-	if _, err := SolveTGEN(s, in, delta, TGENOptions{Alpha: alpha}); err != nil { // warm
+	if _, err := SolveTGEN(context.Background(), s, in, delta, TGENOptions{Alpha: alpha}); err != nil { // warm
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := SolveTGEN(s, in, delta, TGENOptions{Alpha: alpha}); err != nil {
+		if _, err := SolveTGEN(context.Background(), s, in, delta, TGENOptions{Alpha: alpha}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -157,13 +158,13 @@ func BenchmarkSolveTGEN(b *testing.B) {
 func BenchmarkSolveGreedy(b *testing.B) {
 	in, delta := benchInstance(b)
 	s := NewSolveScratch()
-	if _, err := SolveGreedy(s, in, delta, GreedyOptions{}); err != nil { // warm
+	if _, err := SolveGreedy(context.Background(), s, in, delta, GreedyOptions{}); err != nil { // warm
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := SolveGreedy(s, in, delta, GreedyOptions{}); err != nil {
+		if _, err := SolveGreedy(context.Background(), s, in, delta, GreedyOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -533,9 +534,9 @@ func TestTopKDisjointAndOrdered(t *testing.T) {
 	in := randomInstance(t, rng, 18)
 	delta := 4.0
 	for name, run := range map[string]func() ([]*Region, error){
-		"APP":    func() ([]*Region, error) { return TopKAPP(in, delta, 3, APPOptions{}) },
-		"TGEN":   func() ([]*Region, error) { return TopKTGEN(in, delta, 3, TGENOptions{Alpha: 30}) },
-		"Greedy": func() ([]*Region, error) { return TopKGreedy(in, delta, 3, GreedyOptions{}) },
+		"APP":    func() ([]*Region, error) { return TopKAPP(context.Background(), in, delta, 3, APPOptions{}) },
+		"TGEN":   func() ([]*Region, error) { return TopKTGEN(context.Background(), in, delta, 3, TGENOptions{Alpha: 30}) },
+		"Greedy": func() ([]*Region, error) { return TopKGreedy(context.Background(), in, delta, 3, GreedyOptions{}) },
 	} {
 		regions, err := run()
 		if err != nil {
@@ -563,7 +564,7 @@ func TestTopKDisjointAndOrdered(t *testing.T) {
 
 func TestTopKZero(t *testing.T) {
 	in := mustInstance(t, 1, nil, []float64{1})
-	if rs, err := TopKAPP(in, 1, 0, APPOptions{}); err != nil || rs != nil {
+	if rs, err := TopKAPP(context.Background(), in, 1, 0, APPOptions{}); err != nil || rs != nil {
 		t.Error("k=0 should be empty")
 	}
 }

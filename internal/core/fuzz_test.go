@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 )
 
@@ -30,7 +31,7 @@ func FuzzRegionMerge(f *testing.F) {
 		}
 		s := NewSolveScratch()
 		begin := func() {
-			s.begin()
+			s.begin(context.Background())
 			if err := ScaleInto(in, 1, &s.scaling); err != nil {
 				t.Fatal(err)
 			}

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/cancel"
 )
 
 // GreedyOptions configures the greedy expansion of §6.1.
@@ -46,7 +48,7 @@ func Greedy(in *Instance, delta float64, opts GreedyOptions) (*Region, error) {
 	}
 	banned := make([]bool, in.NumNodes)
 	var inRegion stampSet
-	return greedyFrom(in, delta, opts.Mu, sigmaMax, seed, banned, &inRegion, &Region{}), nil
+	return greedyFrom(in, delta, opts.Mu, sigmaMax, seed, banned, &inRegion, &Region{}, nil), nil
 }
 
 // greedyFrom grows one region from the given seed into r, reusing r's
@@ -55,8 +57,10 @@ func Greedy(in *Instance, delta float64, opts GreedyOptions) (*Region, error) {
 // former map[NodeID]bool — which greedyFrom re-begins; tie-breaking is
 // unchanged because the set is only probed, never iterated. Nodes marked
 // banned are never added (used by the top-k extension to keep regions
-// disjoint).
-func greedyFrom(in *Instance, delta float64, mu, sigmaMax float64, seed NodeID, banned []bool, inRegion *stampSet, r *Region) *Region {
+// disjoint). A non-nil chk is polled in the frontier scan; once it fires
+// the partially-grown region is returned and the caller surfaces
+// chk.Err() (SolveGreedy discards the partial region).
+func greedyFrom(in *Instance, delta float64, mu, sigmaMax float64, seed NodeID, banned []bool, inRegion *stampSet, r *Region, chk *cancel.Check) *Region {
 	tauMax := in.MaxEdgeLength()
 	inRegion.begin(in.NumNodes)
 	inRegion.add(seed)
@@ -73,6 +77,9 @@ func greedyFrom(in *Instance, delta float64, mu, sigmaMax float64, seed NodeID, 
 		// iterating an unordered structure would break the engine's
 		// guarantee of identical results across runs when scores tie.
 		for _, v := range r.Nodes {
+			if chk.Tick() {
+				return r
+			}
 			for _, he := range in.Neighbors(NodeID(v)) {
 				to := he.To
 				if inRegion.has(to) || banned[to] {

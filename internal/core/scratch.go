@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"math/bits"
 
+	"repro/internal/cancel"
 	"repro/internal/container"
 	"repro/internal/kmst"
 	"repro/internal/pcst"
@@ -26,6 +28,7 @@ type SolveScratch struct {
 	pool    regionPool
 	scaling Scaling
 	best    *poolRegion
+	cancel  cancel.Check
 
 	// Tuple arrays (TGEN: graph-indexed; findOptTree: tree-local indexed).
 	arrays [][]tupleEntry
@@ -66,10 +69,14 @@ type SolveScratch struct {
 func NewSolveScratch() *SolveScratch { return &SolveScratch{} }
 
 // begin starts a new query: all regions handed out by the previous query
-// die and their storage is recycled.
-func (s *SolveScratch) begin() {
+// die and their storage is recycled, and the cancellation checkpoint is
+// re-armed on ctx. Because every solve starts from this full reset, a
+// solve abandoned mid-way by cancellation leaves the scratch safe to
+// reuse: the next begin reclaims every region and re-stamps every set.
+func (s *SolveScratch) begin(ctx context.Context) {
 	s.pool.reset()
 	s.best = nil
+	s.cancel.Reset(ctx)
 }
 
 // ensureArrays sizes the per-node tuple arrays to n empty arrays, keeping

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"slices"
@@ -16,15 +17,26 @@ import (
 // scratch performs zero steady-state allocations per query. The returned
 // *Region aliases the scratch and is valid only until the next SolveX call
 // on the same scratch.
+//
+// Each SolveX honors ctx: the hot loops carry amortized cancellation
+// checkpoints (internal/cancel), so a cancel observed mid-solve returns
+// ctx.Err() within a bounded number of iterations. An abandoned solve
+// leaves the scratch safe to reuse — the next solve starts from a full
+// reset and produces results bit-identical to a fresh scratch. A
+// background context makes every checkpoint free.
 
 // SolveTGEN answers an LCMSR query with the tuple-generation heuristic of
 // §5 (see TGEN) using pooled scratch state.
-func SolveTGEN(s *SolveScratch, in *Instance, delta float64, opts TGENOptions) (*Region, error) {
+func SolveTGEN(ctx context.Context, s *SolveScratch, in *Instance, delta float64, opts TGENOptions) (*Region, error) {
 	opts = opts.withDefaults()
 	if delta < 0 || math.IsNaN(delta) {
 		return nil, fmt.Errorf("core: invalid length constraint %v", delta)
 	}
-	s.begin()
+	s.begin(ctx)
+	defer s.cancel.Release() // don't pin the caller's context between queries
+	if s.cancel.Now() {
+		return nil, s.cancel.Err()
+	}
 	if err := ScaleInto(in, opts.Alpha, &s.scaling); err != nil {
 		if in.NumNodes > 0 {
 			return nil, nil
@@ -42,6 +54,9 @@ func SolveTGEN(s *SolveScratch, in *Instance, delta float64, opts TGENOptions) (
 
 	if opts.Order == OrderAscLength {
 		s.tgenAscLength(in, delta)
+		if s.cancel.Cancelled() {
+			return nil, s.cancel.Err()
+		}
 		return s.bestRegion(), nil
 	}
 
@@ -60,6 +75,12 @@ func SolveTGEN(s *SolveScratch, in *Instance, delta float64, opts TGENOptions) (
 			vi := queue[head]
 			head++
 			for _, he := range in.Neighbors(vi) {
+				// Per-edge checkpoint: the combine loops below are bounded
+				// by the tuple-array size (≈ σ̂max), so edge granularity
+				// bounds the post-cancel work.
+				if s.cancel.Tick() {
+					return nil, s.cancel.Err()
+				}
 				if s.edgeDone.has(he.Edge) {
 					continue
 				}
@@ -147,6 +168,9 @@ func (s *SolveScratch) tgenAscLength(in *Instance, delta float64) {
 		}
 	}
 	for _, ei := range s.order {
+		if s.cancel.Tick() {
+			return // caller surfaces s.cancel.Err()
+		}
 		e := in.Edges[ei]
 		if e.Length > delta {
 			finish(e.U)
@@ -187,7 +211,7 @@ func (s *SolveScratch) tgenAscLength(in *Instance, delta float64) {
 
 // SolveGreedy answers an LCMSR query with the greedy expansion of §6.1
 // (see Greedy) using pooled scratch state.
-func SolveGreedy(s *SolveScratch, in *Instance, delta float64, opts GreedyOptions) (*Region, error) {
+func SolveGreedy(ctx context.Context, s *SolveScratch, in *Instance, delta float64, opts GreedyOptions) (*Region, error) {
 	opts, err := opts.withDefaults()
 	if err != nil {
 		return nil, err
@@ -195,25 +219,37 @@ func SolveGreedy(s *SolveScratch, in *Instance, delta float64, opts GreedyOption
 	if delta < 0 || math.IsNaN(delta) {
 		return nil, fmt.Errorf("core: invalid length constraint %v", delta)
 	}
-	s.begin()
+	s.begin(ctx)
+	defer s.cancel.Release() // don't pin the caller's context between queries
+	if s.cancel.Now() {
+		return nil, s.cancel.Err()
+	}
 	sigmaMax, seed := in.MaxWeight()
 	if seed < 0 {
 		return nil, nil
 	}
 	s.noBan = growTo(s.noBan, in.NumNodes) // never written: stays all-false
 	// s.gRegion's Nodes/Edges keep their grown capacity across queries.
-	return greedyFrom(in, delta, opts.Mu, sigmaMax, seed, s.noBan, &s.inRegion, &s.gRegion), nil
+	r := greedyFrom(in, delta, opts.Mu, sigmaMax, seed, s.noBan, &s.inRegion, &s.gRegion, &s.cancel)
+	if s.cancel.Cancelled() {
+		return nil, s.cancel.Err()
+	}
+	return r, nil
 }
 
 // SolveAPP answers an LCMSR query with the (5+ε)-approximation of §4 (see
 // APP) using pooled scratch state, including the pooled kmst/pcst solver
 // stack.
-func SolveAPP(s *SolveScratch, in *Instance, delta float64, opts APPOptions) (*Region, error) {
+func SolveAPP(ctx context.Context, s *SolveScratch, in *Instance, delta float64, opts APPOptions) (*Region, error) {
 	opts = opts.withDefaults()
 	if delta < 0 || math.IsNaN(delta) {
 		return nil, fmt.Errorf("core: invalid length constraint %v", delta)
 	}
-	s.begin()
+	s.begin(ctx)
+	defer s.cancel.Release() // don't pin the caller's context between queries
+	if s.cancel.Now() {
+		return nil, s.cancel.Err()
+	}
 	if err := ScaleInto(in, opts.Alpha, &s.scaling); err != nil {
 		if in.NumNodes > 0 {
 			// No relevant node: the query has an empty answer, not an error.
@@ -235,6 +271,7 @@ func SolveAPP(s *SolveScratch, in *Instance, delta float64, opts APPOptions) (*R
 		if err := s.spt.Reset(in.NumNodes, s.pcstEdges, sc.Scaled); err != nil {
 			return nil, err
 		}
+		s.spt.SetCancel(&s.cancel)
 		solver = s.spt
 	default:
 		if s.garg == nil {
@@ -243,10 +280,14 @@ func SolveAPP(s *SolveScratch, in *Instance, delta float64, opts APPOptions) (*R
 		if err := s.garg.Reset(in.NumNodes, s.pcstEdges, sc.Scaled); err != nil {
 			return nil, err
 		}
+		s.garg.SetCancel(&s.cancel)
 		solver = s.garg
 	}
 
-	tc, ok := binarySearch(sc, solver, delta, opts.Beta, opts.Trace)
+	tc, ok := binarySearch(sc, solver, delta, opts.Beta, opts.Trace, &s.cancel)
+	if s.cancel.Cancelled() {
+		return nil, s.cancel.Err()
+	}
 	_, argmax := in.MaxWeight()
 	fallback := s.singleton(in, argmax)
 	if !ok {
@@ -269,6 +310,9 @@ func SolveAPP(s *SolveScratch, in *Instance, delta float64, opts APPOptions) (*R
 		s.tcEdges[i] = int32(x)
 	}
 	best := s.findOptTree(in, tc.Nodes, s.tcEdges, delta)
+	if s.cancel.Cancelled() {
+		return nil, s.cancel.Err()
+	}
 	if fallback.Region.betterScore(best) {
 		best = &fallback.Region
 	}
@@ -363,6 +407,9 @@ func (s *SolveScratch) findOptTree(in *Instance, treeNodes []int32, treeEdges []
 	head := 0
 	remaining := nt
 	for head < len(queue) && remaining > 1 {
+		if s.cancel.Tick() {
+			return nil // caller surfaces s.cancel.Err()
+		}
 		v := queue[head]
 		head++
 		lv := s.pos[v]
@@ -394,6 +441,9 @@ func (s *SolveScratch) findOptTree(in *Instance, treeNodes []int32, treeEdges []
 		}
 		s.snapshot = snapshot
 		for _, t2 := range vArr {
+			if s.cancel.Tick() {
+				break // unwind via the loop exit; caller checks Cancelled
+			}
 			for _, t1 := range snapshot {
 				nr := s.combine(in, t1, t2.r, edgeIdx)
 				if nr.Length > delta {

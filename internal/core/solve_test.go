@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 )
@@ -66,7 +67,7 @@ func TestSolveTGENMatchesTGEN(t *testing.T) {
 					if err != nil {
 						t.Fatalf("seed %d n %d δ %v: TGEN: %v", seed, in.NumNodes, delta, err)
 					}
-					got, err := SolveTGEN(s, in, delta, opts)
+					got, err := SolveTGEN(context.Background(), s, in, delta, opts)
 					if err != nil {
 						t.Fatalf("seed %d n %d δ %v: SolveTGEN: %v", seed, in.NumNodes, delta, err)
 					}
@@ -96,7 +97,7 @@ func TestSolveAPPMatchesAPP(t *testing.T) {
 					if err != nil {
 						t.Fatalf("seed %d n %d δ %v: APP: %v", seed, in.NumNodes, delta, err)
 					}
-					got, err := SolveAPP(s, in, delta, opts)
+					got, err := SolveAPP(context.Background(), s, in, delta, opts)
 					if err != nil {
 						t.Fatalf("seed %d n %d δ %v: SolveAPP: %v", seed, in.NumNodes, delta, err)
 					}
@@ -122,7 +123,7 @@ func TestSolveGreedyMatchesGreedy(t *testing.T) {
 					if err != nil {
 						t.Fatalf("seed %d n %d δ %v: Greedy: %v", seed, in.NumNodes, delta, err)
 					}
-					got, err := SolveGreedy(s, in, delta, opts)
+					got, err := SolveGreedy(context.Background(), s, in, delta, opts)
 					if err != nil {
 						t.Fatalf("seed %d n %d δ %v: SolveGreedy: %v", seed, in.NumNodes, delta, err)
 					}
@@ -147,19 +148,19 @@ func TestSolveScratchMethodInterleaving(t *testing.T) {
 		switch round % 3 {
 		case 0:
 			want, _ := TGEN(in, delta, TGENOptions{})
-			got, err := SolveTGEN(s, in, delta, TGENOptions{})
+			got, err := SolveTGEN(context.Background(), s, in, delta, TGENOptions{})
 			if err != nil || !regionEq(got, want) {
 				t.Fatalf("round %d TGEN: got %v (%v), want %v", round, got, err, want)
 			}
 		case 1:
 			want, _ := APP(in, delta, APPOptions{})
-			got, err := SolveAPP(s, in, delta, APPOptions{})
+			got, err := SolveAPP(context.Background(), s, in, delta, APPOptions{})
 			if err != nil || !regionEq(got, want) {
 				t.Fatalf("round %d APP: got %v (%v), want %v", round, got, err, want)
 			}
 		default:
 			want, _ := Greedy(in, delta, GreedyOptions{})
-			got, err := SolveGreedy(s, in, delta, GreedyOptions{})
+			got, err := SolveGreedy(context.Background(), s, in, delta, GreedyOptions{})
 			if err != nil || !regionEq(got, want) {
 				t.Fatalf("round %d Greedy: got %v (%v), want %v", round, got, err, want)
 			}
@@ -171,24 +172,24 @@ func TestSolveScratchMethodInterleaving(t *testing.T) {
 func TestSolveValidation(t *testing.T) {
 	s := NewSolveScratch()
 	in := pathInstance(t, []float64{1, 2}, []float64{1})
-	if _, err := SolveTGEN(s, in, -1, TGENOptions{}); err == nil {
+	if _, err := SolveTGEN(context.Background(), s, in, -1, TGENOptions{}); err == nil {
 		t.Error("SolveTGEN accepted negative δ")
 	}
-	if _, err := SolveAPP(s, in, -1, APPOptions{}); err == nil {
+	if _, err := SolveAPP(context.Background(), s, in, -1, APPOptions{}); err == nil {
 		t.Error("SolveAPP accepted negative δ")
 	}
-	if _, err := SolveGreedy(s, in, -1, GreedyOptions{}); err == nil {
+	if _, err := SolveGreedy(context.Background(), s, in, -1, GreedyOptions{}); err == nil {
 		t.Error("SolveGreedy accepted negative δ")
 	}
-	if _, err := SolveGreedy(s, in, 1, GreedyOptions{Mu: 2}); err == nil {
+	if _, err := SolveGreedy(context.Background(), s, in, 1, GreedyOptions{Mu: 2}); err == nil {
 		t.Error("SolveGreedy accepted µ > 1")
 	}
 	// No relevant node: nil region, nil error, like the baselines.
 	zero := pathInstance(t, []float64{0, 0}, []float64{1})
 	for name, got := range map[string]func() (*Region, error){
-		"TGEN":   func() (*Region, error) { return SolveTGEN(s, zero, 1, TGENOptions{}) },
-		"APP":    func() (*Region, error) { return SolveAPP(s, zero, 1, APPOptions{}) },
-		"Greedy": func() (*Region, error) { return SolveGreedy(s, zero, 1, GreedyOptions{}) },
+		"TGEN":   func() (*Region, error) { return SolveTGEN(context.Background(), s, zero, 1, TGENOptions{}) },
+		"APP":    func() (*Region, error) { return SolveAPP(context.Background(), s, zero, 1, APPOptions{}) },
+		"Greedy": func() (*Region, error) { return SolveGreedy(context.Background(), s, zero, 1, GreedyOptions{}) },
 	} {
 		r, err := got()
 		if r != nil || err != nil {

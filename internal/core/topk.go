@@ -1,6 +1,9 @@
 package core
 
-import "sort"
+import (
+	"context"
+	"sort"
+)
 
 // The top-k LCMSR query (§6.2) returns the k best-scoring feasible
 // regions. Regions are pairwise node-disjoint — the natural reading of
@@ -15,22 +18,26 @@ import "sort"
 // what actually yields k distinct exploration areas.
 
 // TopKAPP returns up to k disjoint regions using APP (§4) repeatedly.
-func TopKAPP(in *Instance, delta float64, k int, opts APPOptions) ([]*Region, error) {
-	return topKByExclusion(in, delta, k, func(sub *Instance) (*Region, error) {
+// Cancellation is honored at rank granularity: ctx is checked before each
+// rank's solve, so a cancel returns ctx.Err() after at most one more
+// single-region solve.
+func TopKAPP(ctx context.Context, in *Instance, delta float64, k int, opts APPOptions) ([]*Region, error) {
+	return topKByExclusion(ctx, in, delta, k, func(sub *Instance) (*Region, error) {
 		return APP(sub, delta, opts)
 	})
 }
 
 // TopKTGEN returns up to k disjoint regions using TGEN (§5) repeatedly.
 // TGEN's α is resized for each shrunken instance so the scaled-weight
-// granularity σ̂max stays constant across ranks.
-func TopKTGEN(in *Instance, delta float64, k int, opts TGENOptions) ([]*Region, error) {
+// granularity σ̂max stays constant across ranks. Cancellation is honored
+// at rank granularity (see TopKAPP).
+func TopKTGEN(ctx context.Context, in *Instance, delta float64, k int, opts TGENOptions) ([]*Region, error) {
 	opts = opts.withDefaults()
 	granularity := float64(in.NumNodes) / opts.Alpha // σ̂max regime to hold
 	if granularity < 1 {
 		granularity = 1
 	}
-	return topKByExclusion(in, delta, k, func(sub *Instance) (*Region, error) {
+	return topKByExclusion(ctx, in, delta, k, func(sub *Instance) (*Region, error) {
 		o := opts
 		o.Alpha = float64(sub.NumNodes) / granularity
 		if o.Alpha < 1 {
@@ -42,8 +49,9 @@ func TopKTGEN(in *Instance, delta float64, k int, opts TGENOptions) ([]*Region, 
 
 // TopKGreedy returns up to k disjoint regions by repeated greedy growth,
 // seeding each next region at the heaviest node outside all previous
-// regions (§6.2).
-func TopKGreedy(in *Instance, delta float64, k int, opts GreedyOptions) ([]*Region, error) {
+// regions (§6.2). Cancellation is honored at rank granularity (see
+// TopKAPP).
+func TopKGreedy(ctx context.Context, in *Instance, delta float64, k int, opts GreedyOptions) ([]*Region, error) {
 	if k <= 0 {
 		return nil, nil
 	}
@@ -59,6 +67,9 @@ func TopKGreedy(in *Instance, delta float64, k int, opts GreedyOptions) ([]*Regi
 	var inRegion stampSet
 	var out []*Region
 	for len(out) < k {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
 		// Heaviest unbanned node seeds the next region.
 		seed := NodeID(-1)
 		bestW := 0.0
@@ -70,7 +81,7 @@ func TopKGreedy(in *Instance, delta float64, k int, opts GreedyOptions) ([]*Regi
 		if seed < 0 {
 			break
 		}
-		r := greedyFrom(in, delta, opts.Mu, sigmaMax, seed, banned, &inRegion, &Region{})
+		r := greedyFrom(in, delta, opts.Mu, sigmaMax, seed, banned, &inRegion, &Region{}, nil)
 		out = append(out, r)
 		for _, v := range r.Nodes {
 			banned[v] = true
@@ -82,14 +93,17 @@ func TopKGreedy(in *Instance, delta float64, k int, opts GreedyOptions) ([]*Regi
 // topKByExclusion runs solve on progressively shrunken instances: after
 // each region is found, its nodes are removed and the next rank is solved
 // on the remainder. Node IDs in the returned regions refer to the original
-// instance.
-func topKByExclusion(in *Instance, delta float64, k int, solve func(*Instance) (*Region, error)) ([]*Region, error) {
+// instance. ctx bounds the whole extraction at rank granularity.
+func topKByExclusion(ctx context.Context, in *Instance, delta float64, k int, solve func(*Instance) (*Region, error)) ([]*Region, error) {
 	if k <= 0 {
 		return nil, nil
 	}
 	banned := make([]bool, in.NumNodes)
 	var out []*Region
 	for len(out) < k {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
 		sub := excludeNodes(in, banned)
 		if sub.in.NumNodes == 0 {
 			break

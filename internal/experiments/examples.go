@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -111,7 +112,7 @@ func (e *Env) TopK(name string) (Table, error) {
 		for i, qi := range qis {
 			delta := qs[i].Delta
 			dur, err := runTimed(func() error {
-				_, err := core.TopKAPP(qi.In, delta, k, core.APPOptions{Alpha: p.APPAlpha, Beta: p.APPBeta})
+				_, err := core.TopKAPP(context.Background(), qi.In, delta, k, core.APPOptions{Alpha: p.APPAlpha, Beta: p.APPBeta})
 				return err
 			})
 			if err != nil {
@@ -119,7 +120,7 @@ func (e *Env) TopK(name string) (Table, error) {
 			}
 			app += dur
 			dur, err = runTimed(func() error {
-				_, err := core.TopKTGEN(qi.In, delta, k, core.TGENOptions{Alpha: tgenAlphaFor(qi.In, p.TGENSigma)})
+				_, err := core.TopKTGEN(context.Background(), qi.In, delta, k, core.TGENOptions{Alpha: tgenAlphaFor(qi.In, p.TGENSigma)})
 				return err
 			})
 			if err != nil {
@@ -127,7 +128,7 @@ func (e *Env) TopK(name string) (Table, error) {
 			}
 			tgen += dur
 			dur, err = runTimed(func() error {
-				_, err := core.TopKGreedy(qi.In, delta, k, core.GreedyOptions{Mu: p.GreedyMu, MuSet: true})
+				_, err := core.TopKGreedy(context.Background(), qi.In, delta, k, core.GreedyOptions{Mu: p.GreedyMu, MuSet: true})
 				return err
 			})
 			if err != nil {

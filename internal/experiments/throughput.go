@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"time"
@@ -47,7 +48,7 @@ func (e *Env) Throughput() (Table, error) {
 	)
 	for _, w := range workerCounts {
 		start := time.Now()
-		res, err := queryengine.Run(d, qs, queryengine.Options{Workers: w})
+		res, err := queryengine.Run(context.Background(), d, qs, queryengine.Options{Workers: w})
 		if err != nil {
 			return Table{}, err
 		}

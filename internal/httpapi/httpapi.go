@@ -1,0 +1,221 @@
+// Package httpapi is the JSON-over-HTTP front end of the streaming query
+// server: POST /query answers LCMSR queries, GET /stats reports the
+// server's counters and latency percentiles.
+//
+// The package owns the wire shapes and the HTTP mechanics — request
+// decoding, per-request deadlines, client-disconnect propagation, and
+// error-to-status mapping — while the Backend interface keeps it
+// decoupled from the public repro package (which wires a Server into a
+// Backend in serve_http.go).
+//
+// # Deadlines and disconnects
+//
+// Every query runs under the incoming request's context, so a client
+// that disconnects cancels the solve mid-flight (net/http cancels
+// r.Context()). On top of that the handler applies the tighter of the
+// server-configured Options.Timeout and the client's timeout_ms field;
+// a missed deadline answers 504, an admission-shed request answers 503
+// with Retry-After, and a malformed request answers 400.
+package httpapi
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+
+	"repro/internal/queryengine"
+)
+
+// ErrBadRequest marks client errors: a Backend wraps validation failures
+// with it (fmt.Errorf("%w: ...", httpapi.ErrBadRequest)) and the handler
+// answers 400 instead of 500.
+var ErrBadRequest = errors.New("bad request")
+
+// Rect is the wire form of a query rectangle Q.Λ.
+type Rect struct {
+	MinX float64 `json:"min_x"`
+	MinY float64 `json:"min_y"`
+	MaxX float64 `json:"max_x"`
+	MaxY float64 `json:"max_y"`
+}
+
+// QueryRequest is the JSON body of POST /query.
+type QueryRequest struct {
+	// Keywords is the query keyword set Q.ψ (required, non-empty).
+	Keywords []string `json:"keywords"`
+	// Delta is the length constraint Q.∆ in coordinate units (required, > 0).
+	Delta float64 `json:"delta"`
+	// Region is the rectangular region of interest Q.Λ.
+	Region Rect `json:"region"`
+	// Method optionally overrides the server's configured algorithm:
+	// "tgen", "app", or "greedy" (case-insensitive). Empty keeps the
+	// server default.
+	Method string `json:"method,omitempty"`
+	// K, when > 1, asks for the top-K disjoint regions.
+	K int `json:"k,omitempty"`
+	// TimeoutMs optionally tightens the per-request deadline below the
+	// server-configured bound. It can never extend it.
+	TimeoutMs int `json:"timeout_ms,omitempty"`
+}
+
+// Object is one relevant object of a result region.
+type Object struct {
+	ID    int     `json:"id"`
+	X     float64 `json:"x"`
+	Y     float64 `json:"y"`
+	Score float64 `json:"score"`
+}
+
+// Edge is one road segment of a result region.
+type Edge struct {
+	U      int     `json:"u"`
+	V      int     `json:"v"`
+	Length float64 `json:"length"`
+}
+
+// Region is the wire form of one result region.
+type Region struct {
+	Score   float64  `json:"score"`
+	Length  float64  `json:"length"`
+	Nodes   []int    `json:"nodes"`
+	Edges   []Edge   `json:"edges"`
+	Objects []Object `json:"objects"`
+}
+
+// QueryResponse is the JSON body answering POST /query.
+type QueryResponse struct {
+	// Matched reports whether any region matched; false with empty
+	// Regions is a valid empty answer, not an error.
+	Matched bool `json:"matched"`
+	// Regions holds the result regions, best first.
+	Regions []Region `json:"regions"`
+}
+
+// Stats is the JSON body answering GET /stats. Latencies are reported in
+// milliseconds.
+type Stats struct {
+	Served  int64   `json:"served"`
+	Matched int64   `json:"matched"`
+	Errors  int64   `json:"errors"`
+	Shed    int64   `json:"shed"`
+	Window  int     `json:"window"`
+	P50Ms   float64 `json:"p50_ms"`
+	P95Ms   float64 `json:"p95_ms"`
+	P99Ms   float64 `json:"p99_ms"`
+	MaxMs   float64 `json:"max_ms"`
+}
+
+// Backend answers decoded queries; the public repro package implements it
+// over a streaming Server.
+type Backend interface {
+	// Query answers one request under ctx. Validation failures should
+	// wrap ErrBadRequest; cancellation/deadline/overload errors pass
+	// through untranslated and the handler maps them to statuses.
+	Query(ctx context.Context, req QueryRequest) (QueryResponse, error)
+	// Stats snapshots the serving counters.
+	Stats() Stats
+}
+
+// Options configures the handler.
+type Options struct {
+	// Timeout bounds every /query request (a context deadline around the
+	// solve); clients may tighten it per request via timeout_ms but never
+	// extend it. Zero leaves requests bounded only by the client.
+	Timeout time.Duration
+	// MaxBodyBytes caps the /query body size; <= 0 selects 1 MiB.
+	MaxBodyBytes int64
+}
+
+// NewHandler returns the HTTP handler serving POST /query and GET /stats
+// over the backend.
+func NewHandler(b Backend, opts Options) http.Handler {
+	maxBody := opts.MaxBodyBytes
+	if maxBody <= 0 {
+		maxBody = 1 << 20
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			writeError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		var req QueryRequest
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "invalid JSON body: "+err.Error())
+			return
+		}
+		ctx := r.Context()
+		timeout := opts.Timeout
+		if req.TimeoutMs > 0 {
+			if t := time.Duration(req.TimeoutMs) * time.Millisecond; timeout == 0 || t < timeout {
+				timeout = t
+			}
+		}
+		if timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, timeout)
+			defer cancel()
+		}
+		resp, err := b.Query(ctx, req)
+		if err != nil {
+			writeQueryError(w, r, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			writeError(w, http.StatusMethodNotAllowed, "GET only")
+			return
+		}
+		writeJSON(w, http.StatusOK, b.Stats())
+	})
+	return mux
+}
+
+// writeQueryError maps a backend error onto an HTTP status.
+func writeQueryError(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case errors.Is(err, ErrBadRequest):
+		writeError(w, http.StatusBadRequest, err.Error())
+	case errors.Is(err, queryengine.ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, "deadline exceeded")
+	case errors.Is(err, context.Canceled) && r.Context().Err() != nil:
+		// The client disconnected; nobody is reading the response.
+	default:
+		writeError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorBody{Error: msg})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(v); err != nil {
+		// The status line is gone already; nothing useful remains to send.
+		_ = err
+	}
+}
+
+// MillisOf converts a duration to the wire millisecond form.
+func MillisOf(d time.Duration) float64 {
+	return float64(d) / float64(time.Millisecond)
+}

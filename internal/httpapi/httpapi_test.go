@@ -1,0 +1,186 @@
+package httpapi
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/queryengine"
+)
+
+// fakeBackend scripts Query responses for handler-mechanics tests.
+type fakeBackend struct {
+	query func(ctx context.Context, req QueryRequest) (QueryResponse, error)
+	stats Stats
+}
+
+func (f fakeBackend) Query(ctx context.Context, req QueryRequest) (QueryResponse, error) {
+	return f.query(ctx, req)
+}
+func (f fakeBackend) Stats() Stats { return f.stats }
+
+func postJSON(t *testing.T, h http.Handler, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/query", strings.NewReader(body))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+func TestQueryDecodesAndAnswers(t *testing.T) {
+	var got QueryRequest
+	h := NewHandler(fakeBackend{query: func(_ context.Context, req QueryRequest) (QueryResponse, error) {
+		got = req
+		return QueryResponse{Matched: true, Regions: []Region{{Score: 2.5, Nodes: []int{1, 2}}}}, nil
+	}}, Options{})
+	w := postJSON(t, h, `{"keywords":["cafe","bar"],"delta":5000,
+		"region":{"min_x":1,"min_y":2,"max_x":3,"max_y":4},"method":"app","k":2}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", w.Code, w.Body)
+	}
+	if ct := w.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	if len(got.Keywords) != 2 || got.Delta != 5000 || got.Method != "app" || got.K != 2 ||
+		got.Region != (Rect{MinX: 1, MinY: 2, MaxX: 3, MaxY: 4}) {
+		t.Fatalf("decoded request = %+v", got)
+	}
+	var resp QueryResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Matched || len(resp.Regions) != 1 || resp.Regions[0].Score != 2.5 {
+		t.Fatalf("response = %+v", resp)
+	}
+}
+
+func TestQueryRejectsBadBodies(t *testing.T) {
+	h := NewHandler(fakeBackend{query: func(context.Context, QueryRequest) (QueryResponse, error) {
+		return QueryResponse{}, nil
+	}}, Options{})
+	for _, body := range []string{"not json", `{"keywords":["a"],"detla":1}`} {
+		if w := postJSON(t, h, body); w.Code != http.StatusBadRequest {
+			t.Fatalf("body %q: status = %d, want 400", body, w.Code)
+		}
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	h := NewHandler(fakeBackend{}, Options{})
+	req := httptest.NewRequest(http.MethodGet, "/query", nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusMethodNotAllowed || w.Header().Get("Allow") != http.MethodPost {
+		t.Fatalf("GET /query: status = %d Allow = %q", w.Code, w.Header().Get("Allow"))
+	}
+	req = httptest.NewRequest(http.MethodPost, "/stats", nil)
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusMethodNotAllowed || w.Header().Get("Allow") != http.MethodGet {
+		t.Fatalf("POST /stats: status = %d Allow = %q", w.Code, w.Header().Get("Allow"))
+	}
+}
+
+func TestErrorStatusMapping(t *testing.T) {
+	cases := []struct {
+		err    error
+		status int
+	}{
+		{fmt.Errorf("%w: delta must be positive", ErrBadRequest), http.StatusBadRequest},
+		{queryengine.ErrOverloaded, http.StatusServiceUnavailable},
+		{context.DeadlineExceeded, http.StatusGatewayTimeout},
+		{fmt.Errorf("solver exploded"), http.StatusInternalServerError},
+	}
+	for _, c := range cases {
+		h := NewHandler(fakeBackend{query: func(context.Context, QueryRequest) (QueryResponse, error) {
+			return QueryResponse{}, c.err
+		}}, Options{})
+		w := postJSON(t, h, `{"keywords":["a"],"delta":1}`)
+		if w.Code != c.status {
+			t.Fatalf("err %v: status = %d, want %d", c.err, w.Code, c.status)
+		}
+		var eb errorBody
+		if err := json.Unmarshal(w.Body.Bytes(), &eb); err != nil || eb.Error == "" {
+			t.Fatalf("err %v: error body %q (%v)", c.err, w.Body, err)
+		}
+		if c.status == http.StatusServiceUnavailable && w.Header().Get("Retry-After") == "" {
+			t.Fatal("503 without Retry-After")
+		}
+	}
+}
+
+func TestTimeoutAppliesTighterOfServerAndClient(t *testing.T) {
+	// The backend reports the deadline it observed so the test can check
+	// which bound won.
+	h := NewHandler(fakeBackend{query: func(ctx context.Context, _ QueryRequest) (QueryResponse, error) {
+		dl, ok := ctx.Deadline()
+		if !ok {
+			return QueryResponse{}, fmt.Errorf("no deadline")
+		}
+		if remaining := time.Until(dl); remaining > 50*time.Millisecond {
+			return QueryResponse{}, fmt.Errorf("deadline too loose: %v", remaining)
+		}
+		<-ctx.Done() // simulate a solve outliving the deadline
+		return QueryResponse{}, ctx.Err()
+	}}, Options{Timeout: time.Hour})
+	w := postJSON(t, h, `{"keywords":["a"],"delta":1,"timeout_ms":20}`)
+	if w.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d body %s, want 504", w.Code, w.Body)
+	}
+
+	// The client cannot extend the server bound.
+	h = NewHandler(fakeBackend{query: func(ctx context.Context, _ QueryRequest) (QueryResponse, error) {
+		dl, ok := ctx.Deadline()
+		if !ok || time.Until(dl) > 50*time.Millisecond {
+			return QueryResponse{}, fmt.Errorf("server bound not applied")
+		}
+		return QueryResponse{}, nil
+	}}, Options{Timeout: 20 * time.Millisecond})
+	if w := postJSON(t, h, `{"keywords":["a"],"delta":1,"timeout_ms":60000}`); w.Code != http.StatusOK {
+		t.Fatalf("status = %d body %s, want 200", w.Code, w.Body)
+	}
+}
+
+func TestClientDisconnectWritesNothing(t *testing.T) {
+	h := NewHandler(fakeBackend{query: func(ctx context.Context, _ QueryRequest) (QueryResponse, error) {
+		<-ctx.Done()
+		return QueryResponse{}, ctx.Err()
+	}}, Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	req := httptest.NewRequest(http.MethodPost, "/query", strings.NewReader(`{"keywords":["a"],"delta":1}`)).WithContext(ctx)
+	w := httptest.NewRecorder()
+	done := make(chan struct{})
+	go func() {
+		h.ServeHTTP(w, req)
+		close(done)
+	}()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	<-done
+	if w.Body.Len() != 0 {
+		t.Fatalf("handler wrote %q to a disconnected client", w.Body)
+	}
+}
+
+func TestStats(t *testing.T) {
+	st := Stats{Served: 7, Matched: 5, Errors: 1, Shed: 2, Window: 7, P50Ms: 1.5, MaxMs: 9}
+	h := NewHandler(fakeBackend{stats: st}, Options{})
+	req := httptest.NewRequest(http.MethodGet, "/stats", nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d", w.Code)
+	}
+	var got Stats
+	if err := json.Unmarshal(w.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != st {
+		t.Fatalf("stats = %+v, want %+v", got, st)
+	}
+}

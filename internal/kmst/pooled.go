@@ -5,6 +5,7 @@ import (
 	"math"
 	"slices"
 
+	"repro/internal/cancel"
 	"repro/internal/container"
 	"repro/internal/pcst"
 )
@@ -27,6 +28,11 @@ type quotaState struct {
 	n       int
 	edges   []pcst.Edge
 	weights []int64
+
+	// chk, when non-nil, is polled in the solver hot loops; once it fires,
+	// Tree unwinds quickly with ok == false and the caller surfaces the
+	// context error. Reset clears it; SetCancel re-arms it.
+	chk *cancel.Check
 
 	offs    []int32
 	adjTo   []int32
@@ -73,6 +79,7 @@ func (q *quotaState) reset(n int, edges []pcst.Edge, weights []int64) error {
 		}
 	}
 	q.n, q.edges, q.weights = n, edges, weights
+	q.chk = nil
 	q.nodeArena.Reset()
 	q.edgeArena.Reset()
 
@@ -101,6 +108,10 @@ func (q *quotaState) reset(n int, edges []pcst.Edge, weights []int64) error {
 	}
 	return nil
 }
+
+// SetCancel arms the solver with a cancellation checkpoint for the Tree
+// calls until the next Reset. A nil check disables the checkpoints.
+func (q *quotaState) SetCancel(chk *cancel.Check) { q.chk = chk }
 
 // finish copies the assembled tmp result into arena-backed storage.
 func (q *quotaState) finish(r Result) Result {
@@ -163,6 +174,9 @@ func (q *quotaState) quotaPrune(r *Result, quota int64) {
 		q.cursor[q.pos[e.V]]++
 	}
 	for {
+		if q.chk.Tick() {
+			return // partial prune; the abandoned result is discarded upstream
+		}
 		// Find the best removable leaf.
 		bestLeaf := int32(-1)
 		bestEdge := -1
@@ -265,6 +279,14 @@ type primItem struct {
 // NewGargSolver returns an empty pooled Garg solver; call Reset before use.
 func NewGargSolver() *GargSolver { return &GargSolver{} }
 
+// SetCancel arms the solver (and its PCST solver beneath) with a
+// cancellation checkpoint for the Tree calls until the next Reset. A nil
+// check disables the checkpoints.
+func (s *GargSolver) SetCancel(chk *cancel.Check) {
+	s.chk = chk
+	s.ps.SetCancel(chk)
+}
+
 // Reset points the solver at a new quota graph, reclaiming the previous
 // query's Results, λ-cache, and PCST state.
 func (s *GargSolver) Reset(n int, edges []pcst.Edge, weights []int64) error {
@@ -272,6 +294,7 @@ func (s *GargSolver) Reset(n int, edges []pcst.Edge, weights []int64) error {
 		return err
 	}
 	s.ps.Reset()
+	s.ps.SetCancel(nil)
 	s.cacheLam = s.cacheLam[:0]
 	s.cacheTrees = s.cacheTrees[:0]
 
@@ -334,6 +357,9 @@ func (s *GargSolver) Tree(quota int64) (Result, bool) {
 	var bestTree *pcst.Tree
 	var bestW int64
 	for iter := 0; iter < 48 && hi-lo > 1e-9*s.lambdaMax; iter++ {
+		if s.chk.Now() {
+			return Result{}, false
+		}
 		mid := (lo + hi) / 2
 		if tr, w := s.quotaTreeAt(mid, quota); tr != nil {
 			if bestTree == nil || tr.Cost < bestTree.Cost {
@@ -343,6 +369,9 @@ func (s *GargSolver) Tree(quota int64) (Result, bool) {
 		} else {
 			lo = mid
 		}
+	}
+	if s.chk.Now() {
+		return Result{}, false
 	}
 	if bestTree == nil {
 		if tr, w := s.quotaTreeAt(s.lambdaMax, quota); tr != nil {
@@ -438,6 +467,9 @@ func (s *GargSolver) mstFallback(quota int64) Result {
 		s.h.Push(primItem{cost: s.edges[s.adjEdge[k]].Cost, to: s.adjTo[k], edge: s.adjEdge[k]})
 	}
 	for {
+		if s.chk.Tick() {
+			break // partial MST; discarded upstream once cancellation surfaces
+		}
 		it, ok := s.h.Pop()
 		if !ok {
 			break
@@ -527,6 +559,9 @@ func (s *SPTSolver) Tree(quota int64) (Result, bool) {
 		tries = s.n
 	}
 	for k := 0; k < tries; k++ {
+		if s.chk.Now() {
+			return Result{}, false
+		}
 		r, ok := s.fromSeed(int(s.order[k]), quota)
 		if !ok {
 			continue
@@ -575,6 +610,9 @@ func (s *SPTSolver) fromSeed(seed int, quota int64) (Result, bool) {
 	var acc int64
 	met := false
 	for {
+		if s.chk.Tick() {
+			break // unmet quota path below parks the buffers and reports !ok
+		}
 		it, ok := s.h.Pop()
 		if !ok {
 			break

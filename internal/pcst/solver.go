@@ -4,6 +4,7 @@ import (
 	"math"
 	"slices"
 
+	"repro/internal/cancel"
 	"repro/internal/container"
 )
 
@@ -19,6 +20,11 @@ import (
 // Solve calls until Reset is called; Reset reclaims them all at once. One
 // Solver serves one goroutine; pool one per worker.
 type Solver struct {
+	// chk, when non-nil, is polled in the GW event loop; once it fires,
+	// Solve returns early with a nil tree slice, which callers abandoning
+	// the query treat as "no result".
+	chk *cancel.Check
+
 	// Moat-growing state (growForest).
 	uf         container.UnionFind
 	clusters   []solverCluster
@@ -76,6 +82,10 @@ type pruneFrame struct {
 // NewSolver returns an empty pooled solver.
 func NewSolver() *Solver { return &Solver{} }
 
+// SetCancel arms the solver with a cancellation checkpoint polled in the
+// moat-growing event loop. A nil check disables the checkpoints.
+func (s *Solver) SetCancel(chk *cancel.Check) { s.chk = chk }
+
 // Reset reclaims the storage behind every tree returned since the last
 // Reset. Those trees become invalid; the solver keeps its capacity.
 func (s *Solver) Reset() {
@@ -93,6 +103,12 @@ func (s *Solver) Solve(g *Graph) ([]Tree, error) {
 		return nil, err
 	}
 	s.growForest(g)
+	if s.chk.Cancelled() {
+		// The forest is partial; skip pruning and hand back nothing. The
+		// caller is abandoning the query, so "no trees" is never cached
+		// beyond the current (cancelled) request.
+		return nil, nil
+	}
 	s.groupComponents(g)
 	out := s.treeArena.Alloc(s.numComps)
 	kept := 0
@@ -166,6 +182,9 @@ func (s *Solver) growForest(g *Graph) {
 	}
 
 	for activeCount > 0 {
+		if s.chk.Tick() {
+			return // partial forest; Solve bails before pruning
+		}
 		ev, ok := s.pq.Pop()
 		if !ok {
 			break

@@ -29,6 +29,7 @@
 package queryengine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -96,8 +97,11 @@ type Result struct {
 // RunFunc executes fn for every query, fanning out across workers. Each
 // worker owns a pooled Planner; fn receives the query index and the
 // materialized working graph, whose buffers are valid only for the
-// duration of the call. The first error cancels the remaining work.
-func RunFunc(d *dataset.Dataset, queries []dataset.Query, workers int, fn func(i int, qi *dataset.QueryInstance) error) error {
+// duration of the call. The first error cancels the remaining work, as
+// does ctx: once ctx is done, workers stop picking up queries and the
+// call returns ctx.Err() (callbacks already running observe the same ctx
+// through Solve's checkpoints).
+func RunFunc(ctx context.Context, d *dataset.Dataset, queries []dataset.Query, workers int, fn func(i int, qi *dataset.QueryInstance) error) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -105,7 +109,7 @@ func RunFunc(d *dataset.Dataset, queries []dataset.Query, workers int, fn func(i
 		workers = len(queries)
 	}
 	if len(queries) == 0 {
-		return nil
+		return ctx.Err()
 	}
 	var (
 		next    atomic.Int64
@@ -128,6 +132,10 @@ func RunFunc(d *dataset.Dataset, queries []dataset.Query, workers int, fn func(i
 				if i >= len(queries) || failed.Load() {
 					return
 				}
+				if err := ctx.Err(); err != nil {
+					report(err)
+					return
+				}
 				qi, err := p.Instantiate(queries[i])
 				if err != nil {
 					report(fmt.Errorf("queryengine: query %d: %w", i, err))
@@ -147,10 +155,10 @@ func RunFunc(d *dataset.Dataset, queries []dataset.Query, workers int, fn func(i
 // Run answers every query of the workload with the configured method and
 // returns one Result per query. The results are identical for any worker
 // count, including the serial Workers == 1 path.
-func Run(d *dataset.Dataset, queries []dataset.Query, opts Options) ([]Result, error) {
+func Run(ctx context.Context, d *dataset.Dataset, queries []dataset.Query, opts Options) ([]Result, error) {
 	results := make([]Result, len(queries))
-	err := RunFunc(d, queries, opts.Workers, func(i int, qi *dataset.QueryInstance) error {
-		region, err := Solve(qi, queries[i].Delta, opts)
+	err := RunFunc(ctx, d, queries, opts.Workers, func(i int, qi *dataset.QueryInstance) error {
+		region, err := Solve(ctx, qi, queries[i].Delta, opts)
 		if err != nil {
 			return err
 		}
@@ -175,29 +183,39 @@ func Run(d *dataset.Dataset, queries []dataset.Query, opts Options) ([]Result, e
 // dispatch so method selection lives in one place. When the instance
 // carries its planner's SolveScratch (always, through Planner.Instantiate)
 // the pooled solver path runs — bit-identical results, zero steady-state
-// allocations — and the returned region is valid only until the next solve
-// on the same planner.
-func Solve(qi *dataset.QueryInstance, delta float64, opts Options) (*core.Region, error) {
+// allocations, and mid-solve cancellation: a cancelled ctx makes Solve
+// return ctx.Err() within a bounded number of solver iterations. The
+// returned region is valid only until the next solve on the same planner.
+// The scratch-less fallback path honors ctx only on entry.
+func Solve(ctx context.Context, qi *dataset.QueryInstance, delta float64, opts Options) (*core.Region, error) {
+	tgen := opts.TGEN
+	if tgen.Alpha == 0 {
+		tgen.Alpha = autoAlpha(qi.In.NumNodes)
+	}
+	if qi.Scratch == nil {
+		// Scratch-less fallback: the allocating solvers have no internal
+		// checkpoints, so honor the context at call granularity.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		switch opts.Method {
+		case MethodAPP:
+			return core.APP(qi.In, delta, opts.APP)
+		case MethodGreedy:
+			return core.Greedy(qi.In, delta, opts.Greedy)
+		case MethodTGEN:
+			return core.TGEN(qi.In, delta, tgen)
+		default:
+			return nil, fmt.Errorf("unknown method %v", opts.Method)
+		}
+	}
 	switch opts.Method {
 	case MethodAPP:
-		if qi.Scratch != nil {
-			return core.SolveAPP(qi.Scratch, qi.In, delta, opts.APP)
-		}
-		return core.APP(qi.In, delta, opts.APP)
+		return core.SolveAPP(ctx, qi.Scratch, qi.In, delta, opts.APP)
 	case MethodGreedy:
-		if qi.Scratch != nil {
-			return core.SolveGreedy(qi.Scratch, qi.In, delta, opts.Greedy)
-		}
-		return core.Greedy(qi.In, delta, opts.Greedy)
+		return core.SolveGreedy(ctx, qi.Scratch, qi.In, delta, opts.Greedy)
 	case MethodTGEN:
-		t := opts.TGEN
-		if t.Alpha == 0 {
-			t.Alpha = autoAlpha(qi.In.NumNodes)
-		}
-		if qi.Scratch != nil {
-			return core.SolveTGEN(qi.Scratch, qi.In, delta, t)
-		}
-		return core.TGEN(qi.In, delta, t)
+		return core.SolveTGEN(ctx, qi.Scratch, qi.In, delta, tgen)
 	default:
 		return nil, fmt.Errorf("unknown method %v", opts.Method)
 	}

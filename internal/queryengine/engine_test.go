@@ -1,6 +1,7 @@
 package queryengine
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"reflect"
@@ -29,7 +30,7 @@ func testWorkload(t *testing.T, scale float64, count int) (*dataset.Dataset, []d
 func TestParallelMatchesSerial(t *testing.T) {
 	d, qs := testWorkload(t, 0.12, 12)
 	for _, method := range []Method{MethodTGEN, MethodGreedy, MethodAPP} {
-		serial, err := Run(d, qs, Options{Workers: 1, Method: method})
+		serial, err := Run(context.Background(), d, qs, Options{Workers: 1, Method: method})
 		if err != nil {
 			t.Fatalf("%v serial: %v", method, err)
 		}
@@ -43,7 +44,7 @@ func TestParallelMatchesSerial(t *testing.T) {
 			t.Fatalf("%v: workload produced no matches; test is vacuous", method)
 		}
 		for _, workers := range []int{2, 4, 0} {
-			parallel, err := Run(d, qs, Options{Workers: workers, Method: method})
+			parallel, err := Run(context.Background(), d, qs, Options{Workers: workers, Method: method})
 			if err != nil {
 				t.Fatalf("%v workers=%d: %v", method, workers, err)
 			}
@@ -58,11 +59,11 @@ func TestParallelMatchesSerial(t *testing.T) {
 // identical output (guards against map-iteration or scheduling leaks).
 func TestRepeatedRunsDeterministic(t *testing.T) {
 	d, qs := testWorkload(t, 0.1, 8)
-	first, err := Run(d, qs, Options{Workers: 4})
+	first, err := Run(context.Background(), d, qs, Options{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
-	second, err := Run(d, qs, Options{Workers: 3})
+	second, err := Run(context.Background(), d, qs, Options{Workers: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +75,7 @@ func TestRepeatedRunsDeterministic(t *testing.T) {
 func TestRunFuncPropagatesError(t *testing.T) {
 	d, qs := testWorkload(t, 0.1, 8)
 	boom := errors.New("boom")
-	err := RunFunc(d, qs, 4, func(i int, qi *dataset.QueryInstance) error {
+	err := RunFunc(context.Background(), d, qs, 4, func(i int, qi *dataset.QueryInstance) error {
 		if i == 3 {
 			return boom
 		}
@@ -87,14 +88,14 @@ func TestRunFuncPropagatesError(t *testing.T) {
 
 func TestRunUnknownMethod(t *testing.T) {
 	d, qs := testWorkload(t, 0.1, 2)
-	if _, err := Run(d, qs, Options{Method: Method(99)}); err == nil {
+	if _, err := Run(context.Background(), d, qs, Options{Method: Method(99)}); err == nil {
 		t.Fatal("unknown method accepted")
 	}
 }
 
 func TestRunEmptyWorkload(t *testing.T) {
 	d, _ := testWorkload(t, 0.1, 2)
-	res, err := Run(d, nil, Options{})
+	res, err := Run(context.Background(), d, nil, Options{})
 	if err != nil || len(res) != 0 {
 		t.Fatalf("empty workload: res=%v err=%v", res, err)
 	}

@@ -1,9 +1,11 @@
 package queryengine
 
 import (
+	"context"
 	"errors"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -14,6 +16,12 @@ import (
 // ErrServerClosed is returned by Do and Submit after Close.
 var ErrServerClosed = errors.New("queryengine: server closed")
 
+// ErrOverloaded is returned when the server sheds a request under load:
+// the request waited in the queue longer than ServerOptions.MaxQueueAge.
+// Shed requests are counted in ServerStats.Shed; clients should back off
+// and retry.
+var ErrOverloaded = errors.New("queryengine: server overloaded")
+
 // ServerOptions configures a streaming Server.
 type ServerOptions struct {
 	// Workers is the number of serving goroutines, each owning one pooled
@@ -21,11 +29,19 @@ type ServerOptions struct {
 	Workers int
 	// Options selects the algorithm and its tuning for the default solve
 	// path (its Workers field is ignored; ServerOptions.Workers rules).
+	// A Task may override it per request through Task.Opts.
 	Options Options
 	// Queue is the request-channel capacity. A full queue makes Do block —
 	// that backpressure is the server's admission control. <= 0 means
 	// 2×Workers.
 	Queue int
+	// MaxQueueAge, when positive, is the load-shedding threshold: a
+	// request that waited longer than this between submission and pickup
+	// is answered with ErrOverloaded instead of being solved. Under
+	// sustained overload this bounds the work the server wastes on
+	// requests whose clients have likely timed out already. Zero disables
+	// shedding.
+	MaxQueueAge time.Duration
 	// LatencyWindow is the number of per-worker latency samples retained
 	// for percentile reporting (a ring buffer of the most recent requests);
 	// <= 0 means 4096.
@@ -39,6 +55,15 @@ type ServerOptions struct {
 type Task struct {
 	// Query is the request.
 	Query dataset.Query
+	// Ctx, when non-nil, bounds the request: a context that is already
+	// done at submission is rejected without dispatch, cancellation while
+	// queued is observed at pickup, and cancellation mid-solve is observed
+	// by the solver checkpoints, all surfacing ctx.Err(). nil means
+	// context.Background() (never cancelled).
+	Ctx context.Context
+	// Opts, when non-nil, overrides the server's configured Options for
+	// this request only (its Workers field is ignored).
+	Opts *Options
 	// Visit, when non-nil, replaces the default solve: it runs on the
 	// worker goroutine with the materialized working graph, which aliases
 	// the worker's pooled planner buffers and is valid only for the
@@ -56,6 +81,14 @@ type Task struct {
 	nodes []roadnet.NodeID // pooled Result.Nodes backing array
 }
 
+// ctx returns the task's context, defaulting to Background.
+func (t *Task) ctx() context.Context {
+	if t.Ctx != nil {
+		return t.Ctx
+	}
+	return context.Background()
+}
+
 // Server answers a continuous stream of LCMSR queries. Requests enter
 // through a bounded channel and are picked up by a fixed pool of workers,
 // each owning one pooled dataset.Planner, so the steady-state search path
@@ -64,14 +97,23 @@ type Task struct {
 // dataset: the shared state is immutable and all per-query computation is
 // deterministic, so scheduling cannot change answers.
 //
+// Admission control is deadline-aware: a request whose context is already
+// done is rejected without dispatch, a request still queued past
+// MaxQueueAge is shed with ErrOverloaded, and a request cancelled
+// mid-solve returns ctx.Err() within a bounded number of solver
+// iterations (the worker and its scratch stay healthy and serve the next
+// request with bit-identical results).
+//
 // A Server must be Closed when done; Close drains queued requests and waits
 // for the workers to exit.
 type Server struct {
-	d    *dataset.Dataset
-	opts Options
+	d           *dataset.Dataset
+	opts        Options
+	maxQueueAge time.Duration
 
-	tasks   chan *Task
-	workers []*workerState
+	tasks    chan *Task
+	workers  []*workerState
+	rejected atomic.Int64 // admission rejections (context done before dispatch)
 
 	mu     sync.RWMutex // guards closed vs. in-flight sends
 	closed bool
@@ -86,9 +128,11 @@ type workerState struct {
 	next    int             // overwrite cursor once the ring is full
 	served  int64
 	matched int64
+	errors  int64
+	shed    int64
 }
 
-func (ws *workerState) record(d time.Duration, matched bool) {
+func (ws *workerState) record(d time.Duration, matched, errored bool) {
 	ws.mu.Lock()
 	if len(ws.lat) < cap(ws.lat) {
 		ws.lat = append(ws.lat, d)
@@ -103,6 +147,27 @@ func (ws *workerState) record(d time.Duration, matched bool) {
 	if matched {
 		ws.matched++
 	}
+	if errored {
+		ws.errors++
+	}
+	ws.mu.Unlock()
+}
+
+// recordShed counts a request shed at pickup; no latency sample is taken
+// because the request was never served.
+func (ws *workerState) recordShed() {
+	ws.mu.Lock()
+	ws.shed++
+	ws.mu.Unlock()
+}
+
+// recordRejected counts a request found dead (context done) at pickup.
+// Like a shed request it was never served, so it takes no latency sample
+// and does not count as Served — a queue full of expired requests must
+// not drag the reported percentiles below real service latency.
+func (ws *workerState) recordRejected() {
+	ws.mu.Lock()
+	ws.errors++
 	ws.mu.Unlock()
 }
 
@@ -123,9 +188,10 @@ func NewServer(d *dataset.Dataset, opts ServerOptions) *Server {
 		window = 4096
 	}
 	s := &Server{
-		d:     d,
-		opts:  opts.Options,
-		tasks: make(chan *Task, queue),
+		d:           d,
+		opts:        opts.Options,
+		maxQueueAge: opts.MaxQueueAge,
+		tasks:       make(chan *Task, queue),
 	}
 	for i := 0; i < workers; i++ {
 		ws := &workerState{lat: make([]time.Duration, 0, window)}
@@ -138,10 +204,20 @@ func NewServer(d *dataset.Dataset, opts ServerOptions) *Server {
 
 // Do submits t and blocks until it is served, returning the per-query
 // error. Latency is measured from submission, so queueing delay under
-// backpressure is part of the reported percentiles. Do is safe for
-// concurrent use with distinct Tasks; a single Task must not be submitted
-// concurrently with itself.
+// backpressure is part of the reported percentiles. A task whose context
+// is already done is rejected with ctx.Err() without dispatch; a task
+// blocked on a full queue gives up with ctx.Err() when the context fires
+// first. Once dispatched, Do waits for the worker's answer — cancellation
+// is then honored by the worker (at pickup and in the solver
+// checkpoints), which keeps a reused Task's memory owned by exactly one
+// side at a time. Do is safe for concurrent use with distinct Tasks; a
+// single Task must not be submitted concurrently with itself.
 func (s *Server) Do(t *Task) error {
+	ctx := t.ctx()
+	if err := ctx.Err(); err != nil {
+		s.rejected.Add(1)
+		return err
+	}
 	if t.done == nil {
 		t.done = make(chan error, 1)
 	}
@@ -151,21 +227,29 @@ func (s *Server) Do(t *Task) error {
 		s.mu.RUnlock()
 		return ErrServerClosed
 	}
-	s.tasks <- t
-	s.mu.RUnlock()
+	select {
+	case s.tasks <- t:
+		s.mu.RUnlock()
+	case <-ctx.Done():
+		s.mu.RUnlock()
+		s.rejected.Add(1)
+		return ctx.Err()
+	}
 	return <-t.done
 }
 
 // Submit answers one query through the default solve path. It is the
-// convenience form of Do with a fresh Task per call.
-func (s *Server) Submit(q dataset.Query) (Result, error) {
-	t := Task{Query: q}
+// convenience form of Do with a fresh Task per call; ctx bounds the
+// request exactly as Task.Ctx does.
+func (s *Server) Submit(ctx context.Context, q dataset.Query) (Result, error) {
+	t := Task{Ctx: ctx, Query: q}
 	err := s.Do(&t)
 	return t.Result, err
 }
 
 // Close stops accepting new requests, serves everything already queued,
-// and waits for the workers to exit. It is idempotent.
+// and waits for the workers to exit. It is idempotent and safe to call
+// concurrently.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if !s.closed {
@@ -188,6 +272,22 @@ func (s *Server) worker(ws *workerState) {
 // serve answers one task on the worker's planner and records its latency.
 func (s *Server) serve(p *dataset.Planner, ws *workerState, t *Task) error {
 	t.Result = Result{} // a reused Task must never carry a stale answer
+	ctx := t.ctx()
+	// Shed before touching the planner: a request that went stale in the
+	// queue (dead context, or older than the shedding threshold) is not
+	// worth solving.
+	if err := ctx.Err(); err != nil {
+		ws.recordRejected()
+		return err
+	}
+	if s.maxQueueAge > 0 && time.Since(t.start) > s.maxQueueAge {
+		ws.recordShed()
+		return ErrOverloaded
+	}
+	opts := s.opts
+	if t.Opts != nil {
+		opts = *t.Opts
+	}
 	matched := false
 	qi, err := p.Instantiate(t.Query)
 	if err == nil {
@@ -195,7 +295,7 @@ func (s *Server) serve(p *dataset.Planner, ws *workerState, t *Task) error {
 			err = t.Visit(qi)
 		} else {
 			var region *core.Region
-			region, err = Solve(qi, t.Query.Delta, s.opts)
+			region, err = Solve(ctx, qi, t.Query.Delta, opts)
 			if err == nil && region != nil {
 				matched = true
 				nodes := t.nodes[:0] // reuse the task's pooled backing array
@@ -207,6 +307,6 @@ func (s *Server) serve(p *dataset.Planner, ws *workerState, t *Task) error {
 			}
 		}
 	}
-	ws.record(time.Since(t.start), matched)
+	ws.record(time.Since(t.start), matched, err != nil)
 	return err
 }

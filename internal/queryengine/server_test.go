@@ -1,8 +1,10 @@
 package queryengine
 
 import (
+	"context"
 	"errors"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -16,14 +18,14 @@ import (
 func TestServerMatchesRun(t *testing.T) {
 	d, qs := testWorkload(t, 0.12, 12)
 	for _, method := range []Method{MethodTGEN, MethodGreedy, MethodAPP} {
-		want, err := Run(d, qs, Options{Workers: 1, Method: method})
+		want, err := Run(context.Background(), d, qs, Options{Workers: 1, Method: method})
 		if err != nil {
 			t.Fatalf("%v batch: %v", method, err)
 		}
 		srv := NewServer(d, ServerOptions{Workers: 2, Options: Options{Method: method}})
 		got := make([]Result, len(qs))
 		for i, q := range qs {
-			r, err := srv.Submit(q)
+			r, err := srv.Submit(context.Background(), q)
 			if err != nil {
 				t.Fatalf("%v submit %d: %v", method, i, err)
 			}
@@ -40,7 +42,7 @@ func TestServerMatchesRun(t *testing.T) {
 // -race CI step exercises the locking) and checks every answer.
 func TestServerConcurrentSubmits(t *testing.T) {
 	d, qs := testWorkload(t, 0.1, 8)
-	want, err := Run(d, qs, Options{Workers: 1})
+	want, err := Run(context.Background(), d, qs, Options{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +56,7 @@ func TestServerConcurrentSubmits(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i, q := range qs {
-				r, err := srv.Submit(q)
+				r, err := srv.Submit(context.Background(), q)
 				if err != nil {
 					errs <- err
 					return
@@ -80,7 +82,7 @@ func TestServerConcurrentSubmits(t *testing.T) {
 // worker with the pooled instance and can solve in place.
 func TestServerVisit(t *testing.T) {
 	d, qs := testWorkload(t, 0.1, 4)
-	want, err := Run(d, qs, Options{Workers: 1})
+	want, err := Run(context.Background(), d, qs, Options{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +91,7 @@ func TestServerVisit(t *testing.T) {
 	for i, q := range qs {
 		var score float64
 		task := Task{Query: q, Visit: func(qi *dataset.QueryInstance) error {
-			region, err := Solve(qi, q.Delta, Options{})
+			region, err := Solve(context.Background(), qi, q.Delta, Options{})
 			if err != nil {
 				return err
 			}
@@ -168,14 +170,14 @@ func TestServerClose(t *testing.T) {
 		wg.Add(1)
 		go func(q dataset.Query) {
 			defer wg.Done()
-			if _, err := srv.Submit(q); err != nil {
+			if _, err := srv.Submit(context.Background(), q); err != nil {
 				t.Errorf("submit before close: %v", err)
 			}
 		}(q)
 	}
 	wg.Wait()
 	srv.Close()
-	if _, err := srv.Submit(qs[0]); !errors.Is(err, ErrServerClosed) {
+	if _, err := srv.Submit(context.Background(), qs[0]); !errors.Is(err, ErrServerClosed) {
 		t.Fatalf("submit after close: %v, want ErrServerClosed", err)
 	}
 	srv.Close() // must not panic or deadlock
@@ -189,7 +191,7 @@ func TestServerStats(t *testing.T) {
 	d, qs := testWorkload(t, 0.1, 8)
 	srv := NewServer(d, ServerOptions{Workers: 2, LatencyWindow: 4})
 	for _, q := range qs {
-		if _, err := srv.Submit(q); err != nil {
+		if _, err := srv.Submit(context.Background(), q); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -230,5 +232,168 @@ func TestPercentile(t *testing.T) {
 	}
 	if got := percentile(nil, 50); got != 0 {
 		t.Errorf("empty sample = %v, want 0", got)
+	}
+}
+
+// TestServerConcurrentClose hammers Close from many goroutines: it must
+// be idempotent, race-free, and leave the server cleanly closed.
+func TestServerConcurrentClose(t *testing.T) {
+	d, qs := testWorkload(t, 0.1, 4)
+	srv := NewServer(d, ServerOptions{Workers: 2})
+	for _, q := range qs {
+		if _, err := srv.Submit(context.Background(), q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			srv.Close()
+		}()
+	}
+	wg.Wait()
+	if _, err := srv.Submit(context.Background(), qs[0]); !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("submit after concurrent close = %v, want ErrServerClosed", err)
+	}
+}
+
+// TestServerRejectsDoneContext checks deadline-aware admission: a request
+// whose context is already done is rejected without dispatch — no worker
+// sees it, Served stays put, and it is counted as an error.
+func TestServerRejectsDoneContext(t *testing.T) {
+	d, qs := testWorkload(t, 0.1, 2)
+	srv := NewServer(d, ServerOptions{Workers: 1})
+	defer srv.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := srv.Submit(ctx, qs[0]); !errors.Is(err, context.Canceled) {
+		t.Fatalf("submit with done context = %v, want context.Canceled", err)
+	}
+	st := srv.Stats()
+	if st.Served != 0 {
+		t.Fatalf("Served = %d after a rejected request, want 0", st.Served)
+	}
+	if st.Errors != 1 {
+		t.Fatalf("Errors = %d, want 1", st.Errors)
+	}
+	// The server is still healthy for live contexts.
+	if _, err := srv.Submit(context.Background(), qs[0]); err != nil {
+		t.Fatalf("submit after rejection: %v", err)
+	}
+}
+
+// TestServerShedsByQueueAge checks the load-shedding policy: requests
+// queued past MaxQueueAge are answered with ErrOverloaded, counted in
+// Stats().Shed, and never reach a planner.
+func TestServerShedsByQueueAge(t *testing.T) {
+	d, qs := testWorkload(t, 0.1, 4)
+	srv := NewServer(d, ServerOptions{Workers: 1, Queue: 8, MaxQueueAge: time.Millisecond})
+	defer srv.Close()
+
+	// Occupy the single worker, then pile requests up behind it so they
+	// age out in the queue.
+	started := make(chan struct{})
+	release := make(chan struct{})
+	slowErr := make(chan error, 1)
+	slow := Task{Query: qs[0], Visit: func(*dataset.QueryInstance) error {
+		close(started)
+		<-release
+		return nil
+	}}
+	go func() { slowErr <- srv.Do(&slow) }()
+	<-started
+
+	const queued = 3
+	errs := make(chan error, queued)
+	for i := 0; i < queued; i++ {
+		go func(q dataset.Query) {
+			_, err := srv.Submit(context.Background(), q)
+			errs <- err
+		}(qs[1+i%(len(qs)-1)])
+	}
+	time.Sleep(20 * time.Millisecond) // age the queued requests past the threshold
+	close(release)
+	if err := <-slowErr; err != nil {
+		t.Fatalf("slow request: %v", err)
+	}
+	for i := 0; i < queued; i++ {
+		if err := <-errs; !errors.Is(err, ErrOverloaded) {
+			t.Fatalf("queued request err = %v, want ErrOverloaded", err)
+		}
+	}
+	st := srv.Stats()
+	if st.Shed != queued {
+		t.Fatalf("Shed = %d, want %d", st.Shed, queued)
+	}
+	if st.Served != 1 {
+		t.Fatalf("Served = %d, want 1 (only the slow request was solved)", st.Served)
+	}
+	if !strings.Contains(st.String(), "shed=3") {
+		t.Fatalf("ServerStats.String() omits the shed counter: %q", st.String())
+	}
+}
+
+// TestServerPerTaskOptions checks per-request option overrides: a Task
+// carrying its own Options is answered with that method, not the server
+// default.
+func TestServerPerTaskOptions(t *testing.T) {
+	d, qs := testWorkload(t, 0.12, 6)
+	wantGreedy, err := Run(context.Background(), d, qs, Options{Workers: 1, Method: MethodGreedy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTGEN, err := Run(context.Background(), d, qs, Options{Workers: 1, Method: MethodTGEN})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(d, ServerOptions{Workers: 1, Options: Options{Method: MethodTGEN}})
+	defer srv.Close()
+	override := Options{Method: MethodGreedy}
+	for i, q := range qs {
+		task := Task{Query: q, Opts: &override}
+		if err := srv.Do(&task); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(task.Result, wantGreedy[i]) {
+			t.Fatalf("query %d: per-task Greedy override not honored", i)
+		}
+		r, err := srv.Submit(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(r, wantTGEN[i]) {
+			t.Fatalf("query %d: default options disturbed by per-task override", i)
+		}
+	}
+}
+
+// TestServerErrorCounter checks that errored requests show up in stats
+// (they used to be invisible).
+func TestServerErrorCounter(t *testing.T) {
+	d, qs := testWorkload(t, 0.1, 2)
+	srv := NewServer(d, ServerOptions{Workers: 1, Options: Options{Method: Method(99)}})
+	defer srv.Close()
+	if _, err := srv.Submit(context.Background(), qs[0]); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+	st := srv.Stats()
+	if st.Errors != 1 || st.Served != 1 {
+		t.Fatalf("Errors = %d Served = %d, want 1 and 1", st.Errors, st.Served)
+	}
+	if !strings.Contains(st.String(), "errors=1") {
+		t.Fatalf("ServerStats.String() omits the error counter: %q", st.String())
+	}
+}
+
+// TestRunFuncHonorsContext checks batch-level cancellation: a cancelled
+// context stops the fan-out and surfaces ctx.Err().
+func TestRunFuncHonorsContext(t *testing.T) {
+	d, qs := testWorkload(t, 0.1, 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, d, qs, Options{Workers: 2}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Run = %v, want context.Canceled", err)
 	}
 }

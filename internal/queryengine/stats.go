@@ -11,10 +11,18 @@ import (
 // cover the server's whole lifetime; the latency percentiles cover the
 // retained window (the most recent LatencyWindow samples per worker).
 type ServerStats struct {
-	// Served counts requests answered, including errored ones.
+	// Served counts requests a worker processed, including errored ones;
+	// shed requests are not served and are counted separately.
 	Served int64
 	// Matched counts default-path requests that produced a region.
 	Matched int64
+	// Errors counts requests answered with an error: admission rejections
+	// (context already done), per-query validation or solver failures, and
+	// mid-solve cancellations. Shed requests are not errors.
+	Errors int64
+	// Shed counts requests rejected with ErrOverloaded because they
+	// out-waited MaxQueueAge in the queue.
+	Shed int64
 	// Window is the number of latency samples the percentiles summarize.
 	Window int
 	// P50, P95, P99 and Max are request latencies (submission to answer,
@@ -25,8 +33,8 @@ type ServerStats struct {
 
 // String formats the stats as one readable line.
 func (st ServerStats) String() string {
-	return fmt.Sprintf("served=%d matched=%d p50=%v p95=%v p99=%v max=%v (window %d)",
-		st.Served, st.Matched, st.P50, st.P95, st.P99, st.Max, st.Window)
+	return fmt.Sprintf("served=%d matched=%d errors=%d shed=%d p50=%v p95=%v p99=%v max=%v (window %d)",
+		st.Served, st.Matched, st.Errors, st.Shed, st.P50, st.P95, st.P99, st.Max, st.Window)
 }
 
 // Stats snapshots the server's counters and latency percentiles. It may be
@@ -34,11 +42,14 @@ func (st ServerStats) String() string {
 // ring in turn, so the snapshot is per-worker consistent.
 func (s *Server) Stats() ServerStats {
 	var st ServerStats
+	st.Errors = s.rejected.Load()
 	var all []time.Duration
 	for _, ws := range s.workers {
 		ws.mu.Lock()
 		st.Served += ws.served
 		st.Matched += ws.matched
+		st.Errors += ws.errors
+		st.Shed += ws.shed
 		all = append(all, ws.lat...)
 		ws.mu.Unlock()
 	}

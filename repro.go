@@ -16,8 +16,13 @@
 //
 // A Database is built either from caller-supplied nodes, edges and
 // objects (New) or from the built-in synthetic datasets mirroring the
-// paper's experimental setting (NYLike, USANWLike). Queries run through
-// Run or RunTopK.
+// paper's experimental setting (NYLike, USANWLike). The API is
+// context-first: every query path — Do (the unified Request/Response
+// form), the Run/RunTopK wrappers, RunBatch, and a Server's Do/Submit —
+// takes a context.Context whose cancellation or deadline is honored
+// mid-solve, so a slow query can always be bounded. Database.Serve
+// starts a streaming server with deadline-aware admission and load
+// shedding; Server.HTTPHandler exposes it over HTTP as JSON.
 //
 // Basic usage:
 //
@@ -25,7 +30,9 @@
 //	...
 //	qs, err := db.GenQueries(rand.New(rand.NewSource(1)), 1, 3, 100e6, 10_000)
 //	...
-//	res, err := db.Run(qs[0], repro.SearchOptions{})
+//	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+//	defer cancel()
+//	res, err := db.Run(ctx, qs[0], repro.SearchOptions{})
 //	fmt.Println(res.Score, res.Length, len(res.Objects))
 package repro
 
@@ -218,14 +225,6 @@ func toDatasetQuery(q Query) (dataset.Query, error) {
 		Lambda:   q.Region.toGeo(),
 		Mode:     mode,
 	}, nil
-}
-
-func (db *Database) instantiate(q Query) (*dataset.QueryInstance, error) {
-	dq, err := toDatasetQuery(q)
-	if err != nil {
-		return nil, fmt.Errorf("repro: %w", err)
-	}
-	return db.ds.Instantiate(dq)
 }
 
 // defaultTGENAlpha sizes TGEN's scaling parameter so that σ̂max ≈ 9

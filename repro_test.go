@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -66,7 +67,7 @@ func TestTinyEndToEnd(t *testing.T) {
 		Region:   db.Bounds(),
 	}
 	for _, m := range []Method{MethodTGEN, MethodAPP, MethodGreedy} {
-		res, err := db.Run(q, SearchOptions{Method: m})
+		res, err := db.Run(context.Background(), q, SearchOptions{Method: m})
 		if err != nil {
 			t.Fatalf("%v: %v", m, err)
 		}
@@ -93,7 +94,7 @@ func TestTinyEndToEnd(t *testing.T) {
 	}
 	// TGEN with budget 250 should capture all three cafes: they sit at
 	// corners (0,0), (100,0), (0,100) — 200 m of road connects them.
-	res, err := db.Run(q, SearchOptions{Method: MethodTGEN})
+	res, err := db.Run(context.Background(), q, SearchOptions{Method: MethodTGEN})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +105,7 @@ func TestTinyEndToEnd(t *testing.T) {
 
 func TestRunNoMatch(t *testing.T) {
 	db := tinyDB(t)
-	res, err := db.Run(Query{Keywords: []string{"zzz"}, Delta: 100, Region: db.Bounds()}, SearchOptions{})
+	res, err := db.Run(context.Background(), Query{Keywords: []string{"zzz"}, Delta: 100, Region: db.Bounds()}, SearchOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,17 +116,17 @@ func TestRunNoMatch(t *testing.T) {
 
 func TestRunValidation(t *testing.T) {
 	db := tinyDB(t)
-	if _, err := db.Run(Query{Delta: 10, Region: db.Bounds()}, SearchOptions{}); err == nil {
+	if _, err := db.Run(context.Background(), Query{Delta: 10, Region: db.Bounds()}, SearchOptions{}); err == nil {
 		t.Error("empty keywords accepted")
 	}
-	if _, err := db.Run(Query{Keywords: []string{"cafe"}, Delta: 0, Region: db.Bounds()}, SearchOptions{}); err == nil {
+	if _, err := db.Run(context.Background(), Query{Keywords: []string{"cafe"}, Delta: 0, Region: db.Bounds()}, SearchOptions{}); err == nil {
 		t.Error("zero ∆ accepted")
 	}
-	if _, err := db.Run(Query{Keywords: []string{"cafe"}, Delta: 1, Region: db.Bounds()},
+	if _, err := db.Run(context.Background(), Query{Keywords: []string{"cafe"}, Delta: 1, Region: db.Bounds()},
 		SearchOptions{Method: Method(99)}); err == nil {
 		t.Error("unknown method accepted")
 	}
-	if _, err := db.RunTopK(Query{Keywords: []string{"cafe"}, Delta: 1, Region: db.Bounds()}, 0, SearchOptions{}); err == nil {
+	if _, err := db.RunTopK(context.Background(), Query{Keywords: []string{"cafe"}, Delta: 1, Region: db.Bounds()}, 0, SearchOptions{}); err == nil {
 		t.Error("k=0 accepted")
 	}
 }
@@ -134,7 +135,7 @@ func TestRunTopK(t *testing.T) {
 	db := tinyDB(t)
 	q := Query{Keywords: []string{"cafe"}, Delta: 120, Region: db.Bounds()}
 	for _, m := range []Method{MethodTGEN, MethodAPP, MethodGreedy} {
-		rs, err := db.RunTopK(q, 2, SearchOptions{Method: m})
+		rs, err := db.RunTopK(context.Background(), q, 2, SearchOptions{Method: m})
 		if err != nil {
 			t.Fatalf("%v: %v", m, err)
 		}
@@ -165,7 +166,7 @@ func TestRegionRestriction(t *testing.T) {
 		Delta:    250,
 		Region:   Rect{MinX: -10, MinY: -10, MaxX: 110, MaxY: 110},
 	}
-	res, err := db.Run(q, SearchOptions{Method: MethodTGEN})
+	res, err := db.Run(context.Background(), q, SearchOptions{Method: MethodTGEN})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +192,7 @@ func TestNYLikeFacade(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i, q := range qs {
-		res, err := db.Run(q, SearchOptions{})
+		res, err := db.Run(context.Background(), q, SearchOptions{})
 		if err != nil {
 			t.Fatalf("query %d: %v", i, err)
 		}
@@ -223,11 +224,11 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 			db2.NumNodes(), db2.NumObjects(), db.NumNodes(), db.NumObjects())
 	}
 	q := Query{Keywords: []string{"cafe"}, Delta: 250, Region: db.Bounds()}
-	a, err := db.Run(q, SearchOptions{})
+	a, err := db.Run(context.Background(), q, SearchOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := db2.Run(q, SearchOptions{})
+	b, err := db2.Run(context.Background(), q, SearchOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,7 +247,7 @@ func TestWeightingModes(t *testing.T) {
 	for _, w := range []Weighting{WeightingRelevance, WeightingRating, WeightingLanguageModel} {
 		q := base
 		q.Weighting = w
-		res, err := db.Run(q, SearchOptions{})
+		res, err := db.Run(context.Background(), q, SearchOptions{})
 		if err != nil {
 			t.Fatalf("weighting %d: %v", w, err)
 		}
@@ -284,7 +285,7 @@ func TestConcurrentQueries(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for _, q := range qs {
-				res, err := db.Run(q, SearchOptions{})
+				res, err := db.Run(context.Background(), q, SearchOptions{})
 				if err != nil {
 					errs <- err
 					return

@@ -1,0 +1,111 @@
+package repro
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/queryengine"
+)
+
+// Request is the unified query request: every way into the system —
+// one-shot (Database.Do), batch (Database.RunBatch), streaming
+// (Server.Do), and the HTTP front end — speaks this shape. Run, RunTopK
+// and Submit remain as thin wrappers over it.
+type Request struct {
+	// Query is the LCMSR query ⟨ψ, ∆, Λ⟩.
+	Query Query
+	// Search selects the algorithm and its tuning. For Database.Do the
+	// zero value selects the defaults (TGEN with the paper's knobs). For
+	// Server.Do the zero value means "use the server's configured
+	// defaults"; any non-zero Search overrides them for this request
+	// only. Because plain TGEN defaults ARE the zero value, they cannot
+	// be forced through this field on a server configured with another
+	// method — use Server.DoWithOptions for that.
+	Search SearchOptions
+	// K, when > 1, asks for the top-K pairwise-disjoint regions in
+	// decreasing quality order (§6.2); K <= 1 returns the single best
+	// region.
+	K int
+}
+
+// Response is the unified query outcome. Results is empty when no object
+// inside Q.Λ matches the keywords (and Err is nil — an empty answer is
+// not an error), or when Err is set.
+type Response struct {
+	// Results holds up to max(1, K) regions, best first.
+	Results []*Result
+	// Err is the request error: validation, solver failure, ctx.Err()
+	// after a cancellation or missed deadline, or ErrOverloaded when the
+	// server shed the request.
+	Err error
+}
+
+// Best returns the best region of the response, or nil when the response
+// is empty or errored.
+func (r Response) Best() *Result {
+	if len(r.Results) == 0 {
+		return nil
+	}
+	return r.Results[0]
+}
+
+// Do answers one request against the database. ctx bounds the work: the
+// solvers carry cancellation checkpoints, so a cancelled or expired
+// context makes Do return ctx.Err() in Response.Err within a bounded
+// number of solver iterations (top-K requests are cancelled at rank
+// granularity). Do is the one-shot form; use RunBatch for workloads and
+// Serve for continuous traffic.
+func (db *Database) Do(ctx context.Context, req Request) Response {
+	dq, err := toDatasetQuery(req.Query)
+	if err != nil {
+		return Response{Err: fmt.Errorf("repro: %w", err)}
+	}
+	qeOpts, err := toEngineOptions(req.Search, 1)
+	if err != nil {
+		return Response{Err: err}
+	}
+	qi, err := db.ds.Instantiate(dq)
+	if err != nil {
+		return Response{Err: err}
+	}
+	if req.K > 1 {
+		results, err := db.topK(ctx, qi, dq.Delta, req.K, req.Search)
+		return Response{Results: results, Err: err}
+	}
+	region, err := queryengine.Solve(ctx, qi, dq.Delta, qeOpts)
+	if err != nil {
+		return Response{Err: err}
+	}
+	if region == nil {
+		return Response{}
+	}
+	return Response{Results: []*Result{db.materialize(qi, region)}}
+}
+
+// topK answers the top-k form on a materialized instance; shared by
+// Database.Do and Server.Do.
+func (db *Database) topK(ctx context.Context, qi *dataset.QueryInstance, delta float64, k int, opts SearchOptions) ([]*Result, error) {
+	appOpts, tgenOpts, greedyOpts := toCoreOptions(opts, qi.In.NumNodes)
+	var regions []*core.Region
+	var err error
+	switch opts.Method {
+	case MethodAPP:
+		regions, err = core.TopKAPP(ctx, qi.In, delta, k, appOpts)
+	case MethodGreedy:
+		regions, err = core.TopKGreedy(ctx, qi.In, delta, k, greedyOpts)
+	case MethodTGEN:
+		regions, err = core.TopKTGEN(ctx, qi.In, delta, k, tgenOpts)
+	default:
+		return nil, fmt.Errorf("repro: unknown method %v", opts.Method)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Result, 0, len(regions))
+	for _, r := range regions {
+		out = append(out, db.materialize(qi, r))
+	}
+	return out, nil
+}

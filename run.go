@@ -1,7 +1,9 @@
 package repro
 
 import (
+	"context"
 	"fmt"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -32,6 +34,23 @@ func (m Method) String() string {
 		return "Greedy"
 	default:
 		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// ParseMethod parses a method name, case-insensitively, round-tripping
+// Method.String: ParseMethod(m.String()) == m for every defined method.
+// It is the one place method names are spelled out — the CLI flag parser
+// and the HTTP front end both use it.
+func ParseMethod(s string) (Method, error) {
+	switch strings.ToLower(s) {
+	case "tgen":
+		return MethodTGEN, nil
+	case "app":
+		return MethodAPP, nil
+	case "greedy":
+		return MethodGreedy, nil
+	default:
+		return 0, fmt.Errorf("repro: unknown method %q (want TGEN, APP, or Greedy)", s)
 	}
 }
 
@@ -78,63 +97,24 @@ type Result struct {
 }
 
 // Run answers an LCMSR query and returns the best region, or nil when no
-// object in Q.Λ matches the keywords.
-func (db *Database) Run(q Query, opts SearchOptions) (*Result, error) {
-	qi, err := db.instantiate(q)
-	if err != nil {
-		return nil, err
-	}
-	appOpts, tgenOpts, greedyOpts := toCoreOptions(opts, qi.In.NumNodes)
-	var region *core.Region
-	switch opts.Method {
-	case MethodAPP:
-		region, err = core.APP(qi.In, q.Delta, appOpts)
-	case MethodGreedy:
-		region, err = core.Greedy(qi.In, q.Delta, greedyOpts)
-	case MethodTGEN:
-		region, err = core.TGEN(qi.In, q.Delta, tgenOpts)
-	default:
-		return nil, fmt.Errorf("repro: unknown method %v", opts.Method)
-	}
-	if err != nil {
-		return nil, err
-	}
-	if region == nil {
-		return nil, nil
-	}
-	return db.materialize(qi, region), nil
+// object in Q.Λ matches the keywords. ctx bounds the solve: a cancelled
+// or expired context returns ctx.Err() within a bounded number of solver
+// iterations. Run is the single-result convenience form of Do.
+func (db *Database) Run(ctx context.Context, q Query, opts SearchOptions) (*Result, error) {
+	resp := db.Do(ctx, Request{Query: q, Search: opts})
+	return resp.Best(), resp.Err
 }
 
 // RunTopK answers the top-k LCMSR query (§6.2): up to k pairwise-disjoint
-// regions in decreasing quality order.
-func (db *Database) RunTopK(q Query, k int, opts SearchOptions) ([]*Result, error) {
+// regions in decreasing quality order. ctx cancels between ranks (each
+// rank is one full single-region solve). RunTopK is the K-form
+// convenience wrapper over Do.
+func (db *Database) RunTopK(ctx context.Context, q Query, k int, opts SearchOptions) ([]*Result, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("repro: k must be positive, got %d", k)
 	}
-	qi, err := db.instantiate(q)
-	if err != nil {
-		return nil, err
-	}
-	appOpts, tgenOpts, greedyOpts := toCoreOptions(opts, qi.In.NumNodes)
-	var regions []*core.Region
-	switch opts.Method {
-	case MethodAPP:
-		regions, err = core.TopKAPP(qi.In, q.Delta, k, appOpts)
-	case MethodGreedy:
-		regions, err = core.TopKGreedy(qi.In, q.Delta, k, greedyOpts)
-	case MethodTGEN:
-		regions, err = core.TopKTGEN(qi.In, q.Delta, k, tgenOpts)
-	default:
-		return nil, fmt.Errorf("repro: unknown method %v", opts.Method)
-	}
-	if err != nil {
-		return nil, err
-	}
-	out := make([]*Result, 0, len(regions))
-	for _, r := range regions {
-		out = append(out, db.materialize(qi, r))
-	}
-	return out, nil
+	resp := db.Do(ctx, Request{Query: q, Search: opts, K: k})
+	return resp.Results, resp.Err
 }
 
 // materialize converts a core region (local IDs) into a public Result

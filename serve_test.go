@@ -1,11 +1,14 @@
 package repro
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/queryengine"
 )
@@ -32,7 +35,7 @@ func TestServeMatchesRunBatch(t *testing.T) {
 	db, qs := serveWorkload(t)
 	for _, method := range []Method{MethodTGEN, MethodAPP, MethodGreedy} {
 		opts := SearchOptions{Method: method}
-		want, _, err := db.RunBatch(qs, opts, 2)
+		want, _, err := db.RunBatch(context.Background(), qs, opts, 2)
 		if err != nil {
 			t.Fatalf("%v batch: %v", method, err)
 		}
@@ -46,7 +49,7 @@ func TestServeMatchesRunBatch(t *testing.T) {
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				r, err := srv.Submit(qs[i])
+				r, err := srv.Submit(context.Background(), qs[i])
 				if err != nil {
 					t.Errorf("%v submit %d: %v", method, i, err)
 					return
@@ -81,20 +84,217 @@ func TestServeValidationAndClose(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := srv.Submit(Query{Delta: 10}); err == nil {
+	if _, err := srv.Submit(context.Background(), Query{Delta: 10}); err == nil {
 		t.Error("query without keywords accepted")
 	}
-	if _, err := srv.Submit(Query{Keywords: []string{"a"}, Delta: -1}); err == nil {
+	if _, err := srv.Submit(context.Background(), Query{Keywords: []string{"a"}, Delta: -1}); err == nil {
 		t.Error("non-positive ∆ accepted")
 	}
-	if _, err := srv.Submit(qs[0]); err != nil {
+	if _, err := srv.Submit(context.Background(), qs[0]); err != nil {
 		t.Fatalf("valid submit: %v", err)
 	}
 	srv.Close()
-	if _, err := srv.Submit(qs[0]); !errors.Is(err, queryengine.ErrServerClosed) {
+	if _, err := srv.Submit(context.Background(), qs[0]); !errors.Is(err, queryengine.ErrServerClosed) {
 		t.Fatalf("submit after close = %v, want ErrServerClosed", err)
 	}
 	if _, err := db.Serve(ServeOptions{Search: SearchOptions{Method: Method(99)}}); err == nil {
 		t.Error("unknown method accepted")
+	}
+}
+
+// TestParseMethod checks the round trip with Method.String and the error
+// path.
+func TestParseMethod(t *testing.T) {
+	for _, m := range []Method{MethodTGEN, MethodAPP, MethodGreedy} {
+		got, err := ParseMethod(m.String())
+		if err != nil || got != m {
+			t.Fatalf("ParseMethod(%q) = %v, %v; want %v", m.String(), got, err, m)
+		}
+		got, err = ParseMethod(strings.ToLower(m.String()))
+		if err != nil || got != m {
+			t.Fatalf("ParseMethod(lower %q) = %v, %v; want %v", m.String(), got, err, m)
+		}
+	}
+	if _, err := ParseMethod("dijkstra"); err == nil {
+		t.Fatal("unknown method name accepted")
+	}
+	if _, err := ParseMethod(""); err == nil {
+		t.Fatal("empty method name accepted")
+	}
+}
+
+// TestDatabaseDo checks the unified one-shot surface: Do matches the
+// Run/RunTopK wrappers and validates like them.
+func TestDatabaseDo(t *testing.T) {
+	db, qs := serveWorkload(t)
+	ctx := context.Background()
+	for _, method := range []Method{MethodTGEN, MethodAPP, MethodGreedy} {
+		opts := SearchOptions{Method: method}
+		for _, q := range qs[:4] {
+			want, err := db.Run(ctx, q, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp := db.Do(ctx, Request{Query: q, Search: opts})
+			if resp.Err != nil {
+				t.Fatal(resp.Err)
+			}
+			if !reflect.DeepEqual(resp.Best(), want) {
+				t.Fatalf("%v: Do differs from Run", method)
+			}
+			if want == nil && len(resp.Results) != 0 {
+				t.Fatalf("%v: empty answer carries results", method)
+			}
+		}
+	}
+	wantK, err := db.RunTopK(ctx, qs[0], 3, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := db.Do(ctx, Request{Query: qs[0], K: 3})
+	if resp.Err != nil || !reflect.DeepEqual(resp.Results, wantK) {
+		t.Fatalf("Do K=3 = (%v, %v), want %v", resp.Results, resp.Err, wantK)
+	}
+	if resp := db.Do(ctx, Request{Query: Query{Delta: 5}}); resp.Err == nil {
+		t.Fatal("keyword-less request accepted")
+	}
+	if resp := db.Do(ctx, Request{Query: qs[0], Search: SearchOptions{Method: Method(99)}}); resp.Err == nil {
+		t.Fatal("unknown method accepted")
+	}
+}
+
+// TestServerDoPerRequestOptions checks the zero-Search convention: a zero
+// Request.Search uses the server's defaults, any other value overrides
+// them for that request only.
+func TestServerDoPerRequestOptions(t *testing.T) {
+	db, qs := serveWorkload(t)
+	ctx := context.Background()
+	srv, err := db.Serve(ServeOptions{Workers: 1, Search: SearchOptions{Method: MethodTGEN}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for _, q := range qs[:4] {
+		wantTGEN, err := db.Run(ctx, q, SearchOptions{Method: MethodTGEN})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantGreedy, err := db.Run(ctx, q, SearchOptions{Method: MethodGreedy})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp := srv.Do(ctx, Request{Query: q}); resp.Err != nil || !reflect.DeepEqual(resp.Best(), wantTGEN) {
+			t.Fatalf("default-path Do = (%v, %v), want TGEN answer", resp.Best(), resp.Err)
+		}
+		resp := srv.Do(ctx, Request{Query: q, Search: SearchOptions{Method: MethodGreedy}})
+		if resp.Err != nil || !reflect.DeepEqual(resp.Best(), wantGreedy) {
+			t.Fatalf("override Do = (%v, %v), want Greedy answer", resp.Best(), resp.Err)
+		}
+		// K rides through the server too.
+		wantK, err := db.RunTopK(ctx, q, 2, SearchOptions{Method: MethodTGEN})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp := srv.Do(ctx, Request{Query: q, K: 2}); resp.Err != nil || !reflect.DeepEqual(resp.Results, wantK) {
+			t.Fatalf("server top-k = (%v, %v), want %v", resp.Results, resp.Err, wantK)
+		}
+	}
+}
+
+// TestServeSheddingAndStats drives the public shedding surface: with one
+// worker held by a second-long APP solve and a 10ms queue-age budget,
+// queued requests come back as ErrOverloaded, appear in ServeStats.Shed,
+// and the stats line prints the new counters. (The first request is
+// picked up within microseconds on an idle server, so only the requests
+// stuck behind the stress solve age out.)
+func TestServeSheddingAndStats(t *testing.T) {
+	db, err := NYLike(3, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := db.GenQueries(rand.New(rand.NewSource(5)), 1, 3, 25e6, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stress := qs[0]
+	stress.Region = db.Bounds()
+	stress.Delta = 50_000
+
+	srv, err := db.Serve(ServeOptions{
+		Workers:     1,
+		Search:      SearchOptions{Method: MethodAPP},
+		MaxQueueAge: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	first := make(chan error, 1)
+	go func() {
+		_, err := srv.Submit(context.Background(), stress)
+		first <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // the worker is now mid-APP-solve
+
+	const queued = 3
+	shedErrs := make(chan error, queued)
+	for i := 0; i < queued; i++ {
+		go func() {
+			_, err := srv.Submit(context.Background(), stress)
+			shedErrs <- err
+		}()
+	}
+	for i := 0; i < queued; i++ {
+		if err := <-shedErrs; !errors.Is(err, ErrOverloaded) {
+			t.Fatalf("queued submit err = %v, want ErrOverloaded", err)
+		}
+	}
+	if err := <-first; err != nil {
+		t.Fatalf("stress submit: %v", err)
+	}
+	st := srv.Stats()
+	if st.Shed != queued {
+		t.Fatalf("Shed = %d, want %d", st.Shed, queued)
+	}
+	if st.Served != 1 {
+		t.Fatalf("Served = %d, want 1", st.Served)
+	}
+	line := st.String()
+	if !strings.Contains(line, "errors=0") || !strings.Contains(line, "shed=3") {
+		t.Fatalf("ServeStats.String() missing counters: %q", line)
+	}
+}
+
+// TestServerDoWithOptions covers the escape hatch for the zero-value
+// trap: plain TGEN defaults are SearchOptions' zero value, so on a
+// server configured with another method they are inexpressible through
+// Request.Search — DoWithOptions applies them explicitly.
+func TestServerDoWithOptions(t *testing.T) {
+	db, qs := serveWorkload(t)
+	ctx := context.Background()
+	srv, err := db.Serve(ServeOptions{Workers: 1, Search: SearchOptions{Method: MethodGreedy}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for _, q := range qs[:4] {
+		wantTGEN, err := db.Run(ctx, q, SearchOptions{Method: MethodTGEN})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp := srv.DoWithOptions(ctx, Request{Query: q}, SearchOptions{Method: MethodTGEN})
+		if resp.Err != nil || !reflect.DeepEqual(resp.Best(), wantTGEN) {
+			t.Fatalf("DoWithOptions(TGEN) = (%v, %v), want the TGEN answer", resp.Best(), resp.Err)
+		}
+		// Through Do, the same zero-value Search means server defaults.
+		wantGreedy, err := db.Run(ctx, q, SearchOptions{Method: MethodGreedy})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp := srv.Do(ctx, Request{Query: q, Search: SearchOptions{Method: MethodTGEN}}); resp.Err != nil ||
+			!reflect.DeepEqual(resp.Best(), wantGreedy) {
+			t.Fatalf("Do with zero-value Search = (%v, %v), want the server default (Greedy)", resp.Best(), resp.Err)
+		}
 	}
 }
