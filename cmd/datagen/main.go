@@ -6,6 +6,11 @@
 // Usage:
 //
 //	datagen -dataset ny -scale 1.0 -out ny.graph -postings ny.bt
+//	datagen -dataset ny -out ny.graph -postings ny.store -shards 8
+//
+// With -shards > 1 the posting store is a directory of that many
+// independent B+-tree shards (see grid.ShardedStore) instead of a single
+// tree file.
 package main
 
 import (
@@ -24,20 +29,42 @@ func main() {
 		scale    = flag.Float64("scale", 1.0, "dataset size multiplier")
 		seed     = flag.Int64("seed", 1, "random seed")
 		out      = flag.String("out", "", "output path for the road network (required)")
-		postings = flag.String("postings", "", "optional path for the B+-tree posting store")
+		postings = flag.String("postings", "", "optional path for the B+-tree posting store (a directory when -shards > 1)")
+		shards   = flag.Int("shards", 1, "number of posting-store shards (requires -postings)")
 	)
 	flag.Parse()
 	if *out == "" {
 		fmt.Fprintln(os.Stderr, "datagen: -out is required")
 		os.Exit(2)
 	}
+	if *shards > 1 && *postings == "" {
+		fmt.Fprintln(os.Stderr, "datagen: -shards needs -postings (nowhere to put the shards)")
+		os.Exit(2)
+	}
 	cfg := dataset.Config{Seed: *seed, Scale: *scale}
 	if *postings != "" {
-		store, err := grid.NewBTreeStore(*postings)
+		var (
+			store grid.PostingStore
+			err   error
+		)
+		if *shards > 1 {
+			store, err = grid.CreateShardedStore(*postings, grid.ShardedOptions{Shards: *shards})
+		} else {
+			store, err = grid.NewBTreeStore(*postings)
+		}
 		if err != nil {
 			fatal(err)
 		}
-		defer store.Close()
+		// Close on the fatal path (fatal's os.Exit skips defers; an
+		// unflushed store would look valid but open empty) and explicitly
+		// before the success message below — the store is only "persisted"
+		// once the flush succeeded. On the fatal path the partial store is
+		// removed too, so a corrected rerun isn't blocked by create-fresh.
+		storeClose = store.Close
+		fatalCleanups = append(fatalCleanups, func() {
+			store.Close()
+			grid.RemoveStore(*postings)
+		})
 		cfg.Store = store
 	}
 	var (
@@ -67,11 +94,31 @@ func main() {
 	fmt.Printf("wrote %s: %d nodes, %d edges, %d objects, %d vocabulary terms\n",
 		*out, d.Graph.NumNodes(), d.Graph.NumEdges(), len(d.Objects), d.Vocab.NumTerms())
 	if *postings != "" {
-		fmt.Printf("posting lists persisted to %s\n", *postings)
+		if err := storeClose(); err != nil {
+			fatal(fmt.Errorf("flushing posting store: %w", err))
+		}
+		fatalCleanups = nil // store closed and valid; nothing to undo
+		if *shards > 1 {
+			fmt.Printf("posting lists persisted to %s (%d shards)\n", *postings, *shards)
+		} else {
+			fmt.Printf("posting lists persisted to %s\n", *postings)
+		}
 	}
 }
 
+// storeClose flushes the posting store; the success path calls it
+// explicitly so a failed flush can't hide behind a defer.
+var storeClose func() error
+
+// fatalCleanups run before a fatal exit (os.Exit skips defers) — same
+// mechanism as cmd/lcmsr. Here they discard the partial store: Close is
+// idempotent via the nil-out on the success path.
+var fatalCleanups []func()
+
 func fatal(err error) {
+	for i := len(fatalCleanups) - 1; i >= 0; i-- {
+		fatalCleanups[i]()
+	}
 	fmt.Fprintln(os.Stderr, "datagen:", err)
 	os.Exit(1)
 }

@@ -8,6 +8,7 @@
 //	lcmsr -auto -queries 200 -parallel 8     # workload mode: throughput run
 //	lcmsr -serve -queries 500 -rate 100      # serve mode: replay at 100 q/s
 //	lcmsr -serve -http :8080 -timeout 500ms  # HTTP mode: POST /query, GET /stats
+//	lcmsr -shards 4 -queries 200 -parallel 4 # disk store, 4 B+-tree shards
 //
 // -area is the Q.Λ area in km²; -delta the length budget in metres. With
 // -auto the keywords and region are drawn by the workload generator.
@@ -27,6 +28,13 @@
 // With -serve -http ADDR the command exposes the server over HTTP as JSON
 // (POST /query, GET /stats) until SIGINT/SIGTERM, honoring client
 // disconnects and per-request timeouts end to end.
+//
+// With -shards N the posting lists live on disk instead of in memory: one
+// B+-tree file for N = 1, a directory of N independent tree shards for
+// N > 1 (cells striped cell mod N; each shard has its own page cache and
+// lock, so concurrent cold reads scale with cores). -postings picks the location;
+// without it a temporary store is built and removed on exit. Cache
+// counters are printed at exit.
 package main
 
 import (
@@ -40,6 +48,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -63,6 +72,8 @@ func main() {
 		method     = flag.String("method", "tgen", "tgen, app or greedy")
 		k          = flag.Int("k", 1, "number of regions (top-k)")
 		auto       = flag.Bool("auto", false, "generate keywords and region automatically")
+		shards     = flag.Int("shards", 0, "disk-backed posting store: 1 = single B+-tree, >1 = that many cell-striped shards (cell mod N); 0 keeps postings in memory")
+		postings   = flag.String("postings", "", "posting store location (file for -shards 1, directory for -shards >1); default: a temporary path removed on exit")
 		queries    = flag.Int("queries", 1, "number of queries (>1 switches to workload mode)")
 		parallel   = flag.Int("parallel", 0, "workload workers; 0 = GOMAXPROCS")
 		serve      = flag.Bool("serve", false, "replay the workload through the streaming server and report latency percentiles")
@@ -80,23 +91,56 @@ func main() {
 		err error
 	)
 	if *load != "" {
+		if *shards > 0 || *postings != "" {
+			usage("-shards/-postings apply to the built-in datasets, not -load")
+		}
 		db, err = repro.Load(*load)
 	} else {
+		if *postings != "" && *shards <= 0 {
+			usage("-postings needs -shards >= 1 (without it the store would stay in memory)")
+		}
+		sc, cleanup, scErr := storeConfig(*shards, *postings)
+		if scErr != nil {
+			fatal(scErr)
+		}
+		// fatal exits without unwinding defers, so register the temp-store
+		// cleanup on both paths (RemoveAll is idempotent).
+		defer cleanup()
+		fatalCleanups = append(fatalCleanups, cleanup)
 		switch strings.ToLower(*dsName) {
 		case "ny":
-			db, err = repro.NYLike(*seed, *scale)
+			db, err = repro.NYLikeWithStore(*seed, *scale, sc)
 		case "usanw":
-			db, err = repro.USANWLike(*seed, *scale)
+			db, err = repro.USANWLikeWithStore(*seed, *scale, sc)
 		default:
-			fmt.Fprintf(os.Stderr, "lcmsr: unknown dataset %q\n", *dsName)
-			os.Exit(2)
+			usage(fmt.Sprintf("unknown dataset %q", *dsName))
 		}
 	}
 	if err != nil {
 		fatal(err)
 	}
+	// Close on the fatal path too (fatal exits without unwinding defers):
+	// a persisted -postings store is only valid once its tree headers are
+	// flushed by Close. The deferred close reports flush errors — silently
+	// dropping one would leave a store that looks persisted but opens
+	// stale.
+	defer func() {
+		if cerr := db.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "lcmsr: closing store:", cerr)
+		}
+	}()
+	fatalCleanups = append(fatalCleanups, func() { db.Close() })
 	fmt.Printf("dataset %s: %d nodes, %d edges, %d objects\n",
 		*dsName, db.NumNodes(), db.NumEdges(), db.NumObjects())
+	if st, ok := db.StoreStats(); ok {
+		fmt.Printf("store: %d shard(s), disk-backed posting lists\n", st.Shards)
+		defer func() {
+			if st, ok := db.StoreStats(); ok {
+				fmt.Printf("store cache: %d hits, %d misses, %d evictions, %d resident pages\n",
+					st.CacheHits, st.CacheMisses, st.CacheEvictions, st.CachedPages)
+			}
+		}()
+	}
 
 	var q repro.Query
 	if *auto || *keywords == "" {
@@ -120,8 +164,7 @@ func main() {
 	opts := repro.SearchOptions{}
 	m, err := repro.ParseMethod(*method)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "lcmsr:", err)
-		os.Exit(2)
+		usage(err.Error())
 	}
 	opts.Method = m
 
@@ -377,7 +420,46 @@ func runHTTP(db *repro.Database, opts repro.SearchOptions, addr string, workers 
 	}
 }
 
+// storeConfig translates -shards/-postings into a StoreConfig, creating a
+// temporary location (removed by cleanup) when none was given.
+func storeConfig(shards int, path string) (repro.StoreConfig, func(), error) {
+	if shards <= 0 {
+		return repro.StoreConfig{}, func() {}, nil
+	}
+	cleanup := func() {}
+	if path == "" {
+		tmp, err := os.MkdirTemp("", "lcmsr-store-")
+		if err != nil {
+			return repro.StoreConfig{}, cleanup, err
+		}
+		cleanup = func() { os.RemoveAll(tmp) }
+		if shards == 1 {
+			path = filepath.Join(tmp, "postings.bt")
+		} else {
+			path = tmp
+		}
+	}
+	return repro.StoreConfig{Path: path, Shards: shards}, cleanup, nil
+}
+
+// fatalCleanups run before a fatal exit (os.Exit skips defers); they
+// must be idempotent, since the same function may also be deferred.
+var fatalCleanups []func()
+
 func fatal(err error) {
+	for i := len(fatalCleanups) - 1; i >= 0; i-- {
+		fatalCleanups[i]()
+	}
 	fmt.Fprintln(os.Stderr, "lcmsr:", err)
 	os.Exit(1)
+}
+
+// usage reports a flag-usage error; like fatal it runs the registered
+// cleanups (a store may already have been built), but exits 2.
+func usage(msg string) {
+	for i := len(fatalCleanups) - 1; i >= 0; i-- {
+		fatalCleanups[i]()
+	}
+	fmt.Fprintln(os.Stderr, "lcmsr:", msg)
+	os.Exit(2)
 }

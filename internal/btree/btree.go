@@ -37,6 +37,13 @@ const (
 // ErrNotFound is returned by Get when the key is absent.
 var ErrNotFound = errors.New("btree: key not found")
 
+// ValidMagic reports whether buf starts with the tree file magic —
+// callers use it to recognize a tree file without opening (and locking)
+// it.
+func ValidMagic(buf []byte) bool {
+	return len(buf) >= 8 && binary.LittleEndian.Uint64(buf) == magic
+}
+
 // errCorrupt wraps corruption diagnoses so callers can detect them.
 var errCorrupt = errors.New("btree: corrupt page")
 
@@ -59,7 +66,10 @@ type node struct {
 	children []uint64
 }
 
-// Tree is a disk-backed B+-tree. It is not safe for concurrent use.
+// Tree is a disk-backed B+-tree. It is not safe for concurrent use; the
+// file is held under an exclusive advisory lock while the Tree is open, so
+// a second Create/Open of the same path (from this or another process)
+// fails instead of corrupting the shared page cache.
 type Tree struct {
 	f        *os.File
 	root     uint64
@@ -70,6 +80,34 @@ type Tree struct {
 	cache    map[uint64]*node
 	cacheCap int
 	clock    []uint64 // FIFO eviction order
+	stats    CacheStats
+}
+
+// CacheStats counts page-cache traffic on one Tree since it was opened.
+type CacheStats struct {
+	// Hits is the number of loadNode calls served from the cache.
+	Hits uint64
+	// Misses is the number of loadNode calls that read a page from disk.
+	Misses uint64
+	// Evictions is the number of pages dropped to stay under the cap.
+	Evictions uint64
+	// Resident is the number of decoded pages currently cached.
+	Resident int
+}
+
+// Add accumulates other into s (for aggregating per-shard trees).
+func (s *CacheStats) Add(other CacheStats) {
+	s.Hits += other.Hits
+	s.Misses += other.Misses
+	s.Evictions += other.Evictions
+	s.Resident += other.Resident
+}
+
+// CacheStats returns the tree's page-cache counters.
+func (t *Tree) CacheStats() CacheStats {
+	st := t.stats
+	st.Resident = len(t.cache)
+	return st
 }
 
 // Options configures tree creation.
@@ -80,9 +118,20 @@ type Options struct {
 }
 
 // Create creates a new empty tree at path, truncating any existing file.
+// The file is locked first and truncated only after the lock is acquired,
+// so Create on a path another Tree holds open fails without destroying
+// that tree's data.
 func Create(path string, opts Options) (*Tree, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
+		return nil, fmt.Errorf("btree: create: %w", err)
+	}
+	if err := lockFile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Truncate(0); err != nil {
+		f.Close()
 		return nil, fmt.Errorf("btree: create: %w", err)
 	}
 	t := newTree(f, opts)
@@ -97,11 +146,16 @@ func Create(path string, opts Options) (*Tree, error) {
 	return t, nil
 }
 
-// Open opens an existing tree created by Create.
+// Open opens an existing tree created by Create. It fails when another
+// Tree (in this or any other process) already holds the file open.
 func Open(path string, opts Options) (*Tree, error) {
 	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("btree: open: %w", err)
+	}
+	if err := lockFile(f); err != nil {
+		f.Close()
+		return nil, err
 	}
 	t := newTree(f, opts)
 	if err := t.readHeader(); err != nil {
@@ -125,12 +179,15 @@ func newTree(f *os.File, opts Options) *Tree {
 // Count returns the number of keys stored in the tree.
 func (t *Tree) Count() int { return int(t.count) }
 
-// Close flushes all dirty pages and closes the file.
+// Close flushes all dirty pages, releases the file lock and closes the
+// file.
 func (t *Tree) Close() error {
 	if err := t.Sync(); err != nil {
+		unlockFile(t.f)
 		t.f.Close()
 		return err
 	}
+	unlockFile(t.f) // closing the descriptor would release it anyway; be explicit
 	return t.f.Close()
 }
 
@@ -449,13 +506,16 @@ func (t *Tree) evictIfNeeded() {
 			n.dirty = false
 		}
 		delete(t.cache, victim)
+		t.stats.Evictions++
 	}
 }
 
 func (t *Tree) loadNode(id uint64) (*node, error) {
 	if n, ok := t.cache[id]; ok {
+		t.stats.Hits++
 		return n, nil
 	}
+	t.stats.Misses++
 	var buf [PageSize]byte
 	if err := t.readPage(id, buf[:]); err != nil {
 		return nil, err

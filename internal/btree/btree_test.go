@@ -362,3 +362,43 @@ func TestTinyCacheStillCorrect(t *testing.T) {
 		}
 	}
 }
+
+func TestCacheStats(t *testing.T) {
+	tr, path := newTempTree(t, Options{CachePages: 8})
+	const n = 2000
+	val := bytes.Repeat([]byte{0xAB}, 200) // ~15 entries per leaf → many pages
+	for k := 0; k < n; k++ {
+		if err := tr.Put(uint64(k), val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := 0; k < n; k++ { // cold reads through the tiny cache
+		if _, err := tr.Get(uint64(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := tr.CacheStats()
+	if st.Hits == 0 || st.Misses == 0 || st.Evictions == 0 {
+		t.Errorf("after %d inserts through an 8-page cache, stats = %+v; want all counters nonzero", n, st)
+	}
+	if st.Resident > 8 {
+		t.Errorf("resident pages %d exceed the cache cap", st.Resident)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := Open(path, Options{CachePages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr2.Close()
+	if st := tr2.CacheStats(); st.Hits != 0 || st.Misses != 0 {
+		t.Errorf("fresh open should start with zero counters, got %+v", st)
+	}
+	if _, err := tr2.Get(0); err != nil {
+		t.Fatal(err)
+	}
+	if st := tr2.CacheStats(); st.Misses == 0 {
+		t.Errorf("cold Get should count at least one miss, got %+v", st)
+	}
+}

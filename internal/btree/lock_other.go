@@ -1,0 +1,11 @@
+//go:build !unix
+
+package btree
+
+import "os"
+
+// Non-unix platforms have no flock; trees open without advisory locking
+// and callers are responsible for not opening one file twice.
+func lockFile(*os.File) error { return nil }
+
+func unlockFile(*os.File) {}

@@ -1,0 +1,26 @@
+//go:build unix
+
+package btree
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// lockFile takes an exclusive advisory lock on f, failing immediately when
+// another Tree — in this process or any other — already holds one. The
+// lock lives on the open file description, so two Opens of the same path
+// within one process conflict just like two processes do.
+func lockFile(f *os.File) error {
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		return fmt.Errorf("btree: %s is already open by another tree (flock: %w)", f.Name(), err)
+	}
+	return nil
+}
+
+// unlockFile releases the advisory lock; closing the descriptor releases
+// it too, so errors here are ignorable.
+func unlockFile(f *os.File) {
+	syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+}

@@ -1,0 +1,41 @@
+//go:build unix
+
+package btree
+
+import (
+	"testing"
+)
+
+// The exclusive-open contract only holds where flock exists (see
+// lock_unix.go); on other platforms locking is a documented no-op.
+func TestOpenIsExclusive(t *testing.T) {
+	tr, path := newTempTree(t, Options{})
+	if err := tr.Put(7, []byte("seven")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// A second Open while the first Tree is live must fail — two page
+	// caches over one file would silently lose writes.
+	if tr2, err := Open(path, Options{}); err == nil {
+		tr2.Close()
+		t.Fatal("second Open of a live tree succeeded")
+	}
+	// Create on a live path must fail too, and must NOT truncate the data.
+	if tr2, err := Create(path, Options{}); err == nil {
+		tr2.Close()
+		t.Fatal("Create over a live tree succeeded")
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tr3, err := Open(path, Options{})
+	if err != nil {
+		t.Fatalf("reopen after Close: %v", err)
+	}
+	defer tr3.Close()
+	if v, err := tr3.Get(7); err != nil || string(v) != "seven" {
+		t.Fatalf("data lost across the failed Create: %q, %v", v, err)
+	}
+}

@@ -43,8 +43,10 @@ type Config struct {
 	Scale float64
 	// CellSize is the grid-index cell size in metres (default 500).
 	CellSize float64
-	// Store, when non-nil, persists posting lists (e.g. a BTreeStore);
-	// nil keeps them in memory.
+	// Store, when non-nil, persists posting lists — a single BTreeStore
+	// or a ShardedStore (cells striped across N B+-trees, so concurrent
+	// cold reads from the query-engine workers don't contend on one tree
+	// lock). nil keeps them in memory.
 	Store grid.Store
 }
 
@@ -140,6 +142,16 @@ func assemble(name string, g *roadnet.Graph, corpus *gen.Corpus, cfg Config) (*D
 		Ratings: corpus.Ratings,
 		Index:   idx,
 	}, nil
+}
+
+// Close releases the posting store backing the index when it is
+// disk-backed (a no-op for the in-memory store). The dataset must not be
+// queried afterwards.
+func (d *Dataset) Close() error {
+	if c, ok := d.Index.Store().(interface{ Close() error }); ok {
+		return c.Close()
+	}
+	return nil
 }
 
 // sqrtScale converts a count multiplier into a grid-side multiplier.

@@ -2,13 +2,15 @@ package grid
 
 import (
 	"math/rand"
+	"path/filepath"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/geo"
 	"repro/internal/textindex"
 )
 
-func benchIndex(b *testing.B) (*Index, *textindex.Vocabulary) {
+func benchCorpus(b *testing.B) (*textindex.Vocabulary, []string, []Object, geo.Rect) {
 	b.Helper()
 	rng := rand.New(rand.NewSource(8))
 	v := textindex.NewVocabulary()
@@ -25,6 +27,12 @@ func benchIndex(b *testing.B) (*Index, *textindex.Vocabulary) {
 			Doc:   v.IndexDoc(toks),
 		})
 	}
+	return v, vocab, objs, bounds
+}
+
+func benchIndex(b *testing.B) (*Index, *textindex.Vocabulary) {
+	b.Helper()
+	v, _, objs, bounds := benchCorpus(b)
 	idx, err := NewIndex(objs, bounds, 500, nil)
 	if err != nil {
 		b.Fatal(err)
@@ -62,4 +70,68 @@ func BenchmarkSearchInto(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkColdRead measures concurrent query throughput against a
+// disk-backed posting store whose page cache is far smaller than the
+// working set, so nearly every posting fetch decodes pages cold. The
+// single-tree layout serializes all of that work behind one mutex and one
+// cache; the sharded layout gives every shard its own, so throughput
+// scales with -cpu. CI runs this with -cpu=1,4 and gates on the sharded
+// ratio (scripts/bench-scaling.sh).
+func BenchmarkColdRead(b *testing.B) {
+	v, vocab, objs, bounds := benchCorpus(b)
+	rng := rand.New(rand.NewSource(17))
+	type benchQuery struct {
+		q textindex.Query
+		r geo.Rect
+	}
+	queries := make([]benchQuery, 64)
+	for i := range queries {
+		q := v.PrepareQuery([]string{vocab[rng.Intn(200)], vocab[rng.Intn(200)], vocab[rng.Intn(200)]})
+		x, y := rng.Float64()*12000, rng.Float64()*12000
+		queries[i] = benchQuery{q: q, r: geo.Rect{MinX: x, MinY: y, MaxX: x + 8000, MaxY: y + 8000}}
+	}
+	run := func(b *testing.B, idx *Index) {
+		var cursor atomic.Int64
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			var scratch SearchScratch
+			for pb.Next() {
+				bq := queries[int(cursor.Add(1)-1)%len(queries)]
+				if _, err := idx.SearchInto(bq.q, bq.r, &scratch); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+	}
+	// 16 cache pages per tree versus a multi-thousand-page working set:
+	// effectively every fetch is cold.
+	const cachePages = 16
+	b.Run("single", func(b *testing.B) {
+		store, err := NewBTreeStoreCached(filepath.Join(b.TempDir(), "p.bt"), cachePages)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer store.Close()
+		idx, err := NewIndex(objs, bounds, 500, store)
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, idx)
+	})
+	b.Run("sharded", func(b *testing.B) {
+		store, err := CreateShardedStore(b.TempDir(), ShardedOptions{Shards: 8, CachePages: cachePages})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer store.Close()
+		idx, err := NewIndex(objs, bounds, 500, store)
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, idx)
+	})
 }

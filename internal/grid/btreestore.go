@@ -2,6 +2,7 @@ package grid
 
 import (
 	"fmt"
+	"os"
 	"sync"
 
 	"repro/internal/btree"
@@ -17,9 +18,20 @@ type BTreeStore struct {
 	tree *btree.Tree
 }
 
-// NewBTreeStore creates a fresh store at path (truncating existing files).
+// NewBTreeStore creates a fresh store at path. Like CreateShardedStore
+// it refuses to overwrite an existing store file — delete it or open it
+// with OpenBTreeStore instead.
 func NewBTreeStore(path string) (*BTreeStore, error) {
-	t, err := btree.Create(path, btree.Options{})
+	return NewBTreeStoreCached(path, 0)
+}
+
+// NewBTreeStoreCached is NewBTreeStore with a page-cache cap (0 = btree
+// default).
+func NewBTreeStoreCached(path string, cachePages int) (*BTreeStore, error) {
+	if fi, err := os.Stat(path); err == nil && fi.Size() > 0 {
+		return nil, fmt.Errorf("grid: %s already holds a posting store; delete it or open it with OpenBTreeStore", path)
+	}
+	t, err := btree.Create(path, btree.Options{CachePages: cachePages})
 	if err != nil {
 		return nil, err
 	}
@@ -35,18 +47,16 @@ func OpenBTreeStore(path string) (*BTreeStore, error) {
 	return &BTreeStore{tree: t}, nil
 }
 
-// Append implements Store. Lists are read-modify-written; index builds
-// batch all postings for a key into a single Append, so this is one tree
-// Put per (cell, term) in practice.
+// Append implements Store. Lists are read-modify-written under one lock
+// section — releasing the lock between the read and the write would let
+// two concurrent Appends to the same key each read the old list and one
+// overwrite the other's postings (see TestBTreeStoreAppendConcurrent).
+// Index builds batch all postings for a key into a single Append, so this
+// is one tree Put per (cell, term) in practice.
 func (s *BTreeStore) Append(key CellKey, ps []Posting) error {
-	existing, err := s.Postings(key)
-	if err != nil {
-		return err
-	}
-	merged := append(existing, ps...)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.tree.Put(key.Uint64(), EncodePostings(merged))
+	return appendLocked(s.tree, key, ps)
 }
 
 // Postings implements Store.
@@ -65,6 +75,13 @@ func (s *BTreeStore) Postings(key CellKey) ([]Posting, error) {
 		return nil, fmt.Errorf("grid: decode postings for cell %d term %d: %w", key.Cell, key.Term, err)
 	}
 	return ps, nil
+}
+
+// CacheStats returns the page-cache counters of the underlying tree.
+func (s *BTreeStore) CacheStats() btree.CacheStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tree.CacheStats()
 }
 
 // Close flushes and closes the underlying tree.

@@ -14,8 +14,11 @@
 // # Invariants and ownership rules
 //
 // An Index is immutable after NewIndex and safe for concurrent readers;
-// MemStore is read-only at query time, while BTreeStore serializes tree
-// access behind its own mutex. Each cell keeps a term directory sorted by
+// MemStore is read-only at query time, BTreeStore serializes tree access
+// behind one mutex, and ShardedStore partitions the key space across N
+// trees with one mutex and one page cache each, so concurrent cold reads
+// only contend when they need the same shard (and SearchInto fans one
+// query's fetches across shards). Each cell keeps a term directory sorted by
 // ascending TermID with posting-list lengths: term membership is a binary
 // search, the pooled search path merge-joins the query terms against it
 // (stopping as soon as either sorted list is exhausted), and the recorded
@@ -41,6 +44,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/geo"
 	"repro/internal/textindex"
@@ -80,6 +84,17 @@ type Store interface {
 	Append(key CellKey, ps []Posting) error
 	// Postings returns the list under key; empty list when absent.
 	Postings(key CellKey) ([]Posting, error)
+}
+
+// shardedStore is the optional Store extension a partitioned store
+// implements (ShardedStore does). When a store reports more than one
+// shard, NewIndex batch-builds each shard from its own goroutine and
+// SearchInto fans a query's cold posting fetches across the shards —
+// both without cross-shard blocking, since each shard has its own lock.
+type shardedStore interface {
+	Store
+	NumShards() int
+	ShardOf(key CellKey) int
 }
 
 // MemStore is an in-memory Store.
@@ -141,6 +156,10 @@ type Index struct {
 	cellSize float64
 	nx, ny   int
 	store    Store
+	// sharded is store when it partitions keys across >1 independently
+	// locked shards, nil otherwise; it switches SearchInto to the
+	// fan-out fetch path.
+	sharded shardedStore
 	// cellDir is the per-cell term directory, sorted by ascending TermID
 	// so membership is a binary search and query∩cell intersection is a
 	// merge-join that exits as soon as either side is exhausted.
@@ -151,6 +170,18 @@ type Index struct {
 // unit as coordinates; the paper does not prescribe one — typical is a few
 // hundred metres). The store receives one Append per (cell, term).
 func NewIndex(objects []Object, bounds geo.Rect, cellSize float64, store Store) (*Index, error) {
+	return newIndex(objects, bounds, cellSize, store, true)
+}
+
+// NewIndexOver builds the index metadata (grid layout, per-cell term
+// directories) over a store that already holds the postings — e.g. a
+// sharded store written by a previous build and reopened cold. Nothing is
+// appended; the objects must be the ones the store was built from.
+func NewIndexOver(objects []Object, bounds geo.Rect, cellSize float64, store Store) (*Index, error) {
+	return newIndex(objects, bounds, cellSize, store, false)
+}
+
+func newIndex(objects []Object, bounds geo.Rect, cellSize float64, store Store, appendPostings bool) (*Index, error) {
 	if cellSize <= 0 {
 		return nil, fmt.Errorf("grid: cell size must be positive, got %v", cellSize)
 	}
@@ -174,6 +205,9 @@ func NewIndex(objects []Object, bounds geo.Rect, cellSize float64, store Store) 
 		store:    store,
 		cellDir:  make(map[uint32][]termEntry),
 	}
+	if sh, ok := store.(shardedStore); ok && sh.NumShards() > 1 {
+		idx.sharded = sh
+	}
 	// Group postings per (cell, term) to batch Append calls.
 	batch := make(map[CellKey][]Posting)
 	for id, o := range objects {
@@ -186,10 +220,12 @@ func NewIndex(objects []Object, bounds geo.Rect, cellSize float64, store Store) 
 			batch[key] = append(batch[key], Posting{Obj: ObjectID(id), Weight: o.Doc.Weights[i]})
 		}
 	}
-	for key, ps := range batch {
-		if err := store.Append(key, ps); err != nil {
-			return nil, fmt.Errorf("grid: store append: %w", err)
+	if appendPostings {
+		if err := idx.appendBatch(batch); err != nil {
+			return nil, err
 		}
+	}
+	for key, ps := range batch {
 		idx.cellDir[key.Cell] = append(idx.cellDir[key.Cell], termEntry{term: key.Term, count: int32(len(ps))})
 	}
 	for _, dir := range idx.cellDir {
@@ -197,6 +233,59 @@ func NewIndex(objects []Object, bounds geo.Rect, cellSize float64, store Store) 
 	}
 	return idx, nil
 }
+
+// appendBatch writes the grouped postings to the store. With a sharded
+// store each shard is built from its own goroutine — keys are bucketed by
+// owning shard first, so the goroutines never contend on a shard lock.
+// Each key still gets all its postings in one Append, and posting order
+// within a key is the object insertion order either way, so the stored
+// lists are identical for any shard count.
+func (idx *Index) appendBatch(batch map[CellKey][]Posting) error {
+	if idx.sharded == nil {
+		for key, ps := range batch {
+			if err := idx.store.Append(key, ps); err != nil {
+				return fmt.Errorf("grid: store append: %w", err)
+			}
+		}
+		return nil
+	}
+	type keyBatch struct {
+		key CellKey
+		ps  []Posting
+	}
+	buckets := make([][]keyBatch, idx.sharded.NumShards())
+	for key, ps := range batch {
+		s := idx.sharded.ShardOf(key)
+		buckets[s] = append(buckets[s], keyBatch{key, ps})
+	}
+	errs := make([]error, len(buckets))
+	var wg sync.WaitGroup
+	for s := range buckets {
+		if len(buckets[s]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for _, kb := range buckets[s] {
+				if err := idx.store.Append(kb.key, kb.ps); err != nil {
+					errs[s] = err
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return fmt.Errorf("grid: store append: %w", err)
+		}
+	}
+	return nil
+}
+
+// Store returns the posting store backing the index.
+func (idx *Index) Store() Store { return idx.store }
 
 // NumObjects returns the number of indexed objects.
 func (idx *Index) NumObjects() int { return len(idx.objects) }

@@ -3,6 +3,7 @@ package grid
 import (
 	"fmt"
 	"slices"
+	"sync"
 
 	"repro/internal/geo"
 	"repro/internal/textindex"
@@ -21,6 +22,24 @@ type SearchScratch struct {
 	score   []float64
 	touched []ObjectID
 	out     []ObjScore
+	// Sharded fan-out state (used only with a sharded disk store): the
+	// fetch plan in deterministic accumulation order, the fetched lists
+	// (parallel to plan), the plan indices bucketed per shard, and one
+	// error slot per shard.
+	plan    []fetchRef
+	fetched [][]Posting
+	byShard [][]int32
+	errs    []error
+}
+
+// fetchRef is one planned posting-list fetch: cell, the query-term index
+// qi (the key's term is q.Terms[qi]), the directory's recorded list
+// length, and whether the cell lies fully inside the query rectangle.
+type fetchRef struct {
+	cell       uint32
+	qi         int32
+	count      int32
+	fullInside bool
 }
 
 // reset prepares the scratch for an index with n objects.
@@ -45,7 +64,9 @@ func (s *SearchScratch) reset(n int) {
 // instead of a per-query map and reuses s's result slice. The returned
 // slice aliases s and is valid only until the next SearchInto call on the
 // same scratch. With a MemStore-backed index the steady state performs
-// zero allocations.
+// zero allocations; with a sharded disk store the posting fetches of one
+// query fan out across the shards concurrently (the accumulation order —
+// and therefore every floating-point sum — stays identical).
 func (idx *Index) SearchInto(q textindex.Query, r geo.Rect, s *SearchScratch) ([]ObjScore, error) {
 	if len(q.Terms) == 0 || q.Norm == 0 {
 		return nil, nil
@@ -56,18 +77,21 @@ func (idx *Index) SearchInto(q textindex.Query, r geo.Rect, s *SearchScratch) ([
 	if !ok {
 		return s.out[:0], nil
 	}
-	for cy := y0; cy <= y1; cy++ {
-		for cx := x0; cx <= x1; cx++ {
-			cell := uint32(cy*idx.nx + cx)
-			dir := idx.cellDir[cell]
-			if len(dir) == 0 {
-				continue
-			}
-			cr := idx.cellRect(cell)
-			fullInside := cr.MinX >= r.MinX && cr.MaxX <= r.MaxX &&
-				cr.MinY >= r.MinY && cr.MaxY <= r.MaxY
-			if err := idx.scoreCell(q, r, cell, dir, fullInside, s); err != nil {
-				return nil, err
+	if idx.sharded != nil {
+		if err := idx.searchSharded(q, r, x0, x1, y0, y1, s); err != nil {
+			return nil, err
+		}
+	} else {
+		for cy := y0; cy <= y1; cy++ {
+			for cx := x0; cx <= x1; cx++ {
+				cell := uint32(cy*idx.nx + cx)
+				dir := idx.cellDir[cell]
+				if len(dir) == 0 {
+					continue
+				}
+				if err := idx.scoreCell(q, r, cell, dir, idx.cellInside(cell, r), s); err != nil {
+					return nil, err
+				}
 			}
 		}
 	}
@@ -80,6 +104,13 @@ func (idx *Index) SearchInto(q textindex.Query, r geo.Rect, s *SearchScratch) ([
 		s.out = append(s.out, ObjScore{Obj: id, Score: s.score[id] / q.Norm})
 	}
 	return s.out, nil
+}
+
+// cellInside reports whether cell lies fully inside r (objects then need
+// no per-point containment check).
+func (idx *Index) cellInside(cell uint32, r geo.Rect) bool {
+	cr := idx.cellRect(cell)
+	return cr.MinX >= r.MinX && cr.MaxX <= r.MaxX && cr.MinY >= r.MinY && cr.MaxY <= r.MaxY
 }
 
 // scoreCell merge-joins the query terms against one cell's directory and
@@ -102,20 +133,114 @@ func (idx *Index) scoreCell(q textindex.Query, r geo.Rect, cell uint32, dir []te
 			// The directory records the list length, so the touched set can
 			// grow once up front instead of reallocating mid-scan.
 			s.touched = slices.Grow(s.touched, int(dir[di].count))
-			for _, p := range ps {
-				if !fullInside && !r.Contains(idx.objects[p.Obj].Point) {
-					continue
-				}
-				if s.stamp[p.Obj] != s.epoch {
-					s.stamp[p.Obj] = s.epoch
-					s.score[p.Obj] = 0
-					s.touched = append(s.touched, p.Obj)
-				}
-				s.score[p.Obj] += q.IDF[qi] * p.Weight
-			}
+			idx.accumulate(r, ps, q.IDF[qi], fullInside, s)
 			qi++
 			di++
 		}
+	}
+	return nil
+}
+
+// accumulate folds one posting list into the scratch with the query-side
+// weight idf. It is the one shared inner loop of the serial and sharded
+// search paths, so both accumulate bit-identically.
+func (idx *Index) accumulate(r geo.Rect, ps []Posting, idf float64, fullInside bool, s *SearchScratch) {
+	for _, p := range ps {
+		if !fullInside && !r.Contains(idx.objects[p.Obj].Point) {
+			continue
+		}
+		if s.stamp[p.Obj] != s.epoch {
+			s.stamp[p.Obj] = s.epoch
+			s.score[p.Obj] = 0
+			s.touched = append(s.touched, p.Obj)
+		}
+		s.score[p.Obj] += idf * p.Weight
+	}
+}
+
+// searchSharded is SearchInto's fetch path for a sharded store. It runs
+// in three phases: (1) plan — walk the cells in row-major order and
+// merge-join the query terms against each cell directory, recording every
+// (cell, term) posting list the serial path would read, in the order it
+// would read them; (2) fetch — bucket the planned reads by owning shard
+// and fetch each shard's lists from its own goroutine, so one query's
+// cold reads load all shards concurrently and never block on a foreign
+// shard's lock; (3) accumulate — fold the fetched lists into the scratch
+// serially in plan order, which is exactly the serial path's order, so
+// scores stay bit-identical.
+func (idx *Index) searchSharded(q textindex.Query, r geo.Rect, x0, x1, y0, y1 int, s *SearchScratch) error {
+	s.plan = s.plan[:0]
+	for cy := y0; cy <= y1; cy++ {
+		for cx := x0; cx <= x1; cx++ {
+			cell := uint32(cy*idx.nx + cx)
+			dir := idx.cellDir[cell]
+			if len(dir) == 0 {
+				continue
+			}
+			fullInside := idx.cellInside(cell, r)
+			qi, di := 0, 0
+			for qi < len(q.Terms) && di < len(dir) {
+				switch {
+				case q.Terms[qi] < dir[di].term:
+					qi++
+				case q.Terms[qi] > dir[di].term:
+					di++
+				default:
+					s.plan = append(s.plan, fetchRef{cell: cell, qi: int32(qi), count: dir[di].count, fullInside: fullInside})
+					qi++
+					di++
+				}
+			}
+		}
+	}
+	if len(s.plan) == 0 {
+		return nil
+	}
+	n := idx.sharded.NumShards()
+	if cap(s.byShard) < n {
+		s.byShard = make([][]int32, n)
+		s.errs = make([]error, n)
+	}
+	byShard := s.byShard[:n]
+	errs := s.errs[:n]
+	for i := range byShard {
+		byShard[i] = byShard[i][:0]
+		errs[i] = nil
+	}
+	for i, ref := range s.plan {
+		sh := idx.sharded.ShardOf(CellKey{Cell: ref.cell, Term: q.Terms[ref.qi]})
+		byShard[sh] = append(byShard[sh], int32(i))
+	}
+	s.fetched = slices.Grow(s.fetched[:0], len(s.plan))[:len(s.plan)]
+	var wg sync.WaitGroup
+	for sh := 0; sh < n; sh++ {
+		if len(byShard[sh]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(sh int) {
+			defer wg.Done()
+			for _, pi := range byShard[sh] {
+				ref := s.plan[pi]
+				ps, err := idx.store.Postings(CellKey{Cell: ref.cell, Term: q.Terms[ref.qi]})
+				if err != nil {
+					errs[sh] = fmt.Errorf("grid: postings(%d,%d): %w", ref.cell, q.Terms[ref.qi], err)
+					return
+				}
+				s.fetched[pi] = ps
+			}
+		}(sh)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	for i, ref := range s.plan {
+		s.touched = slices.Grow(s.touched, int(ref.count))
+		idx.accumulate(r, s.fetched[i], q.IDF[ref.qi], ref.fullInside, s)
+		s.fetched[i] = nil // drop the reference; the lists die with this query
 	}
 	return nil
 }

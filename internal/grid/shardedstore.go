@@ -1,0 +1,345 @@
+package grid
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/btree"
+	"repro/internal/textindex"
+)
+
+// ShardedStore is a disk-backed Store that partitions the CellKey space
+// across N independent B+-trees: shard i owns every key whose cell
+// satisfies cell mod N == i, and each shard has its own file, page cache
+// and mutex. Cells adjacent in row-major order land on different shards,
+// so the cells of one query rectangle — and the cold reads of concurrent
+// queries — spread across all shards instead of convoying on one tree
+// lock and one page cache, which is what makes cold-read throughput scale
+// with cores (see BenchmarkColdRead and the CI multi-core gate).
+//
+// On disk a sharded store is a directory: a MANIFEST header recording the
+// layout (shard count and partition function, so OpenShardedStore
+// reconstructs it regardless of the opener's GOMAXPROCS) plus one
+// shard-NNNN.bt tree per shard. Each tree is held under an exclusive
+// file lock while open, so two stores can never share a shard.
+type ShardedStore struct {
+	dir    string
+	shards []storeShard
+}
+
+// storeShard pairs one B+-tree with the mutex that serializes access to
+// it (the tree's page cache is single-threaded). Shards never take each
+// other's locks, so operations on different shards proceed concurrently.
+type storeShard struct {
+	mu   sync.Mutex
+	tree *btree.Tree
+}
+
+// ShardedOptions configures CreateShardedStore.
+type ShardedOptions struct {
+	// Shards is the number of B+-tree shards; <= 0 means GOMAXPROCS.
+	Shards int
+	// CachePages caps each shard's page cache (0 = btree default).
+	CachePages int
+}
+
+const (
+	manifestName  = "MANIFEST"
+	manifestMagic = "lcmsr-sharded-store v1"
+	partitionName = "cell-mod" // shard(key) = key.Cell mod shards
+	// maxShards bounds the shard count on create and open symmetrically,
+	// so every store this package writes can be reopened.
+	maxShards = 1 << 16
+)
+
+func shardFile(dir string, i int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%04d.bt", i))
+}
+
+// CreateShardedStore creates a fresh sharded store in dir (creating the
+// directory if needed). It refuses to overwrite an existing store — a
+// populated store is a build product worth hours of indexing, so
+// clobbering it must be an explicit `rm`, not a side effect; open one
+// with OpenShardedStore instead. The MANIFEST header is written last, so
+// a creation that fails partway (disk full, lock conflict) never leaves
+// a valid-looking manifest over missing shards.
+func CreateShardedStore(dir string, opts ShardedOptions) (*ShardedStore, error) {
+	n := opts.Shards
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > maxShards {
+		return nil, fmt.Errorf("grid: shard count %d exceeds the maximum %d", n, maxShards)
+	}
+	if _, err := os.Stat(filepath.Join(dir, manifestName)); err == nil {
+		return nil, fmt.Errorf("grid: %s already holds a sharded store; delete it or open it with OpenShardedStore", dir)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("grid: sharded store: %w", err)
+	}
+	s := &ShardedStore{dir: dir, shards: make([]storeShard, n)}
+	for i := range s.shards {
+		t, err := btree.Create(shardFile(dir, i), btree.Options{CachePages: opts.CachePages})
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		s.shards[i].tree = t
+	}
+	manifest := fmt.Sprintf("%s\nshards %d\npartition %s\n", manifestMagic, n, partitionName)
+	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte(manifest), 0o644); err != nil {
+		s.Close()
+		return nil, fmt.Errorf("grid: sharded store manifest: %w", err)
+	}
+	return s, nil
+}
+
+// OpenShardedStore opens a store previously written by CreateShardedStore,
+// reconstructing the shard layout from the MANIFEST header. The per-shard
+// trees are opened concurrently — each takes its own file lock.
+func OpenShardedStore(dir string) (*ShardedStore, error) {
+	return openSharded(dir, ShardedOptions{})
+}
+
+// OpenShardedStoreCached is OpenShardedStore with a per-shard page-cache
+// cap (0 = btree default).
+func OpenShardedStoreCached(dir string, cachePages int) (*ShardedStore, error) {
+	return openSharded(dir, ShardedOptions{CachePages: cachePages})
+}
+
+func openSharded(dir string, opts ShardedOptions) (*ShardedStore, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, fmt.Errorf("grid: sharded store manifest: %w", err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) != 3 || lines[0] != manifestMagic {
+		return nil, fmt.Errorf("grid: %s is not a sharded store (manifest %q)", dir, string(raw))
+	}
+	n, err := strconv.Atoi(strings.TrimPrefix(lines[1], "shards "))
+	if err != nil || n <= 0 || n > maxShards {
+		return nil, fmt.Errorf("grid: implausible shard count %q in %s", lines[1], dir)
+	}
+	if p := strings.TrimPrefix(lines[2], "partition "); p != partitionName {
+		return nil, fmt.Errorf("grid: unknown shard partition %q in %s", p, dir)
+	}
+	s := &ShardedStore{dir: dir, shards: make([]storeShard, n)}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := range s.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			t, err := btree.Open(shardFile(dir, i), btree.Options{CachePages: opts.CachePages})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			s.shards[i].tree = t
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// NumShards returns the number of B+-tree shards.
+func (s *ShardedStore) NumShards() int { return len(s.shards) }
+
+// ShardOf returns the shard owning key.
+func (s *ShardedStore) ShardOf(key CellKey) int {
+	return int(key.Cell % uint32(len(s.shards)))
+}
+
+// errStoreClosed is returned by operations on a closed sharded store
+// (Close nils the shard trees).
+var errStoreClosed = fmt.Errorf("grid: sharded store is closed")
+
+// Append implements Store. The owning shard's lock is held across the
+// whole read-merge-write, so concurrent Appends to one key serialize
+// instead of losing postings; Appends to keys on different shards do not
+// block each other.
+func (s *ShardedStore) Append(key CellKey, ps []Posting) error {
+	sh := &s.shards[s.ShardOf(key)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.tree == nil {
+		return errStoreClosed
+	}
+	return appendLocked(sh.tree, key, ps)
+}
+
+// Postings implements Store, blocking only callers that need the same
+// shard.
+func (s *ShardedStore) Postings(key CellKey) ([]Posting, error) {
+	sh := &s.shards[s.ShardOf(key)]
+	sh.mu.Lock()
+	if sh.tree == nil {
+		sh.mu.Unlock()
+		return nil, errStoreClosed
+	}
+	raw, err := sh.tree.Get(key.Uint64())
+	sh.mu.Unlock()
+	if err == btree.ErrNotFound {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	ps, err := DecodePostings(raw)
+	if err != nil {
+		return nil, fmt.Errorf("grid: decode postings for cell %d term %d: %w", key.Cell, key.Term, err)
+	}
+	return ps, nil
+}
+
+// CacheStats aggregates the page-cache counters of every shard. On a
+// closed store it returns zeros (the single-tree store tolerates the
+// same late call, e.g. an end-of-run stats print).
+func (s *ShardedStore) CacheStats() btree.CacheStats {
+	var agg btree.CacheStats
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		if sh.tree != nil {
+			agg.Add(sh.tree.CacheStats())
+		}
+		sh.mu.Unlock()
+	}
+	return agg
+}
+
+// Close flushes and closes every shard, returning the first error.
+func (s *ShardedStore) Close() error {
+	var first error
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		if sh.tree != nil {
+			if err := sh.tree.Close(); err != nil && first == nil {
+				first = err
+			}
+			sh.tree = nil
+		}
+		sh.mu.Unlock()
+	}
+	return first
+}
+
+// appendLocked is the read-merge-write shared by BTreeStore and
+// ShardedStore; the caller must hold the lock of the tree. Postings are
+// fixed-width records, so merging is raw-byte concatenation — no decode.
+func appendLocked(t *btree.Tree, key CellKey, ps []Posting) error {
+	raw, err := t.Get(key.Uint64())
+	if err == btree.ErrNotFound {
+		raw = nil
+	} else if err != nil {
+		return err
+	}
+	return t.Put(key.Uint64(), append(raw, EncodePostings(ps)...))
+}
+
+// PostingStore is a disk-backed, closable Store: both layouts (single
+// B+-tree file, sharded directory) implement it.
+type PostingStore interface {
+	Store
+	Close() error
+}
+
+// OpenStore opens a posting store of either on-disk layout: a directory
+// is a sharded store, a plain file the single-tree layout — the
+// compatibility path for stores written before sharding existed.
+func OpenStore(path string) (PostingStore, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, fmt.Errorf("grid: open store: %w", err)
+	}
+	if fi.IsDir() {
+		return OpenShardedStore(path)
+	}
+	return OpenBTreeStore(path)
+}
+
+// RemoveStore deletes a closed posting store of either layout: the store
+// file, or — for a sharded directory — the MANIFEST and shard files only
+// (the directory itself and any foreign files in it are left alone). It
+// refuses paths that do not hold a store, so a caller cleaning up after
+// a failed build cannot delete unrelated data.
+func RemoveStore(path string) error {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return fmt.Errorf("grid: remove store: %w", err)
+	}
+	if !fi.IsDir() {
+		var magicBuf [8]byte
+		f, err := os.Open(path)
+		if err != nil {
+			return fmt.Errorf("grid: remove store: %w", err)
+		}
+		_, rerr := io.ReadFull(f, magicBuf[:])
+		f.Close()
+		if rerr != nil || !btree.ValidMagic(magicBuf[:]) {
+			return fmt.Errorf("grid: %s is not a posting store; refusing to remove it", path)
+		}
+		return os.Remove(path)
+	}
+	raw, err := os.ReadFile(filepath.Join(path, manifestName))
+	if err != nil || !strings.HasPrefix(string(raw), manifestMagic) {
+		return fmt.Errorf("grid: %s is not a sharded store; refusing to remove it", path)
+	}
+	shardFiles, err := filepath.Glob(filepath.Join(path, "shard-*.bt"))
+	if err != nil {
+		return err
+	}
+	for _, f := range shardFiles {
+		if err := os.Remove(f); err != nil {
+			return err
+		}
+	}
+	return os.Remove(filepath.Join(path, manifestName))
+}
+
+// MigrateToSharded rewrites a single-file store into a fresh sharded
+// store at dstDir and returns it open. Every key keeps its exact posting
+// bytes; only the partitioning changes.
+func MigrateToSharded(src, dstDir string, opts ShardedOptions) (*ShardedStore, error) {
+	t, err := btree.Open(src, btree.Options{})
+	if err != nil {
+		return nil, err
+	}
+	defer t.Close()
+	dst, err := CreateShardedStore(dstDir, opts)
+	if err != nil {
+		return nil, err
+	}
+	var putErr error
+	err = t.Scan(0, math.MaxUint64, func(k uint64, v []byte) bool {
+		key := CellKey{Cell: uint32(k >> 32), Term: textindex.TermID(uint32(k))}
+		sh := &dst.shards[dst.ShardOf(key)] // private store: no locking needed yet
+		if err := sh.tree.Put(k, v); err != nil {
+			putErr = err
+			return false
+		}
+		return true
+	})
+	if err == nil {
+		err = putErr
+	}
+	if err != nil {
+		dst.Close()
+		return nil, fmt.Errorf("grid: migrate %s: %w", src, err)
+	}
+	return dst, nil
+}

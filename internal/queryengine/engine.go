@@ -16,8 +16,10 @@
 //
 // The Dataset (graph, vocabulary, grid index) is immutable at query time
 // and shared read-only by all workers; the grid's MemStore is safe for
-// concurrent reads, and BTreeStore serializes tree access behind its
-// mutex. All mutable per-query state lives in the worker-local Planner,
+// concurrent reads, BTreeStore serializes tree access behind one mutex,
+// and ShardedStore stripes cells across independently locked shards so
+// workers' cold posting fetches only contend when they hit the same shard.
+// All mutable per-query state lives in the worker-local Planner,
 // which only its owning goroutine touches; a QueryInstance handed to a
 // callback (RunFunc's fn, Task.Visit) aliases that planner's buffers and
 // is valid only for the duration of the call. In batch mode work is

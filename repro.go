@@ -41,9 +41,11 @@ import (
 	"math/rand"
 	"os"
 
+	"repro/internal/btree"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/geo"
+	"repro/internal/grid"
 	"repro/internal/roadnet"
 )
 
@@ -158,21 +160,126 @@ func toObjectInputs(objects []ObjectSpec) []dataset.ObjectInput {
 // seed makes the build reproducible; scale multiplies the default size
 // (1.0 ≈ 3.6k road nodes and 6.8k objects).
 func NYLike(seed int64, scale float64) (*Database, error) {
-	ds, err := dataset.NYLike(dataset.Config{Seed: seed, Scale: scale})
-	if err != nil {
-		return nil, err
-	}
-	return &Database{ds: ds}, nil
+	return NYLikeWithStore(seed, scale, StoreConfig{})
 }
 
 // USANWLike builds the synthetic northwest-USA-style dataset (sparser
 // rural network, tag-style text). scale 1.0 ≈ 5k nodes and objects.
 func USANWLike(seed int64, scale float64) (*Database, error) {
-	ds, err := dataset.USANWLike(dataset.Config{Seed: seed, Scale: scale})
+	return USANWLikeWithStore(seed, scale, StoreConfig{})
+}
+
+// StoreConfig selects the posting-list store backing the grid index.
+// The zero value keeps posting lists in memory.
+type StoreConfig struct {
+	// Path is where the postings live on disk: a single B+-tree file when
+	// Shards <= 1, a directory of per-shard trees when Shards > 1. Empty
+	// keeps the postings in memory (combined with Shards > 1 it is an
+	// error — shards need somewhere to live). The store is built fresh at
+	// Path; building over an existing store is refused rather than
+	// silently overwriting it.
+	Path string
+	// Shards > 1 partitions the cell space across that many independent
+	// B+-trees (one file, page cache and lock each), so concurrent cold
+	// reads scale with cores instead of serializing on one tree. The
+	// count is recorded in the store's manifest header. 1 uses the
+	// single-tree layout; 0 with a non-empty Path also means 1.
+	Shards int
+	// CachePages caps each tree's page cache (0 = default, 256 pages).
+	CachePages int
+}
+
+func (sc StoreConfig) open() (grid.Store, error) {
+	if sc.Path == "" {
+		if sc.Shards > 1 {
+			return nil, fmt.Errorf("repro: a sharded store needs a directory path")
+		}
+		return nil, nil // in-memory
+	}
+	if sc.Shards > 1 {
+		return grid.CreateShardedStore(sc.Path, grid.ShardedOptions{Shards: sc.Shards, CachePages: sc.CachePages})
+	}
+	return grid.NewBTreeStoreCached(sc.Path, sc.CachePages)
+}
+
+// NYLikeWithStore is NYLike with an explicit posting-store configuration;
+// close the Database to flush and release a disk-backed store.
+func NYLikeWithStore(seed int64, scale float64, sc StoreConfig) (*Database, error) {
+	store, err := sc.open()
 	if err != nil {
 		return nil, err
 	}
+	ds, err := dataset.NYLike(dataset.Config{Seed: seed, Scale: scale, Store: store})
+	if err != nil {
+		discardStore(store, sc.Path)
+		return nil, err
+	}
 	return &Database{ds: ds}, nil
+}
+
+// USANWLikeWithStore is USANWLike with an explicit posting-store
+// configuration.
+func USANWLikeWithStore(seed int64, scale float64, sc StoreConfig) (*Database, error) {
+	store, err := sc.open()
+	if err != nil {
+		return nil, err
+	}
+	ds, err := dataset.USANWLike(dataset.Config{Seed: seed, Scale: scale, Store: store})
+	if err != nil {
+		discardStore(store, sc.Path)
+		return nil, err
+	}
+	return &Database{ds: ds}, nil
+}
+
+// discardStore disposes of a store whose dataset build failed: the store
+// was created by this call and holds partial postings, so leaving it
+// would make the (create-fresh) retry fail on "already holds a store".
+// Removal only touches the store's own files.
+func discardStore(store grid.Store, path string) {
+	if c, ok := store.(interface{ Close() error }); ok {
+		c.Close()
+		grid.RemoveStore(path)
+	}
+}
+
+// Close flushes and releases the posting store backing the Database when
+// it is disk-backed; it is a no-op for in-memory databases. The Database
+// must not be queried afterwards.
+func (db *Database) Close() error { return db.ds.Close() }
+
+// StoreStats reports the layout and page-cache counters of a disk-backed
+// posting store.
+type StoreStats struct {
+	// Shards is the number of B+-tree shards (1 for the single-tree
+	// layout).
+	Shards int
+	// CacheHits/CacheMisses/CacheEvictions aggregate page-cache traffic
+	// across all shards since the store was opened.
+	CacheHits, CacheMisses, CacheEvictions uint64
+	// CachedPages is the number of pages currently resident.
+	CachedPages int
+}
+
+// StoreStats returns posting-store statistics, or ok == false when the
+// Database uses the in-memory store.
+func (db *Database) StoreStats() (st StoreStats, ok bool) {
+	s, hasStats := db.ds.Index.Store().(interface{ CacheStats() btree.CacheStats })
+	if !hasStats {
+		return StoreStats{}, false
+	}
+	cs := s.CacheStats()
+	st = StoreStats{
+		Shards:         1,
+		CacheHits:      cs.Hits,
+		CacheMisses:    cs.Misses,
+		CacheEvictions: cs.Evictions,
+		CachedPages:    cs.Resident,
+	}
+	if n, ok := s.(interface{ NumShards() int }); ok {
+		st.Shards = n.NumShards()
+	}
+	return st, true
 }
 
 // NumNodes returns the number of road-network nodes.

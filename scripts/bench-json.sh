@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# bench-json.sh — machine-readable benchmark snapshot + allocation gate.
+#
+# Runs the end-to-end serve benchmarks (BenchmarkServeQuery: searchpath,
+# tgen-e2e, app-e2e, greedy-e2e) with -benchmem, writes the results as
+# JSON (ns/op, B/op, allocs/op per benchmark) to the output file, and
+# fails when any benchmark's allocs/op exceeds the committed baseline in
+# scripts/bench-baseline.json — the zero-alloc serve-path guarantee,
+# enforced numerically.
+#
+# Usage: scripts/bench-json.sh [output.json]   (default BENCH_PR5.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_PR5.json}"
+baseline="scripts/bench-baseline.json"
+
+raw="$(go test -run=NONE -bench='^BenchmarkServeQuery$' -benchmem -benchtime=50x -count=1 .)"
+echo "$raw"
+
+# Each result line is "BenchmarkName  N  <value> <unit> ..."; pick the
+# values by their unit so extra metrics (queries/s) don't shift columns.
+echo "$raw" | awk '
+  $1 ~ /^Benchmark/ && $NF == "allocs/op" {
+    ns = ""; b = ""; allocs = "";
+    for (i = 2; i < NF; i++) {
+      if ($(i+1) == "ns/op")     ns = $i;
+      if ($(i+1) == "B/op")      b = $i;
+      if ($(i+1) == "allocs/op") allocs = $i;
+    }
+    printf("{\"name\":\"%s\",\"ns_per_op\":%s,\"b_per_op\":%s,\"allocs_per_op\":%s}\n", $1, ns, b, allocs);
+  }' | jq -s '{benchmarks: .}' >"$out"
+
+echo "wrote $out:"
+jq . "$out"
+
+# Gate: every baseline entry must exist in the snapshot (modulo the -N
+# GOMAXPROCS suffix go test appends) and stay within its alloc budget.
+jq -n --slurpfile cur "$out" --slurpfile base "$baseline" '
+  ($cur[0].benchmarks
+   | map({key: (.name | sub("-[0-9]+$"; "")), value: .}) | from_entries) as $c
+  | $base[0].benchmarks[]
+  | . as $b
+  | ($c[$b.name] // error("benchmark \($b.name) missing from snapshot"))
+  | if .allocs_per_op > $b.max_allocs_per_op
+    then error("allocs/op regression in \($b.name): \(.allocs_per_op) > baseline \($b.max_allocs_per_op)")
+    else "\($b.name): \(.allocs_per_op) allocs/op (baseline \($b.max_allocs_per_op)) OK"
+    end
+'

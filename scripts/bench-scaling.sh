@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# bench-scaling.sh — multi-core scaling gate.
+#
+# Runs the end-to-end engine throughput benchmark and the sharded-store
+# cold-read benchmark at -cpu=1 and -cpu=4 and requires at least
+# SCALING_MIN_RATIO x (default 2.0) speedup at 4 CPUs. The development
+# container has a single CPU, so this gate only proves the parallel
+# speedup on the multi-core CI runner; on hosts with < 4 CPUs it skips.
+#
+# Usage: scripts/bench-scaling.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+min="${SCALING_MIN_RATIO:-2.0}"
+cpus="$(nproc)"
+if [ "$cpus" -lt 4 ]; then
+  echo "bench-scaling: host has $cpus CPU(s), the gate needs 4 — skipping (CI runs it)"
+  exit 0
+fi
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+go test -run=NONE -bench='^BenchmarkQueryThroughput$' -cpu=1,4 -benchtime=1s -count=1 . | tee "$tmp/engine.txt"
+go test -run=NONE -bench='^BenchmarkColdRead$/^sharded$' -cpu=1,4 -benchtime=1s -count=1 ./internal/grid/ | tee "$tmp/cold.txt"
+
+# ns_of FILE NAME — the ns/op of the exactly-named benchmark (go test
+# appends "-<GOMAXPROCS>" to names when GOMAXPROCS != 1).
+ns_of() {
+  awk -v n="$2" '$1 == n { for (i = 2; i < NF; i++) if ($(i+1) == "ns/op") print $i }' "$1"
+}
+
+fail=0
+check() { # LABEL NS_1CPU NS_4CPU
+  if [ -z "$2" ] || [ -z "$3" ]; then
+    echo "FAIL: $1: missing benchmark output (got '@1cpu=$2' '@4cpu=$3')"
+    fail=1
+    return
+  fi
+  local ratio
+  ratio="$(awk -v a="$2" -v b="$3" 'BEGIN { printf "%.2f", a / b }')"
+  echo "$1: $2 ns/op @1cpu vs $3 ns/op @4cpu → ${ratio}x speedup (need >= ${min}x)"
+  if ! awk -v r="$ratio" -v m="$min" 'BEGIN { exit !(r >= m) }'; then
+    echo "FAIL: $1 scales ${ratio}x < ${min}x"
+    fail=1
+  fi
+}
+
+check "engine throughput (64-query TGEN workload)" \
+  "$(ns_of "$tmp/engine.txt" 'BenchmarkQueryThroughput/workers=1')" \
+  "$(ns_of "$tmp/engine.txt" 'BenchmarkQueryThroughput/workers=4-4')"
+check "sharded cold-read search" \
+  "$(ns_of "$tmp/cold.txt" 'BenchmarkColdRead/sharded')" \
+  "$(ns_of "$tmp/cold.txt" 'BenchmarkColdRead/sharded-4')"
+
+exit "$fail"
