@@ -10,22 +10,45 @@
 // and an in-memory page cache with write-back on eviction/sync. A freed
 // overflow chain is recycled through a free list threaded through the
 // header, so repeated updates do not grow the file unboundedly.
+//
+// # Durability (format v2)
+//
+// Files written by Create use format v2 ("LCMSRBK2"): every page carries a
+// CRC32-C trailer in its last 4 bytes, and the header is double-slot —
+// pages 0 and 1 alternate as commit targets (slot = seq mod 2), each
+// stamped with a monotonically increasing sequence number and a checksum,
+// and Open picks the newest valid slot. A crash that tears the in-flight
+// header therefore falls back to the previous committed header instead of
+// losing the tree. Sync orders its writes for crash safety: dirty pages,
+// fsync, header slot, fsync — so a committed header never points at pages
+// the disk has not durably absorbed. Freed pages are quarantined until the
+// commit that stops referencing them is durable, so a crash can never
+// resurface a recycled page under the older header. Open still reads v1
+// files ("LCMSRBK1": single header page, no checksums) and serves them in
+// their original format. Options.NoSync skips every fsync for bulk loads
+// and benchmarks, trading crash safety for speed.
 package btree
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
+
+	"repro/internal/iofault"
 )
 
 const (
 	// PageSize is the on-disk page size in bytes.
 	PageSize = 4096
 
-	magic         = 0x4C434D5352424B31 // "LCMSRBK1"
+	magicV1       = 0x4C434D5352424B31 // "LCMSRBK1": single header, no checksums
+	magicV2       = 0x4C434D5352424B32 // "LCMSRBK2": CRC32-C trailers, double-slot header
+	trailerLen    = 4                  // CRC32-C over buf[:PageSize-trailerLen], v2 pages only
 	pageHeaderLen = 3                  // 1 byte type + 2 bytes nkeys
 	maxInline     = 1024               // values longer than this go to overflow pages
 
@@ -34,18 +57,33 @@ const (
 	typeOverflow = 3
 )
 
+// castagnoli is the CRC32-C polynomial table shared by every checksum in
+// the file format (page trailers, header slots, and the store manifest).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Checksum computes the CRC32-C of data with the same polynomial the page
+// trailers use; the grid store reuses it for its manifest line.
+func Checksum(data []byte) uint32 { return crc32.Checksum(data, castagnoli) }
+
 // ErrNotFound is returned by Get when the key is absent.
 var ErrNotFound = errors.New("btree: key not found")
 
-// ValidMagic reports whether buf starts with the tree file magic —
-// callers use it to recognize a tree file without opening (and locking)
-// it.
-func ValidMagic(buf []byte) bool {
-	return len(buf) >= 8 && binary.LittleEndian.Uint64(buf) == magic
-}
+// ErrCorrupt wraps every corruption diagnosis — bad magic, checksum
+// mismatch, malformed page, broken chain or link — so callers can
+// recognize damage with errors.Is and distinguish it from transient I/O
+// failures.
+var ErrCorrupt = errors.New("btree: corrupt page")
 
-// errCorrupt wraps corruption diagnoses so callers can detect them.
-var errCorrupt = errors.New("btree: corrupt page")
+// ValidMagic reports whether buf starts with a tree file magic (either
+// format version) — callers use it to recognize a tree file without
+// opening (and locking) it.
+func ValidMagic(buf []byte) bool {
+	if len(buf) < 8 {
+		return false
+	}
+	m := binary.LittleEndian.Uint64(buf)
+	return m == magicV1 || m == magicV2
+}
 
 type leafEntry struct {
 	key     uint64
@@ -66,16 +104,29 @@ type node struct {
 	children []uint64
 }
 
-// Tree is a disk-backed B+-tree. It is not safe for concurrent use; the
-// file is held under an exclusive advisory lock while the Tree is open, so
-// a second Create/Open of the same path (from this or another process)
-// fails instead of corrupting the shared page cache.
+// Tree is a disk-backed B+-tree. It is not safe for concurrent use; when
+// opened by path the file is held under an exclusive advisory lock while
+// the Tree is open, so a second Create/Open of the same path (from this or
+// another process) fails instead of corrupting the shared page cache.
 type Tree struct {
-	f        *os.File
+	file     iofault.File
+	osf      *os.File // non-nil only for path-opened trees (advisory lock holder)
+	version  int      // 1 = legacy, 2 = checksummed double-header
+	noSync   bool
+	seq      uint64 // v2 header commit sequence; slot = seq mod 2
 	root     uint64
 	numPages uint64
-	freeHead uint64 // head of the freed-page list (0 = none)
+	freeHead uint64 // head of the allocatable freed-page list (0 = none)
 	count    uint64 // number of stored keys
+
+	// pendingFree holds pages freed since the last durable header commit.
+	// They must not be reallocated before that commit: the previous header
+	// still references them, and recycling one early would let a crash
+	// recover an older header whose pages now hold foreign (but
+	// internally valid) content — a silent wrong answer no checksum can
+	// catch. Sync graduates them onto the free list after the commit
+	// fsync.
+	pendingFree []uint64
 
 	cache    map[uint64]*node
 	cacheCap int
@@ -115,57 +166,104 @@ type Options struct {
 	// CachePages caps the number of decoded pages kept in memory.
 	// Zero means a default of 256 pages (1 MiB).
 	CachePages int
+	// NoSync skips every fsync (page flush, header commit, directory
+	// entry). Bulk loads and benchmarks get back the pre-durability write
+	// speed; a crash may then lose or corrupt the tree, exactly as before
+	// format v2.
+	NoSync bool
 }
 
-// Create creates a new empty tree at path, truncating any existing file.
-// The file is locked first and truncated only after the lock is acquired,
-// so Create on a path another Tree holds open fails without destroying
-// that tree's data.
+// Create creates a new empty v2 tree at path, truncating any existing
+// file. The file is locked first and truncated only after the lock is
+// acquired, so Create on a path another Tree holds open fails without
+// destroying that tree's data. Unless opts.NoSync is set the parent
+// directory is fsynced so the new file's directory entry is durable.
 func Create(path string, opts Options) (*Tree, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("btree: create: %w", err)
 	}
 	if err := lockFile(f); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	if err := f.Truncate(0); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, fmt.Errorf("btree: create: %w", err)
 	}
-	t := newTree(f, opts)
-	t.numPages = 2 // header + root
-	root := &node{id: 1, leaf: true, dirty: true}
-	t.cacheInsert(root)
-	t.root = 1
+	t, err := createOver(f, f, opts)
+	if err != nil {
+		unlockFile(f)
+		_ = f.Close()
+		return nil, err
+	}
+	if !opts.NoSync {
+		if err := syncDir(filepath.Dir(path)); err != nil {
+			_ = t.Close()
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// CreateFile initializes a new empty v2 tree over f — typically an
+// iofault.MemFile or Injector in crash tests. The caller owns f's
+// lifecycle apart from the final Close, and no advisory lock is taken.
+func CreateFile(f iofault.File, opts Options) (*Tree, error) {
+	return createOver(f, nil, opts)
+}
+
+func createOver(f iofault.File, osf *os.File, opts Options) (*Tree, error) {
+	t := newTree(f, osf, opts)
+	t.version = 2
+	t.numPages = 3 // two header slots + root
+	t.root = 2
+	t.cacheInsert(&node{id: 2, leaf: true, dirty: true})
+	// Seed slot 0 with seq 0, then commit seq 1 into slot 1: a freshly
+	// created tree has two valid header slots from the start.
+	if err := t.writeHeader(); err != nil {
+		return nil, err
+	}
 	if err := t.Sync(); err != nil {
-		f.Close()
 		return nil, err
 	}
 	return t, nil
 }
 
-// Open opens an existing tree created by Create. It fails when another
-// Tree (in this or any other process) already holds the file open.
+// Open opens an existing tree created by Create (either format version).
+// It fails when another Tree (in this or any other process) already holds
+// the file open. On a v2 file with one torn or corrupt header slot, Open
+// recovers from the other (older but valid) slot.
 func Open(path string, opts Options) (*Tree, error) {
 	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("btree: open: %w", err)
 	}
 	if err := lockFile(f); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
-	t := newTree(f, opts)
+	t := newTree(f, f, opts)
 	if err := t.readHeader(); err != nil {
-		f.Close()
+		unlockFile(f)
+		_ = f.Close()
 		return nil, err
 	}
 	return t, nil
 }
 
-func newTree(f *os.File, opts Options) *Tree {
+// OpenFile opens an existing tree over f — typically a frozen post-crash
+// byte image in tests. No advisory lock is taken; on error f is left open
+// for the caller.
+func OpenFile(f iofault.File, opts Options) (*Tree, error) {
+	t := newTree(f, nil, opts)
+	if err := t.readHeader(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func newTree(f iofault.File, osf *os.File, opts Options) *Tree {
 	cap := opts.CachePages
 	if cap <= 0 {
 		cap = 256
@@ -173,25 +271,36 @@ func newTree(f *os.File, opts Options) *Tree {
 	if cap < 8 {
 		cap = 8
 	}
-	return &Tree{f: f, cache: make(map[uint64]*node, cap), cacheCap: cap}
+	return &Tree{
+		file:     f,
+		osf:      osf,
+		noSync:   opts.NoSync,
+		cache:    make(map[uint64]*node, cap),
+		cacheCap: cap,
+	}
 }
 
 // Count returns the number of keys stored in the tree.
 func (t *Tree) Count() int { return int(t.count) }
 
+// Version returns the on-disk format version (1 or 2).
+func (t *Tree) Version() int { return t.version }
+
 // Close flushes all dirty pages, releases the file lock and closes the
 // file.
 func (t *Tree) Close() error {
-	if err := t.Sync(); err != nil {
-		unlockFile(t.f)
-		t.f.Close()
-		return err
+	syncErr := t.Sync()
+	if t.osf != nil {
+		unlockFile(t.osf) // closing the descriptor would release it anyway; be explicit
 	}
-	unlockFile(t.f) // closing the descriptor would release it anyway; be explicit
-	return t.f.Close()
+	closeErr := t.file.Close()
+	return errors.Join(syncErr, closeErr)
 }
 
-// Sync writes all dirty pages and the header to disk.
+// Sync commits the tree durably: it writes all dirty pages, fsyncs them,
+// writes the next header slot, and fsyncs again, so the new header never
+// becomes durable before the pages it references. With Options.NoSync the
+// same writes happen without the fsyncs.
 func (t *Tree) Sync() error {
 	for _, n := range t.cache {
 		if n.dirty {
@@ -201,41 +310,180 @@ func (t *Tree) Sync() error {
 			n.dirty = false
 		}
 	}
-	return t.writeHeader()
+	if err := t.syncFile(); err != nil {
+		return err
+	}
+	if t.version >= 2 {
+		t.seq++
+	}
+	if err := t.writeHeader(); err != nil {
+		return err
+	}
+	if err := t.syncFile(); err != nil {
+		return err
+	}
+	return t.graduateFree()
+}
+
+func (t *Tree) syncFile() error {
+	if t.noSync {
+		return nil
+	}
+	if err := t.file.Sync(); err != nil {
+		return fmt.Errorf("btree: fsync: %w", err)
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so a freshly created file's entry survives a
+// crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("btree: open dir for fsync: %w", err)
+	}
+	syncErr := d.Sync()
+	closeErr := d.Close()
+	if syncErr != nil {
+		return fmt.Errorf("btree: fsync dir: %w", syncErr)
+	}
+	if closeErr != nil {
+		return fmt.Errorf("btree: close dir: %w", closeErr)
+	}
+	return nil
 }
 
 // --- header ---
+//
+// v1: single header at page 0: magic, root, numPages, freeHead, count.
+// v2: slots at pages 0 and 1 (slot = seq mod 2): magic, seq, root,
+// numPages, freeHead, count, CRC32-C trailer. Open picks the valid slot
+// with the highest seq.
 
 func (t *Tree) writeHeader() error {
 	var buf [PageSize]byte
-	binary.LittleEndian.PutUint64(buf[0:], magic)
-	binary.LittleEndian.PutUint64(buf[8:], t.root)
-	binary.LittleEndian.PutUint64(buf[16:], t.numPages)
-	binary.LittleEndian.PutUint64(buf[24:], t.freeHead)
-	binary.LittleEndian.PutUint64(buf[32:], t.count)
-	_, err := t.f.WriteAt(buf[:], 0)
-	if err != nil {
-		return fmt.Errorf("btree: write header: %w", err)
+	if t.version == 1 {
+		binary.LittleEndian.PutUint64(buf[0:], magicV1)
+		binary.LittleEndian.PutUint64(buf[8:], t.root)
+		binary.LittleEndian.PutUint64(buf[16:], t.numPages)
+		binary.LittleEndian.PutUint64(buf[24:], t.freeHead)
+		binary.LittleEndian.PutUint64(buf[32:], t.count)
+		if _, err := t.file.WriteAt(buf[:], 0); err != nil {
+			return fmt.Errorf("btree: write header: %w", err)
+		}
+		return nil
+	}
+	binary.LittleEndian.PutUint64(buf[0:], magicV2)
+	binary.LittleEndian.PutUint64(buf[8:], t.seq)
+	binary.LittleEndian.PutUint64(buf[16:], t.root)
+	binary.LittleEndian.PutUint64(buf[24:], t.numPages)
+	binary.LittleEndian.PutUint64(buf[32:], t.freeHead)
+	binary.LittleEndian.PutUint64(buf[40:], t.count)
+	stampTrailer(buf[:])
+	slot := t.seq % 2
+	if _, err := t.file.WriteAt(buf[:], int64(slot)*PageSize); err != nil {
+		return fmt.Errorf("btree: write header slot %d: %w", slot, err)
 	}
 	return nil
 }
 
+// headerV2 is one decoded header slot.
+type headerV2 struct {
+	seq, root, numPages, freeHead, count uint64
+}
+
+// parseHeaderV2 validates one slot image: magic, checksum, and field
+// sanity.
+func parseHeaderV2(buf []byte) (headerV2, bool) {
+	var h headerV2
+	if binary.LittleEndian.Uint64(buf[0:]) != magicV2 || !checkTrailer(buf) {
+		return h, false
+	}
+	h.seq = binary.LittleEndian.Uint64(buf[8:])
+	h.root = binary.LittleEndian.Uint64(buf[16:])
+	h.numPages = binary.LittleEndian.Uint64(buf[24:])
+	h.freeHead = binary.LittleEndian.Uint64(buf[32:])
+	h.count = binary.LittleEndian.Uint64(buf[40:])
+	if h.numPages < 3 || h.root < 2 || h.root >= h.numPages {
+		return h, false
+	}
+	if h.freeHead != 0 && (h.freeHead < 2 || h.freeHead >= h.numPages) {
+		return h, false
+	}
+	return h, true
+}
+
 func (t *Tree) readHeader() error {
-	var buf [PageSize]byte
-	if _, err := io.ReadFull(io.NewSectionReader(t.f, 0, PageSize), buf[:]); err != nil {
-		return fmt.Errorf("btree: read header: %w", err)
+	var slot0, slot1 [PageSize]byte
+	err0 := readFullAt(t.file, slot0[:], 0)
+	if err0 == nil && binary.LittleEndian.Uint64(slot0[0:]) == magicV1 {
+		t.version = 1
+		t.root = binary.LittleEndian.Uint64(slot0[8:])
+		t.numPages = binary.LittleEndian.Uint64(slot0[16:])
+		t.freeHead = binary.LittleEndian.Uint64(slot0[24:])
+		t.count = binary.LittleEndian.Uint64(slot0[32:])
+		if t.root == 0 || t.root >= t.numPages {
+			return fmt.Errorf("%w: root page %d out of range", ErrCorrupt, t.root)
+		}
+		return nil
 	}
-	if binary.LittleEndian.Uint64(buf[0:]) != magic {
-		return fmt.Errorf("%w: bad magic", errCorrupt)
+	err1 := readFullAt(t.file, slot1[:], PageSize)
+	var best headerV2
+	found := false
+	if err0 == nil {
+		if h, ok := parseHeaderV2(slot0[:]); ok {
+			best, found = h, true
+		}
 	}
-	t.root = binary.LittleEndian.Uint64(buf[8:])
-	t.numPages = binary.LittleEndian.Uint64(buf[16:])
-	t.freeHead = binary.LittleEndian.Uint64(buf[24:])
-	t.count = binary.LittleEndian.Uint64(buf[32:])
-	if t.root == 0 || t.root >= t.numPages {
-		return fmt.Errorf("%w: root page %d out of range", errCorrupt, t.root)
+	if err1 == nil {
+		if h, ok := parseHeaderV2(slot1[:]); ok && (!found || h.seq > best.seq) {
+			best, found = h, true
+		}
 	}
+	if !found {
+		// A short/failed read, bad magic or torn slot all land here; the
+		// underlying read errors (if any) are preserved for diagnosis.
+		return fmt.Errorf("%w: no valid header slot (slot0: %v, slot1: %v)", ErrCorrupt, err0, err1)
+	}
+	t.version = 2
+	t.seq = best.seq
+	t.root = best.root
+	t.numPages = best.numPages
+	t.freeHead = best.freeHead
+	t.count = best.count
 	return nil
+}
+
+func readFullAt(f io.ReaderAt, buf []byte, off int64) error {
+	_, err := io.ReadFull(io.NewSectionReader(f, off, int64(len(buf))), buf)
+	return err
+}
+
+// --- page trailers ---
+
+func stampTrailer(buf []byte) {
+	binary.LittleEndian.PutUint32(buf[PageSize-trailerLen:], crc32.Checksum(buf[:PageSize-trailerLen], castagnoli))
+}
+
+func checkTrailer(buf []byte) bool {
+	return binary.LittleEndian.Uint32(buf[PageSize-trailerLen:]) == crc32.Checksum(buf[:PageSize-trailerLen], castagnoli)
+}
+
+// pageCap is the number of bytes of a page available to node payload: v2
+// reserves the checksum trailer.
+func (t *Tree) pageCap() int {
+	if t.version >= 2 {
+		return PageSize - trailerLen
+	}
+	return PageSize
+}
+
+// firstData is the id of the first data page (after the header page(s)).
+func (t *Tree) firstData() uint64 {
+	if t.version >= 2 {
+		return 2
+	}
+	return 1
 }
 
 // --- page allocation ---
@@ -255,37 +503,65 @@ func (t *Tree) allocPage() (uint64, error) {
 	return id, nil
 }
 
+// freeChain quarantines the pages of an overflow chain. They join the
+// allocatable free list only after the next header commit (see
+// graduateFree): until that commit is durable the previous header still
+// references them, and reusing one early would let a crash serve foreign
+// page content under the old header.
 func (t *Tree) freeChain(first uint64) error {
 	for first != 0 {
 		next, err := t.readOverflowNext(first)
 		if err != nil {
 			return err
 		}
-		// Thread this page onto the free list.
-		if err := t.writeOverflowRaw(first, t.freeHead, nil); err != nil {
-			return err
-		}
-		t.freeHead = first
+		t.pendingFree = append(t.pendingFree, first)
 		first = next
 	}
+	return nil
+}
+
+// graduateFree threads the quarantined pages onto the free list. Called
+// after the header commit fsync: the committed tree no longer references
+// these pages, so overwriting them can no longer damage any recoverable
+// state. The updated freeHead rides in the next commit; a crash before
+// then merely leaks these pages (space, not correctness).
+func (t *Tree) graduateFree() error {
+	for _, id := range t.pendingFree {
+		if err := t.writeOverflowRaw(id, t.freeHead, nil); err != nil {
+			return err
+		}
+		t.freeHead = id
+	}
+	t.pendingFree = t.pendingFree[:0]
 	return nil
 }
 
 // --- raw page IO ---
 
 func (t *Tree) readPage(id uint64, buf []byte) error {
-	if id == 0 || id >= t.numPages {
-		return fmt.Errorf("%w: page %d out of range [1,%d)", errCorrupt, id, t.numPages)
+	if id < t.firstData() || id >= t.numPages {
+		return fmt.Errorf("%w: page %d out of range [%d,%d)", ErrCorrupt, id, t.firstData(), t.numPages)
 	}
-	n, err := t.f.ReadAt(buf, int64(id)*PageSize)
+	n, err := t.file.ReadAt(buf, int64(id)*PageSize)
 	if err != nil && !(err == io.EOF && n == PageSize) {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			// A header that references pages beyond the end of the file is
+			// damage (e.g. a crash before the pages landed), not I/O.
+			return fmt.Errorf("%w: page %d truncated: %v", ErrCorrupt, id, err)
+		}
 		return fmt.Errorf("btree: read page %d: %w", id, err)
+	}
+	if t.version >= 2 && !checkTrailer(buf) {
+		return fmt.Errorf("%w: page %d checksum mismatch", ErrCorrupt, id)
 	}
 	return nil
 }
 
 func (t *Tree) writePage(id uint64, buf []byte) error {
-	if _, err := t.f.WriteAt(buf, int64(id)*PageSize); err != nil {
+	if t.version >= 2 {
+		stampTrailer(buf)
+	}
+	if _, err := t.file.WriteAt(buf, int64(id)*PageSize); err != nil {
 		return fmt.Errorf("btree: write page %d: %w", id, err)
 	}
 	return nil
@@ -294,7 +570,9 @@ func (t *Tree) writePage(id uint64, buf []byte) error {
 // --- overflow pages: [1B type][8B next][4B used][data...] ---
 
 const ovfHeaderLen = 13
-const ovfDataCap = PageSize - ovfHeaderLen
+
+// ovfCap is the data capacity of one overflow page (v2 loses the trailer).
+func (t *Tree) ovfCap() int { return t.pageCap() - ovfHeaderLen }
 
 func (t *Tree) writeOverflowRaw(id, next uint64, data []byte) error {
 	var buf [PageSize]byte
@@ -311,7 +589,7 @@ func (t *Tree) readOverflowNext(id uint64) (uint64, error) {
 		return 0, err
 	}
 	if buf[0] != typeOverflow {
-		return 0, fmt.Errorf("%w: page %d is not an overflow page", errCorrupt, id)
+		return 0, fmt.Errorf("%w: page %d is not an overflow page", ErrCorrupt, id)
 	}
 	return binary.LittleEndian.Uint64(buf[1:]), nil
 }
@@ -321,8 +599,8 @@ func (t *Tree) writeOverflowChain(val []byte) (uint64, error) {
 	var chunks [][]byte
 	for len(val) > 0 {
 		n := len(val)
-		if n > ovfDataCap {
-			n = ovfDataCap
+		if n > t.ovfCap() {
+			n = t.ovfCap()
 		}
 		chunks = append(chunks, val[:n])
 		val = val[n:]
@@ -349,17 +627,17 @@ func (t *Tree) readOverflowChain(first uint64, total uint32) ([]byte, error) {
 			return nil, err
 		}
 		if buf[0] != typeOverflow {
-			return nil, fmt.Errorf("%w: page %d in overflow chain has type %d", errCorrupt, first, buf[0])
+			return nil, fmt.Errorf("%w: page %d in overflow chain has type %d", ErrCorrupt, first, buf[0])
 		}
 		used := binary.LittleEndian.Uint32(buf[9:])
-		if used > ovfDataCap {
-			return nil, fmt.Errorf("%w: overflow page %d claims %d bytes", errCorrupt, first, used)
+		if used > uint32(t.ovfCap()) {
+			return nil, fmt.Errorf("%w: overflow page %d claims %d bytes", ErrCorrupt, first, used)
 		}
 		out = append(out, buf[ovfHeaderLen:ovfHeaderLen+used]...)
 		first = binary.LittleEndian.Uint64(buf[1:])
 	}
 	if uint32(len(out)) != total {
-		return nil, fmt.Errorf("%w: overflow chain length %d, expected %d", errCorrupt, len(out), total)
+		return nil, fmt.Errorf("%w: overflow chain length %d, expected %d", ErrCorrupt, len(out), total)
 	}
 	return out, nil
 }
@@ -375,7 +653,7 @@ func leafEntrySize(e *leafEntry) int {
 
 const ovfMark = uint32(1) << 31
 
-func encodeNode(n *node, buf []byte) error {
+func encodeNode(n *node, buf []byte, limit int) error {
 	for i := range buf {
 		buf[i] = 0
 	}
@@ -400,7 +678,7 @@ func encodeNode(n *node, buf []byte) error {
 				copy(buf[off:], e.val)
 				off += len(e.val)
 			}
-			if off > PageSize {
+			if off > limit {
 				return fmt.Errorf("btree: leaf %d overflows page (%d bytes)", n.id, off)
 			}
 		}
@@ -417,13 +695,13 @@ func encodeNode(n *node, buf []byte) error {
 		binary.LittleEndian.PutUint64(buf[off:], n.children[i+1])
 		off += 8
 	}
-	if off > PageSize {
+	if off > limit {
 		return fmt.Errorf("btree: internal node %d overflows page", n.id)
 	}
 	return nil
 }
 
-func decodeNode(id uint64, buf []byte) (*node, error) {
+func decodeNode(id uint64, buf []byte, limit int) (*node, error) {
 	n := &node{id: id}
 	nk := int(binary.LittleEndian.Uint16(buf[1:]))
 	switch buf[0] {
@@ -432,8 +710,8 @@ func decodeNode(id uint64, buf []byte) (*node, error) {
 		off := pageHeaderLen
 		n.entries = make([]leafEntry, nk)
 		for i := 0; i < nk; i++ {
-			if off+12 > PageSize {
-				return nil, fmt.Errorf("%w: leaf %d truncated", errCorrupt, id)
+			if off+12 > limit {
+				return nil, fmt.Errorf("%w: leaf %d truncated", ErrCorrupt, id)
 			}
 			e := &n.entries[i]
 			e.key = binary.LittleEndian.Uint64(buf[off:])
@@ -441,8 +719,8 @@ func decodeNode(id uint64, buf []byte) (*node, error) {
 			marker := binary.LittleEndian.Uint32(buf[off:])
 			off += 4
 			if marker&ovfMark != 0 {
-				if off+12 > PageSize {
-					return nil, fmt.Errorf("%w: leaf %d truncated overflow ref", errCorrupt, id)
+				if off+12 > limit {
+					return nil, fmt.Errorf("%w: leaf %d truncated overflow ref", ErrCorrupt, id)
 				}
 				e.ovfPage = binary.LittleEndian.Uint64(buf[off:])
 				off += 8
@@ -450,8 +728,8 @@ func decodeNode(id uint64, buf []byte) (*node, error) {
 				off += 4
 			} else {
 				vlen := int(marker)
-				if off+vlen > PageSize {
-					return nil, fmt.Errorf("%w: leaf %d value overruns page", errCorrupt, id)
+				if vlen < 0 || off+vlen > limit {
+					return nil, fmt.Errorf("%w: leaf %d value overruns page", ErrCorrupt, id)
 				}
 				e.val = append([]byte(nil), buf[off:off+vlen]...)
 				off += vlen
@@ -461,8 +739,8 @@ func decodeNode(id uint64, buf []byte) (*node, error) {
 	case typeInternal:
 		off := pageHeaderLen
 		need := 8 + nk*16
-		if pageHeaderLen+need > PageSize {
-			return nil, fmt.Errorf("%w: internal node %d too wide", errCorrupt, id)
+		if pageHeaderLen+need > limit {
+			return nil, fmt.Errorf("%w: internal node %d too wide", ErrCorrupt, id)
 		}
 		n.children = make([]uint64, nk+1)
 		n.keys = make([]uint64, nk)
@@ -476,7 +754,7 @@ func decodeNode(id uint64, buf []byte) (*node, error) {
 		}
 		return n, nil
 	default:
-		return nil, fmt.Errorf("%w: page %d has unexpected type %d", errCorrupt, id, buf[0])
+		return nil, fmt.Errorf("%w: page %d has unexpected type %d", ErrCorrupt, id, buf[0])
 	}
 }
 
@@ -520,7 +798,7 @@ func (t *Tree) loadNode(id uint64) (*node, error) {
 	if err := t.readPage(id, buf[:]); err != nil {
 		return nil, err
 	}
-	n, err := decodeNode(id, buf[:])
+	n, err := decodeNode(id, buf[:], t.pageCap())
 	if err != nil {
 		return nil, err
 	}
@@ -530,7 +808,7 @@ func (t *Tree) loadNode(id uint64) (*node, error) {
 
 func (t *Tree) writeNode(n *node) error {
 	var buf [PageSize]byte
-	if err := encodeNode(n, buf[:]); err != nil {
+	if err := encodeNode(n, buf[:], t.pageCap()); err != nil {
 		return err
 	}
 	return t.writePage(n.id, buf[:])
@@ -624,7 +902,7 @@ func (t *Tree) insert(id uint64, entry leafEntry) (promoted uint64, newChild uin
 			t.count++
 		}
 		n.dirty = true
-		if t.leafSize(n) > PageSize {
+		if t.leafSize(n) > t.pageCap() {
 			return t.splitLeaf(n)
 		}
 		return 0, 0, nil
@@ -651,7 +929,7 @@ func (t *Tree) insert(id uint64, entry leafEntry) (promoted uint64, newChild uin
 	copy(n.children[idx+2:], n.children[idx+1:])
 	n.children[idx+1] = child
 	n.dirty = true
-	if t.internalSize(n) > PageSize {
+	if t.internalSize(n) > t.pageCap() {
 		return t.splitInternal(n)
 	}
 	return 0, 0, nil

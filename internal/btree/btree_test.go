@@ -125,16 +125,24 @@ func TestOverflowReplaceRecyclesPages(t *testing.T) {
 	tr, _ := newTempTree(t, Options{})
 	defer tr.Close()
 	big := make([]byte, 2*PageSize)
-	// Put writes the fresh chain before releasing the old one, so the file
-	// stabilizes at ~2x the chain size; after that it must not grow at all.
+	// Put writes the fresh chain before releasing the old one, and freed
+	// pages become allocatable only at the next commit (crash safety), so
+	// the file stabilizes at ~2x the chain size after a put+sync cycle;
+	// after that it must not grow at all.
 	for i := 0; i < 2; i++ {
 		if err := tr.Put(1, big); err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Sync(); err != nil {
 			t.Fatal(err)
 		}
 	}
 	steady := tr.numPages
 	for i := 0; i < 20; i++ {
 		if err := tr.Put(1, big); err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Sync(); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -1,0 +1,305 @@
+package btree
+
+// Crash-consistency suite: replay a scripted build against a fault-injected
+// in-memory file, cut it at randomized kill points (after exactly N page
+// writes, with a torn final write, or with fsyncs silently dropped before
+// power loss), reopen the frozen byte image, and require that Open+Verify
+// either recovers a consistent tree or reports a typed ErrCorrupt — and
+// that every value still readable is byte-identical to a version that was
+// actually written for that key. A silently wrong value is the one outcome
+// that must never happen.
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"repro/internal/iofault"
+)
+
+// crashVal derives the deterministic value for key k at write version ver.
+// Lengths straddle the inline threshold so the script exercises inline
+// values, overflow chains, and chain recycling.
+func crashVal(k uint64, ver int) []byte {
+	ln := int(k%7)*700 + ver*123 + 5
+	b := make([]byte, ln)
+	for i := range b {
+		b[i] = byte(uint64(i)*31 + k*17 + uint64(ver)*101)
+	}
+	return b
+}
+
+type crashOp struct {
+	key  uint64
+	ver  int  // 0 = delete
+	sync bool // Sync after applying
+}
+
+const crashKeys = 48
+
+// crashScript is the deterministic build every kill-point run replays:
+// insert all keys, then a churn phase of replacements and deletes (free
+// list + recycling traffic), with periodic commits.
+func crashScript() []crashOp {
+	rng := rand.New(rand.NewSource(1207))
+	var ops []crashOp
+	for _, k := range rng.Perm(crashKeys) {
+		ops = append(ops, crashOp{key: uint64(k), ver: 1, sync: len(ops)%9 == 8})
+	}
+	for i := 0; i < 60; i++ {
+		k := uint64(rng.Intn(crashKeys))
+		ver := 2
+		if i%11 == 10 {
+			ver = 0 // delete
+		}
+		ops = append(ops, crashOp{key: k, ver: ver, sync: i%7 == 6})
+	}
+	ops = append(ops, crashOp{key: 0, ver: 3, sync: true})
+	return ops
+}
+
+// crashVersions maps each key to the value versions the script ever wrote
+// for it — the set a recovered value must belong to.
+func crashVersions(ops []crashOp) map[uint64]map[int]bool {
+	vers := make(map[uint64]map[int]bool)
+	for _, op := range ops {
+		if op.ver == 0 {
+			continue
+		}
+		if vers[op.key] == nil {
+			vers[op.key] = make(map[int]bool)
+		}
+		vers[op.key][op.ver] = true
+	}
+	return vers
+}
+
+// runCrashScript replays the script over f. It stops at the first error
+// (the injected crash) and reports it.
+func runCrashScript(f iofault.File, ops []crashOp) error {
+	tr, err := CreateFile(f, Options{CachePages: 8})
+	if err != nil {
+		return err
+	}
+	for _, op := range ops {
+		if op.ver == 0 {
+			if err := tr.Delete(op.key); err != nil && err != ErrNotFound {
+				return err
+			}
+		} else if err := tr.Put(op.key, crashVal(op.key, op.ver)); err != nil {
+			return err
+		}
+		if op.sync {
+			if err := tr.Sync(); err != nil {
+				return err
+			}
+		}
+	}
+	return tr.Close()
+}
+
+// checkRecovered opens a post-crash image and enforces the contract:
+// Open/Verify succeed (consistent tree) or fail with ErrCorrupt (typed
+// detection) — and on success every readable value matches a version the
+// script really wrote. Returns whether the image verified clean.
+func checkRecovered(t *testing.T, img []byte, vers map[uint64]map[int]bool, tag string) bool {
+	t.Helper()
+	tr, err := OpenFile(iofault.NewMemFileFrom(img), Options{CachePages: 8})
+	if err != nil {
+		if !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: Open failed with untyped error: %v", tag, err)
+		}
+		return false
+	}
+	if _, err := tr.Verify(); err != nil {
+		if !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: Verify failed with untyped error: %v", tag, err)
+		}
+		return false
+	}
+	err = tr.Scan(0, ^uint64(0), func(k uint64, v []byte) bool {
+		ok := false
+		for ver := range vers[k] {
+			if bytes.Equal(v, crashVal(k, ver)) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("%s: key %d holds %d bytes never written for it — silent wrong answer", tag, k, len(v))
+			return false
+		}
+		return true
+	})
+	if err != nil && !errors.Is(err, ErrCorrupt) {
+		t.Errorf("%s: Scan failed with untyped error: %v", tag, err)
+	}
+	return err == nil
+}
+
+// countScriptWrites replays the script fault-free and returns the total
+// number of page writes — the kill-point space.
+func countScriptWrites(t *testing.T, ops []crashOp) int {
+	t.Helper()
+	inj := iofault.Wrap(iofault.NewMemFile(), iofault.Plan{})
+	if err := runCrashScript(inj, ops); err != nil {
+		t.Fatalf("fault-free run failed: %v", err)
+	}
+	_, writes, _ := inj.Counts()
+	return writes
+}
+
+// killPoints picks which write indices to crash at: every index in
+// [1, max] when the space is small, otherwise both edges plus a random
+// sample, always at least 100 points (the acceptance floor). max must be
+// total-1: a kill point equal to the write count never fires.
+func killPoints(t *testing.T, max int) []int {
+	t.Helper()
+	const floor = 100
+	if max <= floor+40 {
+		if max < floor {
+			t.Fatalf("script produces only %d kill points; need >= %d", max, floor)
+		}
+		pts := make([]int, 0, max)
+		for n := 1; n <= max; n++ {
+			pts = append(pts, n)
+		}
+		return pts
+	}
+	seen := make(map[int]bool)
+	var pts []int
+	add := func(n int) {
+		if n >= 1 && n <= max && !seen[n] {
+			seen[n] = true
+			pts = append(pts, n)
+		}
+	}
+	for n := 1; n <= 15; n++ {
+		add(n)
+	}
+	for n := max - 15; n <= max; n++ {
+		add(n)
+	}
+	rng := rand.New(rand.NewSource(4242))
+	for len(pts) < 140 {
+		add(1 + rng.Intn(max))
+	}
+	return pts
+}
+
+func TestCrashKillPoints(t *testing.T) {
+	ops := crashScript()
+	vers := crashVersions(ops)
+	total := countScriptWrites(t, ops)
+	pts := killPoints(t, total-1)
+	if len(pts) < 100 {
+		t.Fatalf("only %d kill points; acceptance requires >= 100", len(pts))
+	}
+	clean := 0
+	for _, n := range pts {
+		mem := iofault.NewMemFile()
+		inj := iofault.Wrap(mem, iofault.Plan{CrashAfterWrites: n})
+		if err := runCrashScript(inj, ops); err == nil {
+			t.Fatalf("kill@%d: build finished despite crash plan (total writes %d)", n, total)
+		}
+		// Write-through model: every completed write is on the platter.
+		if checkRecovered(t, mem.Snapshot(), vers, "kill@"+strconv.Itoa(n)) {
+			clean++
+		}
+	}
+	// Sanity: the fault-free image verifies clean with the full contents.
+	mem := iofault.NewMemFile()
+	if err := runCrashScript(mem, ops); err != nil {
+		t.Fatal(err)
+	}
+	if !checkRecovered(t, mem.Snapshot(), vers, "fault-free") {
+		t.Error("fault-free image did not verify clean")
+	}
+	t.Logf("%d kill points, %d recovered clean, %d detected corrupt", len(pts), clean, len(pts)-clean)
+}
+
+func TestCrashTornWrites(t *testing.T) {
+	ops := crashScript()
+	vers := crashVersions(ops)
+	total := countScriptWrites(t, ops)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 40; i++ {
+		n := 1 + rng.Intn(total)
+		torn := 1 + rng.Intn(PageSize-1)
+		mem := iofault.NewMemFile()
+		inj := iofault.Wrap(mem, iofault.Plan{TornWrite: n, TornBytes: torn})
+		if err := runCrashScript(inj, ops); err == nil {
+			t.Fatalf("torn@%d: build finished despite torn-write plan", n)
+		}
+		checkRecovered(t, mem.Snapshot(), vers, "torn@"+strconv.Itoa(n))
+	}
+}
+
+func TestCrashDroppedFsyncs(t *testing.T) {
+	ops := crashScript()
+	vers := crashVersions(ops)
+	total := countScriptWrites(t, ops)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 40; i++ {
+		n := 1 + rng.Intn(total-1)
+		keep := rng.Intn(12) // fsyncs honored before the disk starts lying
+		mem := iofault.NewMemFile()
+		inj := iofault.Wrap(mem, iofault.Plan{CrashAfterWrites: n, DropSyncAfter: keep, DropAllSyncs: keep == 0})
+		if err := runCrashScript(inj, ops); err == nil {
+			t.Fatalf("fsync-drop@%d: build finished despite crash plan", n)
+		}
+		// Power loss: the page cache is gone; only fsynced bytes survive.
+		mem.Crash()
+		checkRecovered(t, mem.Snapshot(), vers, "fsync-drop@"+strconv.Itoa(n))
+	}
+}
+
+// TestCrashAfterCloseLosesNothing is the positive durability claim: a
+// crash after a clean Close recovers the full tree bit-for-bit even though
+// the page cache is discarded.
+func TestCrashAfterCloseLosesNothing(t *testing.T) {
+	ops := crashScript()
+	mem := iofault.NewMemFile()
+	if err := runCrashScript(mem, ops); err != nil {
+		t.Fatal(err)
+	}
+	mem.Crash() // drop everything not fsynced
+	tr, err := OpenFile(iofault.NewMemFileFrom(mem.Snapshot()), Options{CachePages: 8})
+	if err != nil {
+		t.Fatalf("open after post-close crash: %v", err)
+	}
+	if _, err := tr.Verify(); err != nil {
+		t.Fatalf("verify after post-close crash: %v", err)
+	}
+	// Replay the script against a map to compute the exact expected state.
+	want := map[uint64]int{}
+	for _, op := range ops {
+		if op.ver == 0 {
+			delete(want, op.key)
+		} else {
+			want[op.key] = op.ver
+		}
+	}
+	got := 0
+	err = tr.Scan(0, ^uint64(0), func(k uint64, v []byte) bool {
+		got++
+		ver, ok := want[k]
+		if !ok {
+			t.Errorf("key %d present but deleted before close", k)
+			return false
+		}
+		if !bytes.Equal(v, crashVal(k, ver)) {
+			t.Errorf("key %d: value mismatch after recovery", k)
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != len(want) {
+		t.Errorf("recovered %d keys, want %d", got, len(want))
+	}
+}

@@ -1,0 +1,179 @@
+package btree
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// VerifyStats summarizes what a Verify pass examined.
+type VerifyStats struct {
+	// Pages is the number of pages read and checked (headers excluded).
+	Pages int
+	// Leaves, Internals and Overflows break Pages down by type.
+	Leaves, Internals, Overflows int
+	// FreePages is the length of the free list.
+	FreePages int
+	// Leaked is the number of pages neither reachable from the root nor on
+	// the free list. Crash recovery can legitimately leak pages (a
+	// quarantined free page whose graduation was lost), so this is a
+	// statistic, not an error.
+	Leaked int
+	// Keys is the number of keys found in the leaves.
+	Keys uint64
+}
+
+// String formats the stats as one readable line.
+func (vs VerifyStats) String() string {
+	return fmt.Sprintf("pages=%d (leaf=%d internal=%d overflow=%d) free=%d leaked=%d keys=%d",
+		vs.Pages, vs.Leaves, vs.Internals, vs.Overflows, vs.FreePages, vs.Leaked, vs.Keys)
+}
+
+// Verify checks the on-disk image of the tree: it flushes any dirty state
+// (via Sync), then walks every page reachable from the root and the whole
+// free list, verifying checksums (v2), page types, key ordering, separator
+// bounds, overflow chain lengths, the absence of cross-references (no page
+// reachable twice), and that the leaf key count matches the header. All
+// failures wrap ErrCorrupt. Verify bypasses the page cache so it checks
+// what a fresh Open would read.
+func (t *Tree) Verify() (VerifyStats, error) {
+	var vs VerifyStats
+	if err := t.Sync(); err != nil {
+		return vs, err
+	}
+	if t.root < t.firstData() || t.root >= t.numPages {
+		return vs, fmt.Errorf("%w: root page %d out of range", ErrCorrupt, t.root)
+	}
+	visited := make([]bool, t.numPages)
+	if err := t.verifySubtree(t.root, 0, ^uint64(0), visited, &vs); err != nil {
+		return vs, err
+	}
+	if vs.Keys != t.count {
+		return vs, fmt.Errorf("%w: header counts %d keys, leaves hold %d", ErrCorrupt, t.count, vs.Keys)
+	}
+	if err := t.verifyFreeList(visited, &vs); err != nil {
+		return vs, err
+	}
+	for id := t.firstData(); id < t.numPages; id++ {
+		if !visited[id] {
+			vs.Leaked++
+		}
+	}
+	return vs, nil
+}
+
+// verifyVisit range-checks id, detects double references, and reads the
+// page raw (checksum included) into buf.
+func (t *Tree) verifyVisit(id uint64, visited []bool, vs *VerifyStats, buf []byte) error {
+	if id < t.firstData() || id >= t.numPages {
+		return fmt.Errorf("%w: page %d out of range [%d,%d)", ErrCorrupt, id, t.firstData(), t.numPages)
+	}
+	if visited[id] {
+		return fmt.Errorf("%w: page %d reachable twice", ErrCorrupt, id)
+	}
+	visited[id] = true
+	if err := t.readPage(id, buf); err != nil {
+		return err
+	}
+	vs.Pages++
+	return nil
+}
+
+// verifySubtree checks the subtree rooted at id; every key in it must lie
+// in [lo, hi] (inclusive bounds — uint64 has no sentinel beyond its max).
+func (t *Tree) verifySubtree(id, lo, hi uint64, visited []bool, vs *VerifyStats) error {
+	var buf [PageSize]byte
+	if err := t.verifyVisit(id, visited, vs, buf[:]); err != nil {
+		return err
+	}
+	n, err := decodeNode(id, buf[:], t.pageCap())
+	if err != nil {
+		return err
+	}
+	if n.leaf {
+		vs.Leaves++
+		for i := range n.entries {
+			e := &n.entries[i]
+			if i > 0 && n.entries[i-1].key >= e.key {
+				return fmt.Errorf("%w: leaf %d keys out of order at index %d", ErrCorrupt, id, i)
+			}
+			if e.key < lo || e.key > hi {
+				return fmt.Errorf("%w: leaf %d key %d outside separator bounds [%d,%d]", ErrCorrupt, id, e.key, lo, hi)
+			}
+			if e.ovfPage != 0 {
+				if err := t.verifyChain(e.ovfPage, e.ovfLen, visited, vs); err != nil {
+					return fmt.Errorf("leaf %d key %d: %w", id, e.key, err)
+				}
+			}
+		}
+		vs.Keys += uint64(len(n.entries))
+		return nil
+	}
+	vs.Internals++
+	for i, k := range n.keys {
+		if i > 0 && n.keys[i-1] >= k {
+			return fmt.Errorf("%w: internal %d separators out of order at index %d", ErrCorrupt, id, i)
+		}
+		if k < lo || k > hi {
+			return fmt.Errorf("%w: internal %d separator %d outside bounds [%d,%d]", ErrCorrupt, id, k, lo, hi)
+		}
+	}
+	for i, child := range n.children {
+		clo, chi := lo, hi
+		if i > 0 {
+			clo = n.keys[i-1]
+		}
+		if i < len(n.keys) {
+			if n.keys[i] == 0 {
+				return fmt.Errorf("%w: internal %d separator 0 leaves child %d empty-ranged", ErrCorrupt, id, i)
+			}
+			chi = n.keys[i] - 1 // children[i] holds keys < keys[i]
+		}
+		if err := t.verifySubtree(child, clo, chi, visited, vs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// verifyChain checks one overflow chain: types, per-page used sizes, and
+// that the chained lengths add up to the advertised total.
+func (t *Tree) verifyChain(first uint64, total uint32, visited []bool, vs *VerifyStats) error {
+	var buf [PageSize]byte
+	var got uint64
+	for first != 0 {
+		if err := t.verifyVisit(first, visited, vs, buf[:]); err != nil {
+			return err
+		}
+		if buf[0] != typeOverflow {
+			return fmt.Errorf("%w: page %d in overflow chain has type %d", ErrCorrupt, first, buf[0])
+		}
+		vs.Overflows++
+		used := binary.LittleEndian.Uint32(buf[9:])
+		if used > uint32(t.ovfCap()) {
+			return fmt.Errorf("%w: overflow page %d claims %d bytes", ErrCorrupt, first, used)
+		}
+		got += uint64(used)
+		first = binary.LittleEndian.Uint64(buf[1:])
+	}
+	if got != uint64(total) {
+		return fmt.Errorf("%w: overflow chain holds %d bytes, expected %d", ErrCorrupt, got, total)
+	}
+	return nil
+}
+
+// verifyFreeList walks the free list; every member must be a valid
+// overflow-typed page not reachable from the root.
+func (t *Tree) verifyFreeList(visited []bool, vs *VerifyStats) error {
+	var buf [PageSize]byte
+	for id := t.freeHead; id != 0; {
+		if err := t.verifyVisit(id, visited, vs, buf[:]); err != nil {
+			return fmt.Errorf("free list: %w", err)
+		}
+		if buf[0] != typeOverflow {
+			return fmt.Errorf("%w: free page %d has type %d", ErrCorrupt, id, buf[0])
+		}
+		vs.FreePages++
+		id = binary.LittleEndian.Uint64(buf[1:])
+	}
+	return nil
+}

@@ -81,7 +81,10 @@ func APP(in *Instance, delta float64, opts APPOptions) (*Region, error) {
 		solver = kmst.NewGarg(qg)
 	}
 
-	tc, ok := binarySearch(sc, solver, delta, opts.Beta, opts.Trace, nil)
+	tc, ok, err := binarySearch(sc, solver, delta, opts.Beta, opts.Trace, nil)
+	if err != nil {
+		return nil, err
+	}
 	_, argmax := in.MaxWeight()
 	fallback := singleton(in, sc, argmax)
 	if !ok {
@@ -112,33 +115,40 @@ func APP(in *Instance, delta float64, opts APPOptions) (*Region, error) {
 // weighs at least the best single node) and U = Σσ̂ (it cannot exceed the
 // region's total). Infeasible quotas behave as length +∞. A non-nil chk
 // aborts the search between quota probes once cancellation is observed;
-// the caller surfaces chk.Err().
-func binarySearch(sc *Scaling, solver kmst.Solver, delta, beta float64, trace *[]TraceStep, chk *cancel.Check) (kmst.Result, bool) {
+// the caller surfaces chk.Err(). A solver error aborts the search — the
+// query fails typed instead of the solver panicking the process.
+func binarySearch(sc *Scaling, solver kmst.Solver, delta, beta float64, trace *[]TraceStep, chk *cancel.Check) (kmst.Result, bool, error) {
 	lo := float64(sc.MaxHat)
 	hi := float64(sc.SumHat)
 	var have kmst.Result
 	found := false
 
-	solve := func(x float64) (kmst.Result, float64) {
+	solve := func(x float64) (kmst.Result, float64, error) {
 		q := int64(math.Ceil(x))
 		if q < 1 {
 			q = 1
 		}
-		r, ok := solver.Tree(q)
-		if !ok {
-			return kmst.Result{}, math.Inf(1)
+		r, ok, err := solver.Tree(q)
+		if err != nil {
+			return kmst.Result{}, math.Inf(1), err
 		}
-		return r, r.Length
+		if !ok {
+			return kmst.Result{}, math.Inf(1), nil
+		}
+		return r, r.Length, nil
 	}
 
 	// The search interval is over integers once quotas are ceiled, so
 	// log2(U-L) iterations suffice; the cap also guards degenerate floats.
 	for iter := 0; iter < 64 && hi-lo >= 1; iter++ {
 		if chk.Now() {
-			return kmst.Result{}, false
+			return kmst.Result{}, false, nil
 		}
 		x := (lo + hi) / 2
-		tc, lenTC := solve(x)
+		tc, lenTC, err := solve(x)
+		if err != nil {
+			return kmst.Result{}, false, err
+		}
 		step := TraceStep{L: lo, U: hi, X: x, TCLen: lenTC}
 		if lenTC > 3*delta {
 			hi = x
@@ -153,14 +163,17 @@ func binarySearch(sc *Scaling, solver kmst.Solver, delta, beta float64, trace *[
 			found = true
 		}
 		x2 := (1 + beta) * x
-		tc2, lenTC2 := solve(x2)
+		tc2, lenTC2, err := solve(x2)
+		if err != nil {
+			return kmst.Result{}, false, err
+		}
 		step.X2, step.TC2Len = x2, lenTC2
 		if trace != nil {
 			*trace = append(*trace, step)
 		}
 		if lenTC2 > 3*delta {
 			// Lemma 4 is satisfied: TC.ŝ > RSopt.ŝ/(1+β).
-			return tc, true
+			return tc, true, nil
 		}
 		// (1+β)X is still feasible, so RSopt.ŝ ≥ (1+β)X: raise the floor.
 		if tc2.Weight > have.Weight || (tc2.Weight == have.Weight && tc2.Length < have.Length) {
@@ -171,17 +184,20 @@ func binarySearch(sc *Scaling, solver kmst.Solver, delta, beta float64, trace *[
 	// Interval exhausted without triggering Lemma 4 (e.g. the whole region
 	// graph fits in 3Q.∆). The heaviest feasible tree seen plays TC.
 	if found {
-		return have, true
+		return have, true, nil
 	}
 	if chk.Now() {
-		return kmst.Result{}, false
+		return kmst.Result{}, false, nil
 	}
 	// Try the lower bound itself (single heaviest node quota).
-	tc, lenTC := solve(lo)
-	if !math.IsInf(lenTC, 1) && lenTC <= 3*delta {
-		return tc, true
+	tc, lenTC, err := solve(lo)
+	if err != nil {
+		return kmst.Result{}, false, err
 	}
-	return kmst.Result{}, false
+	if !math.IsInf(lenTC, 1) && lenTC <= 3*delta {
+		return tc, true, nil
+	}
+	return kmst.Result{}, false, nil
 }
 
 // resultFromTree converts a quota-solver tree into a Region with exact

@@ -284,7 +284,10 @@ func SolveAPP(ctx context.Context, s *SolveScratch, in *Instance, delta float64,
 		solver = s.garg
 	}
 
-	tc, ok := binarySearch(sc, solver, delta, opts.Beta, opts.Trace, &s.cancel)
+	tc, ok, err := binarySearch(sc, solver, delta, opts.Beta, opts.Trace, &s.cancel)
+	if err != nil {
+		return nil, err
+	}
 	if s.cancel.Cancelled() {
 		return nil, s.cancel.Err()
 	}

@@ -28,10 +28,16 @@ func NewBTreeStore(path string) (*BTreeStore, error) {
 // NewBTreeStoreCached is NewBTreeStore with a page-cache cap (0 = btree
 // default).
 func NewBTreeStoreCached(path string, cachePages int) (*BTreeStore, error) {
+	return NewBTreeStoreWith(path, btree.Options{CachePages: cachePages})
+}
+
+// NewBTreeStoreWith is NewBTreeStore with full tree options (page-cache
+// cap, NoSync).
+func NewBTreeStoreWith(path string, opts btree.Options) (*BTreeStore, error) {
 	if fi, err := os.Stat(path); err == nil && fi.Size() > 0 {
 		return nil, fmt.Errorf("grid: %s already holds a posting store; delete it or open it with OpenBTreeStore", path)
 	}
-	t, err := btree.Create(path, btree.Options{CachePages: cachePages})
+	t, err := btree.Create(path, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -380,9 +380,9 @@ func (idx *Index) Search(q textindex.Query, r geo.Rect) ([]ObjScore, error) {
 			if !termInCell(dir, t) {
 				continue
 			}
-			ps, err := idx.store.Postings(CellKey{Cell: cell, Term: t})
+			ps, err := idx.fetchPostings(CellKey{Cell: cell, Term: t})
 			if err != nil {
-				return nil, fmt.Errorf("grid: postings(%d,%d): %w", cell, t, err)
+				return nil, err
 			}
 			for _, p := range ps {
 				if !fullInside && !r.Contains(idx.objects[p.Obj].Point) {

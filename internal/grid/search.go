@@ -1,6 +1,7 @@
 package grid
 
 import (
+	"errors"
 	"fmt"
 	"slices"
 	"sync"
@@ -8,6 +9,27 @@ import (
 	"repro/internal/geo"
 	"repro/internal/textindex"
 )
+
+// ErrShardIO marks a search failure caused by the posting store — a shard
+// read that still failed after one retry. The query's result is unusable,
+// but the failure is contained to that query: the HTTP layer maps it to
+// 503 (retryable) rather than 400/500, and the server keeps serving.
+var ErrShardIO = errors.New("grid: shard I/O failure")
+
+// fetchPostings reads one posting list with a single retry. Transient
+// faults (a lost read on a loaded disk) succeed on the second attempt;
+// persistent ones (corruption, a dead shard) fail typed as ErrShardIO so
+// callers can tell "this query lost its data" from "this query was bad".
+func (idx *Index) fetchPostings(key CellKey) ([]Posting, error) {
+	ps, err := idx.store.Postings(key)
+	if err == nil {
+		return ps, nil
+	}
+	if ps, rerr := idx.store.Postings(key); rerr == nil {
+		return ps, nil
+	}
+	return nil, fmt.Errorf("%w: postings(%d,%d): %w", ErrShardIO, key.Cell, key.Term, err)
+}
 
 // SearchScratch is pooled accumulator state for Index.SearchInto. The zero
 // value is ready to use; a scratch may be reused across indexes (its arrays
@@ -126,9 +148,9 @@ func (idx *Index) scoreCell(q textindex.Query, r geo.Rect, cell uint32, dir []te
 		case q.Terms[qi] > dir[di].term:
 			di++
 		default:
-			ps, err := idx.store.Postings(CellKey{Cell: cell, Term: q.Terms[qi]})
+			ps, err := idx.fetchPostings(CellKey{Cell: cell, Term: q.Terms[qi]})
 			if err != nil {
-				return fmt.Errorf("grid: postings(%d,%d): %w", cell, q.Terms[qi], err)
+				return err
 			}
 			// The directory records the list length, so the touched set can
 			// grow once up front instead of reallocating mid-scan.
@@ -222,9 +244,9 @@ func (idx *Index) searchSharded(q textindex.Query, r geo.Rect, x0, x1, y0, y1 in
 			defer wg.Done()
 			for _, pi := range byShard[sh] {
 				ref := s.plan[pi]
-				ps, err := idx.store.Postings(CellKey{Cell: ref.cell, Term: q.Terms[ref.qi]})
+				ps, err := idx.fetchPostings(CellKey{Cell: ref.cell, Term: q.Terms[ref.qi]})
 				if err != nil {
-					errs[sh] = fmt.Errorf("grid: postings(%d,%d): %w", ref.cell, q.Terms[ref.qi], err)
+					errs[sh] = err
 					return
 				}
 				s.fetched[pi] = ps

@@ -1,6 +1,7 @@
 package grid
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -42,12 +43,17 @@ type storeShard struct {
 	tree *btree.Tree
 }
 
-// ShardedOptions configures CreateShardedStore.
+// ShardedOptions configures CreateShardedStore (and, minus Shards, the
+// open paths).
 type ShardedOptions struct {
 	// Shards is the number of B+-tree shards; <= 0 means GOMAXPROCS.
+	// Ignored on open: the MANIFEST records the real layout.
 	Shards int
 	// CachePages caps each shard's page cache (0 = btree default).
 	CachePages int
+	// NoSync disables the per-shard fsync discipline (btree.Options.NoSync)
+	// for bulk index builds; a crash may then corrupt the store.
+	NoSync bool
 }
 
 const (
@@ -86,16 +92,17 @@ func CreateShardedStore(dir string, opts ShardedOptions) (*ShardedStore, error) 
 	}
 	s := &ShardedStore{dir: dir, shards: make([]storeShard, n)}
 	for i := range s.shards {
-		t, err := btree.Create(shardFile(dir, i), btree.Options{CachePages: opts.CachePages})
+		t, err := btree.Create(shardFile(dir, i), btree.Options{CachePages: opts.CachePages, NoSync: opts.NoSync})
 		if err != nil {
-			s.Close()
+			_ = s.Close()
 			return nil, err
 		}
 		s.shards[i].tree = t
 	}
-	manifest := fmt.Sprintf("%s\nshards %d\npartition %s\n", manifestMagic, n, partitionName)
+	body := fmt.Sprintf("%s\nshards %d\npartition %s\n", manifestMagic, n, partitionName)
+	manifest := body + fmt.Sprintf("crc %08x\n", btree.Checksum([]byte(body)))
 	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte(manifest), 0o644); err != nil {
-		s.Close()
+		_ = s.Close()
 		return nil, fmt.Errorf("grid: sharded store manifest: %w", err)
 	}
 	return s, nil
@@ -120,8 +127,16 @@ func openSharded(dir string, opts ShardedOptions) (*ShardedStore, error) {
 		return nil, fmt.Errorf("grid: sharded store manifest: %w", err)
 	}
 	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
-	if len(lines) != 3 || lines[0] != manifestMagic {
+	// Three lines is the pre-checksum manifest; four adds a "crc" line
+	// protecting the layout header against truncation and bit rot.
+	if (len(lines) != 3 && len(lines) != 4) || lines[0] != manifestMagic {
 		return nil, fmt.Errorf("grid: %s is not a sharded store (manifest %q)", dir, string(raw))
+	}
+	if len(lines) == 4 {
+		body := lines[0] + "\n" + lines[1] + "\n" + lines[2] + "\n"
+		if lines[3] != fmt.Sprintf("crc %08x", btree.Checksum([]byte(body))) {
+			return nil, fmt.Errorf("grid: manifest checksum mismatch in %s (%q)", dir, lines[3])
+		}
 	}
 	n, err := strconv.Atoi(strings.TrimPrefix(lines[1], "shards "))
 	if err != nil || n <= 0 || n > maxShards {
@@ -137,7 +152,7 @@ func openSharded(dir string, opts ShardedOptions) (*ShardedStore, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			t, err := btree.Open(shardFile(dir, i), btree.Options{CachePages: opts.CachePages})
+			t, err := btree.Open(shardFile(dir, i), btree.Options{CachePages: opts.CachePages, NoSync: opts.NoSync})
 			if err != nil {
 				errs[i] = err
 				return
@@ -148,7 +163,7 @@ func openSharded(dir string, opts ShardedOptions) (*ShardedStore, error) {
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			s.Close()
+			_ = s.Close()
 			return nil, err
 		}
 	}
@@ -221,21 +236,24 @@ func (s *ShardedStore) CacheStats() btree.CacheStats {
 	return agg
 }
 
-// Close flushes and closes every shard, returning the first error.
+// Close flushes and closes every shard. Every shard is closed even when
+// some fail, and the returned error aggregates all failures (errors.Join)
+// — a flush error on shard 3 must not hide one on shard 7, and callers
+// checking errors.Is still match any of them.
 func (s *ShardedStore) Close() error {
-	var first error
+	var errs []error
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.Lock()
 		if sh.tree != nil {
-			if err := sh.tree.Close(); err != nil && first == nil {
-				first = err
+			if err := sh.tree.Close(); err != nil {
+				errs = append(errs, fmt.Errorf("shard %d: %w", i, err))
 			}
 			sh.tree = nil
 		}
 		sh.mu.Unlock()
 	}
-	return first
+	return errors.Join(errs...)
 }
 
 // appendLocked is the read-merge-write shared by BTreeStore and
@@ -251,11 +269,12 @@ func appendLocked(t *btree.Tree, key CellKey, ps []Posting) error {
 	return t.Put(key.Uint64(), append(raw, EncodePostings(ps)...))
 }
 
-// PostingStore is a disk-backed, closable Store: both layouts (single
-// B+-tree file, sharded directory) implement it.
+// PostingStore is a disk-backed, closable, scrubbable Store: both layouts
+// (single B+-tree file, sharded directory) implement it.
 type PostingStore interface {
 	Store
 	Close() error
+	Scrub() ScrubReport
 }
 
 // OpenStore opens a posting store of either on-disk layout: a directory
@@ -289,7 +308,7 @@ func RemoveStore(path string) error {
 			return fmt.Errorf("grid: remove store: %w", err)
 		}
 		_, rerr := io.ReadFull(f, magicBuf[:])
-		f.Close()
+		_ = f.Close()
 		if rerr != nil || !btree.ValidMagic(magicBuf[:]) {
 			return fmt.Errorf("grid: %s is not a posting store; refusing to remove it", path)
 		}
@@ -319,7 +338,7 @@ func MigrateToSharded(src, dstDir string, opts ShardedOptions) (*ShardedStore, e
 	if err != nil {
 		return nil, err
 	}
-	defer t.Close()
+	defer func() { _ = t.Close() }()
 	dst, err := CreateShardedStore(dstDir, opts)
 	if err != nil {
 		return nil, err
@@ -338,7 +357,7 @@ func MigrateToSharded(src, dstDir string, opts ShardedOptions) (*ShardedStore, e
 		err = putErr
 	}
 	if err != nil {
-		dst.Close()
+		_ = dst.Close()
 		return nil, fmt.Errorf("grid: migrate %s: %w", src, err)
 	}
 	return dst, nil

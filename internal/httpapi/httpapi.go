@@ -25,6 +25,7 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/grid"
 	"repro/internal/queryengine"
 )
 
@@ -100,6 +101,7 @@ type Stats struct {
 	Matched int64   `json:"matched"`
 	Errors  int64   `json:"errors"`
 	Shed    int64   `json:"shed"`
+	Panics  int64   `json:"panics"`
 	Window  int     `json:"window"`
 	P50Ms   float64 `json:"p50_ms"`
 	P95Ms   float64 `json:"p95_ms"`
@@ -185,6 +187,12 @@ func writeQueryError(w http.ResponseWriter, r *http.Request, err error) {
 	case errors.Is(err, ErrBadRequest):
 		writeError(w, http.StatusBadRequest, err.Error())
 	case errors.Is(err, queryengine.ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+	case errors.Is(err, grid.ErrShardIO):
+		// The posting store lost a read (after a retry); the query is
+		// retryable — the store may recover or a scrub may isolate the
+		// damage — so 503, not 500.
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable, err.Error())
 	case errors.Is(err, context.DeadlineExceeded):

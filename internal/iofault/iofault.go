@@ -1,0 +1,309 @@
+// Package iofault abstracts the file surface the storage layer needs and
+// provides fault-injecting implementations of it, so crash-safety can be
+// tested deterministically: a MemFile models a disk with an explicit
+// page-cache/durable split (only synced bytes survive Crash), and an
+// Injector wraps any File to fail the Nth read or write, tear a write
+// mid-page, or silently drop fsyncs before a simulated power loss.
+//
+// The btree package opens trees over this File interface (*os.File
+// implements it), which is what lets the crash kill-point suites replay a
+// build, cut it at an arbitrary write, and reopen the frozen byte image.
+package iofault
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// File is the I/O surface a disk-backed tree needs. *os.File implements
+// it; MemFile and Injector implement it for tests.
+type File interface {
+	io.ReaderAt
+	io.WriterAt
+	// Sync makes previously written bytes durable (fsync).
+	Sync() error
+	// Truncate resizes the file.
+	Truncate(size int64) error
+	// Close releases the file.
+	Close() error
+}
+
+// ErrInjected marks a fault delivered by an Injector's plan (a failed or
+// torn read/write). Use errors.Is to recognize it.
+var ErrInjected = errors.New("iofault: injected fault")
+
+// ErrCrashed is returned by every operation on an Injector after its plan
+// crashed the file (torn write or write-count crash point). Use errors.Is
+// to recognize it.
+var ErrCrashed = errors.New("iofault: file crashed")
+
+// MemFile is an in-memory File with crash semantics: writes land in a
+// volatile image (the OS page cache), Sync copies the volatile image to
+// the durable one (the platter), and Crash discards everything volatile.
+// Reads observe the volatile image, exactly like reads through a page
+// cache. A MemFile is safe for concurrent use.
+type MemFile struct {
+	mu      sync.Mutex
+	volatil []byte
+	durable []byte
+}
+
+// NewMemFile returns an empty MemFile.
+func NewMemFile() *MemFile { return &MemFile{} }
+
+// NewMemFileFrom returns a MemFile whose volatile and durable images both
+// hold a copy of img — the file a process finds on disk after a reboot.
+func NewMemFileFrom(img []byte) *MemFile {
+	return &MemFile{
+		volatil: append([]byte(nil), img...),
+		durable: append([]byte(nil), img...),
+	}
+}
+
+// ReadAt implements io.ReaderAt over the volatile image.
+func (m *MemFile) ReadAt(p []byte, off int64) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if off < 0 {
+		return 0, fmt.Errorf("iofault: negative read offset %d", off)
+	}
+	if off >= int64(len(m.volatil)) {
+		return 0, io.EOF
+	}
+	n := copy(p, m.volatil[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// WriteAt implements io.WriterAt, growing the volatile image as needed.
+func (m *MemFile) WriteAt(p []byte, off int64) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if off < 0 {
+		return 0, fmt.Errorf("iofault: negative write offset %d", off)
+	}
+	if end := off + int64(len(p)); end > int64(len(m.volatil)) {
+		grown := make([]byte, end)
+		copy(grown, m.volatil)
+		m.volatil = grown
+	}
+	return copy(m.volatil[off:], p), nil
+}
+
+// Sync makes the volatile image durable.
+func (m *MemFile) Sync() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.durable = append(m.durable[:0], m.volatil...)
+	return nil
+}
+
+// Truncate resizes the volatile image.
+func (m *MemFile) Truncate(size int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if size < 0 {
+		return fmt.Errorf("iofault: negative truncate size %d", size)
+	}
+	if size <= int64(len(m.volatil)) {
+		m.volatil = m.volatil[:size]
+		return nil
+	}
+	grown := make([]byte, size)
+	copy(grown, m.volatil)
+	m.volatil = grown
+	return nil
+}
+
+// Close is a no-op; the images stay inspectable after Close so a test can
+// reopen the post-crash state.
+func (m *MemFile) Close() error { return nil }
+
+// Crash simulates power loss: every byte not covered by a completed Sync
+// is discarded and the volatile image reverts to the durable one.
+func (m *MemFile) Crash() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.volatil = append(m.volatil[:0], m.durable...)
+}
+
+// Snapshot returns a copy of the volatile image — the bytes a crash with
+// an intact page cache (write-through model) would leave behind.
+func (m *MemFile) Snapshot() []byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]byte(nil), m.volatil...)
+}
+
+// DurableSnapshot returns a copy of the durable image — the bytes a crash
+// that loses the page cache leaves behind.
+func (m *MemFile) DurableSnapshot() []byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]byte(nil), m.durable...)
+}
+
+// Size returns the volatile image length.
+func (m *MemFile) Size() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return int64(len(m.volatil))
+}
+
+// Plan scripts the faults an Injector delivers. Counters are 1-based
+// operation indices; zero disables that fault.
+type Plan struct {
+	// FailRead fails the Nth ReadAt with ErrInjected (transient: later
+	// reads succeed).
+	FailRead int
+	// FailWrite fails the Nth WriteAt with ErrInjected without applying
+	// it (transient: later writes succeed).
+	FailWrite int
+	// TornWrite applies only a prefix of the Nth WriteAt (TornBytes
+	// bytes, clamped to len-1) and then crashes the file: the classic
+	// torn page at power loss.
+	TornWrite int
+	// TornBytes is the prefix length a torn write persists; <= 0 selects
+	// half the buffer.
+	TornBytes int
+	// CrashAfterWrites crashes the file once that many WriteAt calls have
+	// been applied: the next write (and every operation after it) fails
+	// with ErrCrashed and changes nothing.
+	CrashAfterWrites int
+	// DropSyncAfter makes every Sync past the first N report success
+	// without persisting anything (a lying disk); 0 with DropAllSyncs
+	// false forwards every Sync.
+	DropSyncAfter int
+	// DropAllSyncs makes every Sync a silent no-op.
+	DropAllSyncs bool
+}
+
+// Injector wraps a File and delivers the faults its Plan scripts. It is
+// safe for concurrent use; operation indices are assigned under its lock.
+type Injector struct {
+	mu      sync.Mutex
+	f       File
+	plan    Plan
+	reads   int
+	writes  int
+	syncs   int
+	crashed bool
+}
+
+// Wrap returns an Injector delivering plan over f.
+func Wrap(f File, plan Plan) *Injector {
+	return &Injector{f: f, plan: plan}
+}
+
+// Counts reports how many reads, writes and syncs reached the injector
+// (including faulted ones).
+func (in *Injector) Counts() (reads, writes, syncs int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.reads, in.writes, in.syncs
+}
+
+// Crashed reports whether the plan has crashed the file.
+func (in *Injector) Crashed() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.crashed
+}
+
+// ReadAt implements File.
+func (in *Injector) ReadAt(p []byte, off int64) (int, error) {
+	in.mu.Lock()
+	if in.crashed {
+		in.mu.Unlock()
+		return 0, ErrCrashed
+	}
+	in.reads++
+	fail := in.plan.FailRead > 0 && in.reads == in.plan.FailRead
+	in.mu.Unlock()
+	if fail {
+		return 0, fmt.Errorf("%w: read %d", ErrInjected, in.plan.FailRead)
+	}
+	return in.f.ReadAt(p, off)
+}
+
+// WriteAt implements File.
+func (in *Injector) WriteAt(p []byte, off int64) (int, error) {
+	in.mu.Lock()
+	if in.crashed {
+		in.mu.Unlock()
+		return 0, ErrCrashed
+	}
+	if in.plan.CrashAfterWrites > 0 && in.writes >= in.plan.CrashAfterWrites {
+		in.crashed = true
+		in.mu.Unlock()
+		return 0, ErrCrashed
+	}
+	in.writes++
+	w := in.writes
+	in.mu.Unlock()
+	switch {
+	case in.plan.FailWrite > 0 && w == in.plan.FailWrite:
+		return 0, fmt.Errorf("%w: write %d", ErrInjected, w)
+	case in.plan.TornWrite > 0 && w == in.plan.TornWrite:
+		n := in.plan.TornBytes
+		if n <= 0 {
+			n = len(p) / 2
+		}
+		if n >= len(p) {
+			n = len(p) - 1
+		}
+		if n > 0 {
+			if _, err := in.f.WriteAt(p[:n], off); err != nil {
+				return 0, err
+			}
+		}
+		in.mu.Lock()
+		in.crashed = true
+		in.mu.Unlock()
+		return n, fmt.Errorf("%w: torn write %d (%d/%d bytes)", ErrInjected, w, n, len(p))
+	}
+	return in.f.WriteAt(p, off)
+}
+
+// Sync implements File.
+func (in *Injector) Sync() error {
+	in.mu.Lock()
+	if in.crashed {
+		in.mu.Unlock()
+		return ErrCrashed
+	}
+	in.syncs++
+	drop := in.plan.DropAllSyncs || (in.plan.DropSyncAfter > 0 && in.syncs > in.plan.DropSyncAfter)
+	in.mu.Unlock()
+	if drop {
+		return nil // the lying disk reports success
+	}
+	return in.f.Sync()
+}
+
+// Truncate implements File.
+func (in *Injector) Truncate(size int64) error {
+	in.mu.Lock()
+	if in.crashed {
+		in.mu.Unlock()
+		return ErrCrashed
+	}
+	in.mu.Unlock()
+	return in.f.Truncate(size)
+}
+
+// Close implements File. Closing a crashed file fails: the simulated
+// process cannot flush anything after power loss.
+func (in *Injector) Close() error {
+	in.mu.Lock()
+	if in.crashed {
+		in.mu.Unlock()
+		return ErrCrashed
+	}
+	in.mu.Unlock()
+	return in.f.Close()
+}

@@ -1,0 +1,173 @@
+package iofault
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestMemFileReadWrite(t *testing.T) {
+	m := NewMemFile()
+	if _, err := m.WriteAt([]byte("hello"), 3); err != nil {
+		t.Fatal(err)
+	}
+	if m.Size() != 8 {
+		t.Fatalf("Size = %d, want 8", m.Size())
+	}
+	buf := make([]byte, 5)
+	if _, err := m.ReadAt(buf, 3); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "hello" {
+		t.Fatalf("ReadAt = %q", buf)
+	}
+	// Reads past the end report EOF like *os.File.
+	if n, err := m.ReadAt(buf, 6); err != io.EOF || n != 2 {
+		t.Fatalf("short read = %d, %v; want 2, EOF", n, err)
+	}
+	if _, err := m.ReadAt(buf, 100); err != io.EOF {
+		t.Fatalf("read past end: %v, want EOF", err)
+	}
+}
+
+func TestMemFileCrashDropsUnsynced(t *testing.T) {
+	m := NewMemFile()
+	if _, err := m.WriteAt([]byte("durable"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.WriteAt([]byte("VOLATILE"), 0); err != nil {
+		t.Fatal(err)
+	}
+	m.Crash()
+	buf := make([]byte, 7)
+	if _, err := m.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "durable" {
+		t.Fatalf("after crash: %q, want the synced image", buf)
+	}
+	if m.Size() != 7 {
+		t.Fatalf("Size after crash = %d, want 7", m.Size())
+	}
+}
+
+func TestMemFileTruncate(t *testing.T) {
+	m := NewMemFileFrom([]byte("0123456789"))
+	if err := m.Truncate(4); err != nil {
+		t.Fatal(err)
+	}
+	if m.Size() != 4 {
+		t.Fatalf("Size = %d, want 4", m.Size())
+	}
+	if err := m.Truncate(6); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 6)
+	if _, err := m.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, []byte("0123\x00\x00")) {
+		t.Fatalf("grown image = %q", buf)
+	}
+}
+
+func TestInjectorFailNth(t *testing.T) {
+	m := NewMemFileFrom(make([]byte, 64))
+	in := Wrap(m, Plan{FailRead: 2, FailWrite: 3})
+	buf := make([]byte, 8)
+	if _, err := in.ReadAt(buf, 0); err != nil {
+		t.Fatalf("read 1: %v", err)
+	}
+	if _, err := in.ReadAt(buf, 0); !errors.Is(err, ErrInjected) {
+		t.Fatalf("read 2: %v, want ErrInjected", err)
+	}
+	if _, err := in.ReadAt(buf, 0); err != nil {
+		t.Fatalf("read 3 (fault is transient): %v", err)
+	}
+	for i := 1; i <= 4; i++ {
+		_, err := in.WriteAt([]byte{byte(i)}, int64(i))
+		if i == 3 {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("write 3: %v, want ErrInjected", err)
+			}
+		} else if err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	// The failed write must not have been applied.
+	if _, err := in.ReadAt(buf[:4], 1); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf[:4], []byte{1, 2, 0, 4}) {
+		t.Fatalf("image after failed write = %v", buf[:4])
+	}
+}
+
+func TestInjectorTornWrite(t *testing.T) {
+	m := NewMemFile()
+	in := Wrap(m, Plan{TornWrite: 1, TornBytes: 3})
+	n, err := in.WriteAt([]byte("abcdef"), 0)
+	if !errors.Is(err, ErrInjected) || n != 3 {
+		t.Fatalf("torn write = %d, %v", n, err)
+	}
+	if !in.Crashed() {
+		t.Fatal("torn write should crash the file")
+	}
+	if _, err := in.WriteAt([]byte("x"), 0); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("write after crash: %v, want ErrCrashed", err)
+	}
+	if _, err := in.ReadAt(make([]byte, 1), 0); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("read after crash: %v, want ErrCrashed", err)
+	}
+	if err := in.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("sync after crash: %v, want ErrCrashed", err)
+	}
+	// Only the torn prefix reached the underlying image.
+	if got := m.Snapshot(); !bytes.Equal(got, []byte("abc")) {
+		t.Fatalf("underlying image = %q, want the 3-byte prefix", got)
+	}
+}
+
+func TestInjectorCrashAfterWrites(t *testing.T) {
+	m := NewMemFile()
+	in := Wrap(m, Plan{CrashAfterWrites: 2})
+	for i := 0; i < 2; i++ {
+		if _, err := in.WriteAt([]byte{1}, int64(i)); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if _, err := in.WriteAt([]byte{1}, 2); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("write 3: %v, want ErrCrashed", err)
+	}
+	if got := m.Size(); got != 2 {
+		t.Fatalf("image size = %d, want 2 (third write dropped)", got)
+	}
+}
+
+func TestInjectorDropSyncs(t *testing.T) {
+	m := NewMemFile()
+	in := Wrap(m, Plan{DropSyncAfter: 1})
+	if _, err := in.WriteAt([]byte("one"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Sync(); err != nil { // forwarded
+		t.Fatal(err)
+	}
+	if _, err := in.WriteAt([]byte("TWO"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Sync(); err != nil { // dropped, still reports success
+		t.Fatal(err)
+	}
+	m.Crash()
+	if got := m.Snapshot(); !bytes.Equal(got, []byte("one")) {
+		t.Fatalf("durable image = %q, want %q (second sync was dropped)", got, "one")
+	}
+	if _, _, syncs := in.Counts(); syncs != 2 {
+		t.Fatalf("sync count = %d, want 2", syncs)
+	}
+}

@@ -43,7 +43,7 @@ func BenchmarkGargQuota(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s := NewGarg(g) // fresh cache: measures a cold quota query
-		if _, ok := s.Tree(60); !ok {
+		if _, ok := treeOK(b, s, 60); !ok {
 			b.Fatal("quota infeasible")
 		}
 	}
@@ -55,7 +55,7 @@ func BenchmarkSPTQuota(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, ok := s.Tree(60); !ok {
+		if _, ok := treeOK(b, s, 60); !ok {
 			b.Fatal("quota infeasible")
 		}
 	}

@@ -85,8 +85,10 @@ type Result struct {
 // Solver finds a low-length tree with node weight at least the quota.
 type Solver interface {
 	// Tree returns a quota tree; ok is false when no connected component
-	// of the graph carries the quota.
-	Tree(quota int64) (Result, bool)
+	// of the graph carries the quota (or the solve was cancelled). A
+	// non-nil error means the underlying optimization failed — the query
+	// is lost, not the process; callers surface it instead of panicking.
+	Tree(quota int64) (Result, bool, error)
 }
 
 // Garg is the GW-based quota solver. It caches GW runs per λ so that the
@@ -126,7 +128,7 @@ func NewGarg(g *Graph) *Garg {
 }
 
 // Tree implements Solver.
-func (s *Garg) Tree(quota int64) (Result, bool) {
+func (s *Garg) Tree(quota int64) (Result, bool, error) {
 	if quota <= 0 {
 		// The empty quota is met by the single heaviest node.
 		best := 0
@@ -136,9 +138,9 @@ func (s *Garg) Tree(quota int64) (Result, bool) {
 			}
 		}
 		if s.g.N == 0 {
-			return Result{}, false
+			return Result{}, false, nil
 		}
-		return Result{Nodes: []int32{int32(best)}, Weight: s.g.Weights[best]}, true
+		return Result{Nodes: []int32{int32(best)}, Weight: s.g.Weights[best]}, true, nil
 	}
 	feasible := false
 	for v := 0; v < s.g.N; v++ {
@@ -148,7 +150,7 @@ func (s *Garg) Tree(quota int64) (Result, bool) {
 		}
 	}
 	if !feasible {
-		return Result{}, false
+		return Result{}, false, nil
 	}
 
 	// Binary search λ over [0, λmax] for the smallest multiplier whose GW
@@ -158,7 +160,11 @@ func (s *Garg) Tree(quota int64) (Result, bool) {
 	var best *Result
 	for iter := 0; iter < 48 && hi-lo > 1e-9*s.lambdaMax; iter++ {
 		mid := (lo + hi) / 2
-		if r := s.quotaTreeAt(mid, quota); r != nil {
+		r, err := s.quotaTreeAt(mid, quota)
+		if err != nil {
+			return Result{}, false, err
+		}
+		if r != nil {
 			if best == nil || r.Length < best.Length {
 				best = r
 			}
@@ -168,9 +174,11 @@ func (s *Garg) Tree(quota int64) (Result, bool) {
 		}
 	}
 	if best == nil {
-		if r := s.quotaTreeAt(s.lambdaMax, quota); r != nil {
-			best = r
+		r, err := s.quotaTreeAt(s.lambdaMax, quota)
+		if err != nil {
+			return Result{}, false, err
 		}
+		best = r
 	}
 	if best == nil {
 		// GW pruning can in principle keep withholding the quota; fall
@@ -179,12 +187,12 @@ func (s *Garg) Tree(quota int64) (Result, bool) {
 		best = &r
 	}
 	quotaPrune(s.g, best, quota)
-	return *best, true
+	return *best, true, nil
 }
 
 // quotaTreeAt runs (cached) GW with prizes λ·w and returns the minimum-
 // length returned tree meeting the quota, or nil.
-func (s *Garg) quotaTreeAt(lambda float64, quota int64) *Result {
+func (s *Garg) quotaTreeAt(lambda float64, quota int64) (*Result, error) {
 	trees, ok := s.cache[lambda]
 	if !ok {
 		prizes := make([]float64, s.g.N)
@@ -194,8 +202,10 @@ func (s *Garg) quotaTreeAt(lambda float64, quota int64) *Result {
 		var err error
 		trees, err = pcst.Solve(&pcst.Graph{N: s.g.N, Edges: s.g.Edges, Prizes: prizes})
 		if err != nil {
-			// Inputs were validated in New; a failure here is a bug.
-			panic(fmt.Sprintf("kmst: pcst solve: %v", err))
+			// Inputs were validated in New, so this is a solver bug — but a
+			// bug in one query's optimization must fail that query, not the
+			// process hosting it.
+			return nil, fmt.Errorf("kmst: pcst solve (lambda %g): %w", lambda, err)
 		}
 		s.cache[lambda] = trees
 	}
@@ -217,7 +227,7 @@ func (s *Garg) quotaTreeAt(lambda float64, quota int64) *Result {
 			}
 		}
 	}
-	return best
+	return best, nil
 }
 
 // mstFallback spans the lightest-length quota-carrying component with a
@@ -383,9 +393,9 @@ func NewSPT(g *Graph, seeds int) *SPT {
 }
 
 // Tree implements Solver.
-func (s *SPT) Tree(quota int64) (Result, bool) {
+func (s *SPT) Tree(quota int64) (Result, bool, error) {
 	if s.g.N == 0 {
-		return Result{}, false
+		return Result{}, false, nil
 	}
 	// Seed candidates: heaviest nodes first.
 	order := make([]int, s.g.N)
@@ -406,10 +416,10 @@ func (s *SPT) Tree(quota int64) (Result, bool) {
 		}
 	}
 	if best == nil {
-		return Result{}, false
+		return Result{}, false, nil
 	}
 	quotaPrune(s.g, best, quota)
-	return *best, true
+	return *best, true, nil
 }
 
 func (s *SPT) fromSeed(seed int, quota int64) *Result {

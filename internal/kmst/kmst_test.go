@@ -9,6 +9,17 @@ import (
 	"repro/internal/pcst"
 )
 
+// treeOK calls s.Tree and fails the test on a solver error (none of the
+// deterministic test graphs should produce one).
+func treeOK(t testing.TB, s Solver, quota int64) (Result, bool) {
+	t.Helper()
+	r, ok, err := s.Tree(quota)
+	if err != nil {
+		t.Fatalf("Tree(%d): %v", quota, err)
+	}
+	return r, ok
+}
+
 // validate checks r is a connected tree of g with consistent stats.
 func validate(t *testing.T, g *Graph, r Result) {
 	t.Helper()
@@ -131,10 +142,10 @@ func TestInfeasibleQuota(t *testing.T) {
 	g := mustNew(t, 3, []pcst.Edge{{U: 0, V: 1, Cost: 1}}, []int64{2, 3, 4})
 	// Components: {0,1} weight 5, {2} weight 4. Quota 6 unreachable.
 	s := NewGarg(g)
-	if _, ok := s.Tree(6); ok {
+	if _, ok := treeOK(t, s, 6); ok {
 		t.Error("infeasible quota reported feasible")
 	}
-	if r, ok := s.Tree(5); !ok || r.Weight < 5 {
+	if r, ok := treeOK(t, s, 5); !ok || r.Weight < 5 {
 		t.Errorf("quota 5 should be met by {0,1}, got %+v ok=%v", r, ok)
 	}
 }
@@ -142,7 +153,7 @@ func TestInfeasibleQuota(t *testing.T) {
 func TestZeroQuota(t *testing.T) {
 	g := mustNew(t, 3, nil, []int64{2, 9, 4})
 	s := NewGarg(g)
-	r, ok := s.Tree(0)
+	r, ok := treeOK(t, s, 0)
 	if !ok || r.Weight != 9 || len(r.Nodes) != 1 {
 		t.Errorf("zero quota: %+v, ok=%v; want heaviest single node", r, ok)
 	}
@@ -174,7 +185,7 @@ func TestGargMeetsQuotaAndNearOptimal(t *testing.T) {
 		s := NewGarg(g)
 		quota := 1 + int64(rng.Intn(int(total)))
 		opt := bruteQuota(g, quota)
-		r, ok := s.Tree(quota)
+		r, ok := treeOK(t, s, quota)
 		if math.IsInf(opt, 1) {
 			if ok {
 				// Feasibility is per component; brute force says no
@@ -229,7 +240,7 @@ func TestQuotaMonotonicity(t *testing.T) {
 	g := mustNew(t, n, edges, weights)
 	s := NewGarg(g)
 	for quota := int64(1); quota <= total; quota += 3 {
-		r, ok := s.Tree(quota)
+		r, ok := treeOK(t, s, quota)
 		if !ok {
 			t.Fatalf("quota %d infeasible on connected graph with total %d", quota, total)
 		}
@@ -247,7 +258,7 @@ func TestQuotaPruneStripsUselessLeaves(t *testing.T) {
 		[]pcst.Edge{{U: 0, V: 1, Cost: 1}, {U: 1, V: 2, Cost: 1}, {U: 2, V: 3, Cost: 1}},
 		[]int64{5, 0, 5, 0})
 	s := NewGarg(g)
-	r, ok := s.Tree(10)
+	r, ok := treeOK(t, s, 10)
 	if !ok {
 		t.Fatal("quota infeasible")
 	}
@@ -286,7 +297,7 @@ func TestSPTSolver(t *testing.T) {
 	g := mustNew(t, n, edges, weights)
 	s := NewSPT(g, 4)
 	for quota := int64(1); quota <= total; quota += 5 {
-		r, ok := s.Tree(quota)
+		r, ok := treeOK(t, s, quota)
 		if !ok {
 			t.Fatalf("SPT: quota %d infeasible (total %d)", quota, total)
 		}
@@ -295,17 +306,17 @@ func TestSPTSolver(t *testing.T) {
 			t.Fatalf("SPT: quota %d got weight %d", quota, r.Weight)
 		}
 	}
-	if _, ok := s.Tree(total + 1); ok {
+	if _, ok := treeOK(t, s, total+1); ok {
 		t.Error("SPT met an impossible quota")
 	}
 }
 
 func TestSPTEmptyGraph(t *testing.T) {
 	g := mustNew(t, 0, nil, nil)
-	if _, ok := NewSPT(g, 3).Tree(1); ok {
+	if _, ok := treeOK(t, NewSPT(g, 3), 1); ok {
 		t.Error("empty graph met quota")
 	}
-	if _, ok := NewGarg(g).Tree(0); ok {
+	if _, ok := treeOK(t, NewGarg(g), 0); ok {
 		t.Error("empty graph met zero quota via Garg")
 	}
 }
@@ -318,11 +329,11 @@ func TestGargCacheReuse(t *testing.T) {
 			{U: 3, V: 4, Cost: 1}, {U: 4, V: 5, Cost: 1}},
 		[]int64{1, 2, 3, 1, 2, 1})
 	s := NewGarg(g)
-	if _, ok := s.Tree(3); !ok {
+	if _, ok := treeOK(t, s, 3); !ok {
 		t.Fatal("quota 3 infeasible")
 	}
 	size1 := len(s.cache)
-	if _, ok := s.Tree(6); !ok {
+	if _, ok := treeOK(t, s, 6); !ok {
 		t.Fatal("quota 6 infeasible")
 	}
 	size2 := len(s.cache)

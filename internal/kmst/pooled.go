@@ -324,10 +324,10 @@ func (s *GargSolver) Reset(n int, edges []pcst.Edge, weights []int64) error {
 
 // Tree implements Solver. The returned Result aliases the solver's arenas
 // and stays valid until the next Reset.
-func (s *GargSolver) Tree(quota int64) (Result, bool) {
+func (s *GargSolver) Tree(quota int64) (Result, bool, error) {
 	if quota <= 0 {
 		if s.n == 0 {
-			return Result{}, false
+			return Result{}, false, nil
 		}
 		best := 0
 		for v := 1; v < s.n; v++ {
@@ -337,7 +337,7 @@ func (s *GargSolver) Tree(quota int64) (Result, bool) {
 		}
 		nodes := s.nodeArena.Alloc(1)
 		nodes[0] = int32(best)
-		return Result{Nodes: nodes, Weight: s.weights[best]}, true
+		return Result{Nodes: nodes, Weight: s.weights[best]}, true, nil
 	}
 	feasible := false
 	for v := 0; v < s.n; v++ {
@@ -347,7 +347,7 @@ func (s *GargSolver) Tree(quota int64) (Result, bool) {
 		}
 	}
 	if !feasible {
-		return Result{}, false
+		return Result{}, false, nil
 	}
 
 	// Binary search λ over [0, λmax] for the smallest multiplier whose GW
@@ -358,10 +358,14 @@ func (s *GargSolver) Tree(quota int64) (Result, bool) {
 	var bestW int64
 	for iter := 0; iter < 48 && hi-lo > 1e-9*s.lambdaMax; iter++ {
 		if s.chk.Now() {
-			return Result{}, false
+			return Result{}, false, nil
 		}
 		mid := (lo + hi) / 2
-		if tr, w := s.quotaTreeAt(mid, quota); tr != nil {
+		tr, w, err := s.quotaTreeAt(mid, quota)
+		if err != nil {
+			return Result{}, false, err
+		}
+		if tr != nil {
 			if bestTree == nil || tr.Cost < bestTree.Cost {
 				bestTree, bestW = tr, w
 			}
@@ -371,10 +375,14 @@ func (s *GargSolver) Tree(quota int64) (Result, bool) {
 		}
 	}
 	if s.chk.Now() {
-		return Result{}, false
+		return Result{}, false, nil
 	}
 	if bestTree == nil {
-		if tr, w := s.quotaTreeAt(s.lambdaMax, quota); tr != nil {
+		tr, w, err := s.quotaTreeAt(s.lambdaMax, quota)
+		if err != nil {
+			return Result{}, false, err
+		}
+		if tr != nil {
 			bestTree, bestW = tr, w
 		}
 	}
@@ -393,7 +401,7 @@ func (s *GargSolver) Tree(quota int64) (Result, bool) {
 	}
 	s.tmpNodes, s.tmpEdges = res.Nodes, res.Edges // keep grown capacity
 	s.quotaPrune(&res, quota)
-	return s.finish(res), true
+	return s.finish(res), true, nil
 }
 
 // quotaTreeAt runs (λ-cached) GW with prizes λ·w and returns the minimum-
@@ -401,7 +409,7 @@ func (s *GargSolver) Tree(quota int64) (Result, bool) {
 // reference the PCST solver's arena and stay valid until Reset. The cache
 // is a sorted slice probed by binary search, matching the allocating
 // Garg's map lookup cost without its allocations.
-func (s *GargSolver) quotaTreeAt(lambda float64, quota int64) (*pcst.Tree, int64) {
+func (s *GargSolver) quotaTreeAt(lambda float64, quota int64) (*pcst.Tree, int64, error) {
 	var trees []pcst.Tree
 	idx, found := slices.BinarySearch(s.cacheLam, lambda)
 	if found {
@@ -415,8 +423,10 @@ func (s *GargSolver) quotaTreeAt(lambda float64, quota int64) (*pcst.Tree, int64
 		var err error
 		trees, err = s.ps.Solve(&s.pg)
 		if err != nil {
-			// Inputs were validated in Reset; a failure here is a bug.
-			panic(fmt.Sprintf("kmst: pcst solve: %v", err))
+			// Inputs were validated in Reset, so this is a solver bug — but
+			// a bug in one query's optimization must fail that query, not
+			// the process hosting it.
+			return nil, 0, fmt.Errorf("kmst: pcst solve (lambda %g): %w", lambda, err)
 		}
 		s.cacheLam = append(s.cacheLam, 0)
 		copy(s.cacheLam[idx+1:], s.cacheLam[idx:])
@@ -439,7 +449,7 @@ func (s *GargSolver) quotaTreeAt(lambda float64, quota int64) (*pcst.Tree, int64
 			best, bestW = &trees[i], w
 		}
 	}
-	return best, bestW
+	return best, bestW, nil
 }
 
 // mstFallback spans the lightest-length quota-carrying component with a
@@ -532,9 +542,9 @@ func (s *SPTSolver) Reset(n int, edges []pcst.Edge, weights []int64) error {
 
 // Tree implements Solver. The returned Result aliases the solver's arenas
 // and stays valid until the next Reset.
-func (s *SPTSolver) Tree(quota int64) (Result, bool) {
+func (s *SPTSolver) Tree(quota int64) (Result, bool, error) {
 	if s.n == 0 {
-		return Result{}, false
+		return Result{}, false, nil
 	}
 	s.order = container.GrowTo(s.order, s.n)
 	for i := range s.order {
@@ -560,7 +570,7 @@ func (s *SPTSolver) Tree(quota int64) (Result, bool) {
 	}
 	for k := 0; k < tries; k++ {
 		if s.chk.Now() {
-			return Result{}, false
+			return Result{}, false, nil
 		}
 		r, ok := s.fromSeed(int(s.order[k]), quota)
 		if !ok {
@@ -580,11 +590,11 @@ func (s *SPTSolver) Tree(quota int64) (Result, bool) {
 		}
 	}
 	if !haveBest {
-		return Result{}, false
+		return Result{}, false, nil
 	}
 	s.quotaPrune(&best, quota)
 	s.bestNodes, s.bestEdges = best.Nodes, best.Edges // park grown capacity
-	return s.finish(best), true
+	return s.finish(best), true, nil
 }
 
 // fromSeed grows a shortest-path ball from seed until the quota is met,

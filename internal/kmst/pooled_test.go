@@ -59,14 +59,14 @@ func TestPooledSolversMatchAllocating(t *testing.T) {
 		baseGarg := NewGarg(g)
 		baseSPT := NewSPT(g, 8)
 		for _, quota := range []int64{0, 1, 2, total / 4, total / 2, total, total + 1} {
-			wantR, wantOK := baseGarg.Tree(quota)
-			gotR, gotOK := garg.Tree(quota)
+			wantR, wantOK := treeOK(t, baseGarg, quota)
+			gotR, gotOK := treeOK(t, garg, quota)
 			if wantOK != gotOK || (wantOK && !reflect.DeepEqual(gotR, wantR)) {
 				t.Fatalf("seed %d quota %d: Garg pooled (%v,%v) != allocating (%v,%v)",
 					seed, quota, gotR, gotOK, wantR, wantOK)
 			}
-			wantR, wantOK = baseSPT.Tree(quota)
-			gotR, gotOK = spt.Tree(quota)
+			wantR, wantOK = treeOK(t, baseSPT, quota)
+			gotR, gotOK = treeOK(t, spt, quota)
 			if wantOK != gotOK || (wantOK && !reflect.DeepEqual(gotR, wantR)) {
 				t.Fatalf("seed %d quota %d: SPT pooled (%v,%v) != allocating (%v,%v)",
 					seed, quota, gotR, gotOK, wantR, wantOK)
@@ -89,7 +89,7 @@ func TestPooledResultsSurviveLaterTrees(t *testing.T) {
 	for _, w := range weights {
 		total += w
 	}
-	first, ok := garg.Tree(total / 2)
+	first, ok := treeOK(t, garg, total/2)
 	if !ok {
 		t.Skip("quota infeasible for this seed")
 	}
@@ -100,7 +100,7 @@ func TestPooledResultsSurviveLaterTrees(t *testing.T) {
 		Weight: first.Weight,
 	}
 	for q := int64(1); q <= total; q += total/8 + 1 {
-		garg.Tree(q)
+		treeOK(t, garg, q)
 	}
 	if !reflect.DeepEqual(first, snap) {
 		t.Fatalf("result mutated by later Tree calls:\n got %+v\nwant %+v", first, snap)

@@ -3,6 +3,7 @@ package queryengine
 import (
 	"context"
 	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -21,6 +22,13 @@ var ErrServerClosed = errors.New("queryengine: server closed")
 // Shed requests are counted in ServerStats.Shed; clients should back off
 // and retry.
 var ErrOverloaded = errors.New("queryengine: server overloaded")
+
+// ErrQueryPanic is returned to the one client whose request made a worker
+// panic (a solver bug, not bad input). The blast radius stops there: the
+// worker recovers, discards its possibly-poisoned planner for a fresh one,
+// and keeps serving; other requests — past and future — are unaffected.
+// Panics are counted in ServerStats.Panics.
+var ErrQueryPanic = errors.New("queryengine: query panicked")
 
 // ServerOptions configures a streaming Server.
 type ServerOptions struct {
@@ -130,6 +138,7 @@ type workerState struct {
 	matched int64
 	errors  int64
 	shed    int64
+	panics  int64
 }
 
 func (ws *workerState) record(d time.Duration, matched, errored bool) {
@@ -265,8 +274,34 @@ func (s *Server) worker(ws *workerState) {
 	defer s.wg.Done()
 	p := s.d.NewPlanner()
 	for t := range s.tasks {
-		t.done <- s.serve(p, ws, t)
+		err, panicked := s.serveSafe(p, ws, t)
+		if panicked {
+			// The panic may have left the planner's pooled scratch in an
+			// arbitrary state; replace it so later answers stay bit-identical
+			// to an unpoisoned server's. The panicking request already paid
+			// the error; the allocation is once per panic, not per request.
+			p = s.d.NewPlanner()
+		}
+		t.done <- err
 	}
+}
+
+// serveSafe runs serve with a recover backstop: a panicking solver fails
+// only its own request (ErrQueryPanic) instead of crashing the process and
+// every in-flight query with it.
+func (s *Server) serveSafe(p *dataset.Planner, ws *workerState, t *Task) (err error, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicked = true
+			err = fmt.Errorf("%w: %v", ErrQueryPanic, r)
+			ws.mu.Lock()
+			ws.served++
+			ws.errors++
+			ws.panics++
+			ws.mu.Unlock()
+		}
+	}()
+	return s.serve(p, ws, t), false
 }
 
 // serve answers one task on the worker's planner and records its latency.

@@ -23,6 +23,9 @@ type ServerStats struct {
 	// Shed counts requests rejected with ErrOverloaded because they
 	// out-waited MaxQueueAge in the queue.
 	Shed int64
+	// Panics counts requests whose solve panicked; each failed only its own
+	// client (ErrQueryPanic) and is also included in Served and Errors.
+	Panics int64
 	// Window is the number of latency samples the percentiles summarize.
 	Window int
 	// P50, P95, P99 and Max are request latencies (submission to answer,
@@ -33,8 +36,8 @@ type ServerStats struct {
 
 // String formats the stats as one readable line.
 func (st ServerStats) String() string {
-	return fmt.Sprintf("served=%d matched=%d errors=%d shed=%d p50=%v p95=%v p99=%v max=%v (window %d)",
-		st.Served, st.Matched, st.Errors, st.Shed, st.P50, st.P95, st.P99, st.Max, st.Window)
+	return fmt.Sprintf("served=%d matched=%d errors=%d shed=%d panics=%d p50=%v p95=%v p99=%v max=%v (window %d)",
+		st.Served, st.Matched, st.Errors, st.Shed, st.Panics, st.P50, st.P95, st.P99, st.Max, st.Window)
 }
 
 // Stats snapshots the server's counters and latency percentiles. It may be
@@ -50,6 +53,7 @@ func (s *Server) Stats() ServerStats {
 		st.Matched += ws.matched
 		st.Errors += ws.errors
 		st.Shed += ws.shed
+		st.Panics += ws.panics
 		all = append(all, ws.lat...)
 		ws.mu.Unlock()
 	}

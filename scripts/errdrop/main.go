@@ -1,0 +1,152 @@
+// Command errdrop is the repo's errcheck-equivalent gate for the storage
+// path: it fails when a call to an error-returning function declared in
+// the scanned packages is used as a bare statement (including go/defer),
+// silently dropping the error.
+//
+// On a crash-safe store a dropped error IS the corruption: an unchecked
+// Sync means the header can claim durability it does not have, an
+// unchecked Close means a flush failure vanishes. This gate makes every
+// discard explicit — `_ = f()` states the intent and is allowed.
+//
+// Usage:
+//
+//	go run ./scripts/errdrop internal/btree internal/iofault internal/grid
+//
+// The tool is deliberately stdlib-only (go/parser + go/ast, no type
+// checker, no external deps): it collects the names of functions,
+// methods, and interface methods declared in the scanned packages whose
+// LAST result is `error`, then flags any expression statement calling
+// one of those names. Name-based matching can in principle false-
+// positive on an unrelated same-named method that returns no error —
+// acceptable in a gate over our own packages, where naming a method
+// like an error-returning one but without the error would itself be a
+// smell. _test.go files are skipped: tests drop errors deliberately
+// (deferred cleanup of temp stores).
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: errdrop PKGDIR...")
+		os.Exit(2)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, dir := range os.Args[1:] {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "errdrop:", err)
+			os.Exit(2)
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.SkipObjectResolution)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "errdrop:", err)
+				os.Exit(2)
+			}
+			files = append(files, f)
+		}
+	}
+
+	// Pass 1: the names of everything declared here whose last result is
+	// `error` — top-level funcs, methods, and interface methods (the
+	// latter catch stdlib-shaped names like Close/Sync through the
+	// iofault.File interface).
+	returnsErr := map[string]bool{}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && lastResultIsError(fd.Type.Results) {
+				returnsErr[fd.Name.Name] = true
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			it, ok := n.(*ast.InterfaceType)
+			if !ok {
+				return true
+			}
+			for _, m := range it.Methods.List {
+				ft, ok := m.Type.(*ast.FuncType)
+				if !ok || !lastResultIsError(ft.Results) {
+					continue
+				}
+				for _, name := range m.Names {
+					returnsErr[name.Name] = true
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2: flag bare-statement calls (plain, go, defer) to those names.
+	var drops []string
+	flag := func(call *ast.CallExpr, kind string) {
+		name := calleeName(call)
+		if name == "" || !returnsErr[name] {
+			return
+		}
+		pos := fset.Position(call.Pos())
+		drops = append(drops, fmt.Sprintf("%s:%d: %sdropped error from %s(...)", pos.Filename, pos.Line, kind, name))
+	}
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := st.X.(*ast.CallExpr); ok {
+					flag(call, "")
+				}
+			case *ast.GoStmt:
+				flag(st.Call, "go: ")
+			case *ast.DeferStmt:
+				flag(st.Call, "defer: ")
+			}
+			return true
+		})
+	}
+
+	if len(drops) > 0 {
+		sort.Strings(drops)
+		for _, d := range drops {
+			fmt.Fprintln(os.Stderr, d)
+		}
+		fmt.Fprintf(os.Stderr, "errdrop: %d dropped error(s); handle them or discard explicitly with `_ = ...`\n", len(drops))
+		os.Exit(1)
+	}
+}
+
+// lastResultIsError reports whether the final result of a signature is
+// the identifier `error`.
+func lastResultIsError(results *ast.FieldList) bool {
+	if results == nil || len(results.List) == 0 {
+		return false
+	}
+	last := results.List[len(results.List)-1]
+	id, ok := last.Type.(*ast.Ident)
+	return ok && id.Name == "error"
+}
+
+// calleeName extracts the called function or method name: `f()` → "f",
+// `x.M()` → "M". Indirect calls (function values, conversions) yield ""
+// and are not checked — without types their signature is unknowable.
+func calleeName(call *ast.CallExpr) string {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	}
+	return ""
+}

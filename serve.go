@@ -54,6 +54,10 @@ type ServeStats struct {
 	// Shed counts requests rejected with ErrOverloaded by the queue-age
 	// load-shedding policy.
 	Shed int64
+	// Panics counts requests whose solve panicked. Each failed only its
+	// own client (queryengine.ErrQueryPanic); the worker recovered with a
+	// fresh planner and kept serving.
+	Panics int64
 	// Window is the number of samples behind the percentiles.
 	Window int
 	// P50, P95, P99, Max are request latencies over the window.
@@ -62,8 +66,8 @@ type ServeStats struct {
 
 // String formats the stats as one readable line.
 func (st ServeStats) String() string {
-	return fmt.Sprintf("served=%d matched=%d errors=%d shed=%d p50=%v p95=%v p99=%v max=%v (window %d)",
-		st.Served, st.Matched, st.Errors, st.Shed, st.P50, st.P95, st.P99, st.Max, st.Window)
+	return fmt.Sprintf("served=%d matched=%d errors=%d shed=%d panics=%d p50=%v p95=%v p99=%v max=%v (window %d)",
+		st.Served, st.Matched, st.Errors, st.Shed, st.Panics, st.P50, st.P95, st.P99, st.Max, st.Window)
 }
 
 // Server is a long-lived streaming query service over one Database. Any
@@ -185,6 +189,7 @@ func (s *Server) Stats() ServeStats {
 		Matched: s.matched.Load(),
 		Errors:  st.Errors,
 		Shed:    st.Shed,
+		Panics:  st.Panics,
 		Window:  st.Window,
 		P50:     st.P50,
 		P95:     st.P95,

@@ -102,6 +102,7 @@ func (b httpBackend) Stats() httpapi.Stats {
 		Matched: st.Matched,
 		Errors:  st.Errors,
 		Shed:    st.Shed,
+		Panics:  st.Panics,
 		Window:  st.Window,
 		P50Ms:   httpapi.MillisOf(st.P50),
 		P95Ms:   httpapi.MillisOf(st.P95),
