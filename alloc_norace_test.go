@@ -7,10 +7,13 @@ package repro
 // race step covers the same code for correctness, not allocs).
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
 	"repro/internal/dataset"
+	"repro/internal/geo"
+	"repro/internal/grid"
 	"repro/internal/queryengine"
 )
 
@@ -94,6 +97,61 @@ func TestServedQueryZeroAlloc(t *testing.T) {
 					method, allocs, len(qs))
 			}
 		})
+	}
+}
+
+// TestServedQueryZeroAllocAfterUpdates re-pins the zero-alloc claim on a
+// dataset that has absorbed live updates: inserts, deletes and reweights
+// followed by a compaction must leave the served path — request round
+// trip, search over the mutated posting lists, pooled solve, answer
+// mapping — allocation-free, i.e. the mutability layer costs nothing on
+// the memtable-empty fast path.
+func TestServedQueryZeroAllocAfterUpdates(t *testing.T) {
+	d, qs := allocWorkload(t, 5)
+	rng := rand.New(rand.NewSource(11))
+	bounds := d.Graph.BBox()
+	for i := 0; i < 40; i++ {
+		switch rng.Intn(3) {
+		case 0:
+			p := geo.Point{
+				X: bounds.MinX + rng.Float64()*(bounds.MaxX-bounds.MinX),
+				Y: bounds.MinY + rng.Float64()*(bounds.MaxY-bounds.MinY),
+			}
+			if _, err := d.Insert(p, "cafe museum park"); err != nil {
+				t.Fatal(err)
+			}
+		case 1:
+			if err := d.Delete(grid.ObjectID(rng.Intn(len(d.Objects) / 2))); err != nil &&
+				!errors.Is(err, grid.ErrNoSuchObject) {
+				t.Fatal(err)
+			}
+		default:
+			id := grid.ObjectID(rng.Intn(len(d.Objects)))
+			if err := d.Reweight(id, 0.5+rng.Float64()); err != nil &&
+				!errors.Is(err, grid.ErrNoSuchObject) {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := d.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	srv := queryengine.NewServer(d, queryengine.ServerOptions{Workers: 1})
+	defer srv.Close()
+	task := queryengine.Task{Visit: func(*dataset.QueryInstance) error { return nil }}
+	replay := func() {
+		for _, q := range qs {
+			task.Query = q
+			if err := srv.Do(&task); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	replay() // warm pooled buffers against the post-update object count
+	replay()
+	if allocs := testing.AllocsPerRun(3, replay); allocs != 0 {
+		t.Fatalf("served path allocated %.1f times per %d-query replay after live updates, want 0",
+			allocs, len(qs))
 	}
 }
 

@@ -17,6 +17,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/experiments"
+	"repro/internal/geo"
+	"repro/internal/grid"
 	"repro/internal/queryengine"
 )
 
@@ -322,4 +324,155 @@ func BenchmarkQueryGreedy(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkLiveUpdate measures the live mutation path over the sharded
+// on-disk store and re-measures the served query path on a mutated
+// dataset.
+//
+//   - insert / reweight / delete report updates/s against a 4-shard
+//     store with the fsync discipline enabled — each iteration is one
+//     durable WAL append plus memtable apply, with automatic compaction
+//     folding the memtable into the B+-trees every 512 updates.
+//   - serve-after-updates replays the ServeQuery workload on an
+//     in-memory dataset that absorbed a mixed update batch and a
+//     compaction; it must stay 0 B/op, 0 allocs/op (gated numerically by
+//     scripts/bench-json.sh against scripts/bench-baseline.json — the
+//     memtable-empty fast path costs nothing).
+func BenchmarkLiveUpdate(b *testing.B) {
+	mkDisk := func(b *testing.B) *Database {
+		db, err := NYLikeWithStore(3, 0.05, StoreConfig{
+			Path: b.TempDir() + "/store", Shards: 4,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return db
+	}
+	perSecond := func(b *testing.B) {
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "updates/s")
+	}
+	b.Run("insert", func(b *testing.B) {
+		db := mkDisk(b)
+		defer db.Close()
+		r := db.Bounds()
+		rng := rand.New(rand.NewSource(1))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, err := db.Insert(ObjectSpec{
+				X:    r.MinX + rng.Float64()*(r.MaxX-r.MinX),
+				Y:    r.MinY + rng.Float64()*(r.MaxY-r.MinY),
+				Text: "cafe museum park",
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if (i+1)%512 == 0 {
+				if err := db.Compact(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		perSecond(b)
+	})
+	b.Run("reweight", func(b *testing.B) {
+		db := mkDisk(b)
+		defer db.Close()
+		n := db.NumObjects()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// Alternate ×1.25, ×0.8 so weights stay bounded over any b.N.
+			f := 1.25
+			if i%2 == 1 {
+				f = 0.8
+			}
+			if err := db.Reweight(i%n, f); err != nil {
+				b.Fatal(err)
+			}
+			if (i+1)%512 == 0 {
+				if err := db.Compact(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		perSecond(b)
+	})
+	b.Run("delete", func(b *testing.B) {
+		db := mkDisk(b)
+		defer db.Close()
+		r := db.Bounds()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// Insert+delete pairs keep a stable live set; the delete half
+			// is what's being measured alongside its WAL append.
+			id, err := db.Insert(ObjectSpec{X: (r.MinX + r.MaxX) / 2, Y: (r.MinY + r.MaxY) / 2, Text: "bar"})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := db.Delete(id); err != nil {
+				b.Fatal(err)
+			}
+			if (i+1)%256 == 0 {
+				if err := db.Compact(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		perSecond(b)
+	})
+	b.Run("serve-after-updates", func(b *testing.B) {
+		d, err := dataset.NYLike(dataset.Config{Seed: 3, Scale: 0.2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(5))
+		qs, err := d.GenQueries(rng, 64, 3, 25e6, 5000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bounds := d.Graph.BBox()
+		for i := 0; i < 64; i++ {
+			switch i % 3 {
+			case 0:
+				p := geo.Point{
+					X: bounds.MinX + rng.Float64()*(bounds.MaxX-bounds.MinX),
+					Y: bounds.MinY + rng.Float64()*(bounds.MaxY-bounds.MinY),
+				}
+				if _, err := d.Insert(p, "cafe museum park"); err != nil {
+					b.Fatal(err)
+				}
+			case 1:
+				if err := d.Delete(grid.ObjectID(i)); err != nil {
+					b.Fatal(err)
+				}
+			default:
+				if err := d.Reweight(grid.ObjectID(i+100), 1.1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		if err := d.Compact(); err != nil {
+			b.Fatal(err)
+		}
+		srv := queryengine.NewServer(d, queryengine.ServerOptions{Workers: 1})
+		defer srv.Close()
+		task := queryengine.Task{Visit: func(*dataset.QueryInstance) error { return nil }}
+		for _, q := range qs { // warm pooled buffers
+			task.Query = q
+			if err := srv.Do(&task); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			task.Query = qs[i%len(qs)]
+			if err := srv.Do(&task); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -10,7 +10,10 @@
 //
 // With -shards > 1 the posting store is a directory of that many
 // independent B+-tree shards (see grid.ShardedStore) instead of a single
-// tree file.
+// tree file. A sharded store is written with an index metadata
+// checkpoint (META.0/META.1), so it can later be reopened without a
+// rebuild — `lcmsr -open -postings DIR` with the matching -seed/-scale,
+// or grid.NewIndexOver from the library — and absorb live updates.
 package main
 
 import (

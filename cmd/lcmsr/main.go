@@ -9,6 +9,8 @@
 //	lcmsr -serve -queries 500 -rate 100      # serve mode: replay at 100 q/s
 //	lcmsr -serve -http :8080 -timeout 500ms  # HTTP mode: POST /query, GET /stats
 //	lcmsr -shards 4 -queries 200 -parallel 4 # disk store, 4 B+-tree shards
+//	lcmsr -shards 4 -postings /data/store -updates 500   # mutate, compact, persist
+//	lcmsr -open -postings /data/store -queries 50        # reopen the same store
 //	lcmsr -scrub /data/store                 # verify a posting store offline
 //
 // -area is the Q.Λ area in km²; -delta the length budget in metres. With
@@ -36,6 +38,18 @@
 // lock, so concurrent cold reads scale with cores). -postings picks the location;
 // without it a temporary store is built and removed on exit. Cache
 // counters are printed at exit.
+//
+// With -updates N the command first applies N random live updates — a mix
+// of inserts, deletes and reweights through the mutable index (each one
+// WAL-durable before it returns on a disk store) — and compacts, so the
+// query phase measures a mutated store on its memtable-empty fast path.
+//
+// With -open the store at -postings is reopened instead of rebuilt: the
+// index comes from the committed metadata checkpoint plus WAL replay, so
+// updates persisted by an earlier run — compacted or not — are served
+// again. The road network and corpus are regenerated from -seed/-scale,
+// which must therefore match the run that created the store (a mismatch
+// is refused with a typed error, not served wrong).
 //
 // With -scrub PATH the command verifies a previously persisted posting
 // store offline — every page checksum, the tree shape, and the free list
@@ -81,6 +95,8 @@ func main() {
 		auto       = flag.Bool("auto", false, "generate keywords and region automatically")
 		shards     = flag.Int("shards", 0, "disk-backed posting store: 1 = single B+-tree, >1 = that many cell-striped shards (cell mod N); 0 keeps postings in memory")
 		postings   = flag.String("postings", "", "posting store location (file for -shards 1, directory for -shards >1); default: a temporary path removed on exit")
+		open       = flag.Bool("open", false, "reopen the persisted posting store at -postings (committed meta + WAL replay) instead of rebuilding it; -seed/-scale must match the run that created it")
+		updates    = flag.Int("updates", 0, "apply this many random live updates (insert/delete/reweight mix) before the query phase, then compact")
 		queries    = flag.Int("queries", 1, "number of queries (>1 switches to workload mode)")
 		parallel   = flag.Int("parallel", 0, "workload workers; 0 = GOMAXPROCS")
 		serve      = flag.Bool("serve", false, "replay the workload through the streaming server and report latency percentiles")
@@ -109,10 +125,13 @@ func main() {
 		}
 		db, err = repro.Load(*load)
 	} else {
-		if *postings != "" && *shards <= 0 {
+		if *open && *postings == "" {
+			usage("-open needs -postings (there is no store to reopen)")
+		}
+		if *postings != "" && *shards <= 0 && !*open {
 			usage("-postings needs -shards >= 1 (without it the store would stay in memory)")
 		}
-		sc, cleanup, scErr := storeConfig(*shards, *postings)
+		sc, cleanup, scErr := storeConfig(*shards, *postings, *open)
 		if scErr != nil {
 			fatal(scErr)
 		}
@@ -153,6 +172,12 @@ func main() {
 					st.CacheHits, st.CacheMisses, st.CacheEvictions, st.CachedPages)
 			}
 		}()
+	}
+
+	if *updates > 0 {
+		if err := runUpdates(db, *updates, *seed); err != nil {
+			fatal(err)
+		}
 	}
 
 	var q repro.Query
@@ -218,6 +243,53 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+// runUpdates applies n random live updates — a 2:1:1 mix of reweights,
+// inserts, and deletes — then compacts, so the query phase runs against a
+// mutated store with an empty memtable. Inserted objects reuse keywords
+// already in the corpus, so generated queries can match them.
+func runUpdates(db *repro.Database, n int, seed int64) error {
+	rng := rand.New(rand.NewSource(seed + 7))
+	bounds := db.Bounds()
+	var inserted, deleted, reweighted int
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		switch rng.Intn(4) {
+		case 0:
+			p := repro.ObjectSpec{
+				X:    bounds.MinX + rng.Float64()*(bounds.MaxX-bounds.MinX),
+				Y:    bounds.MinY + rng.Float64()*(bounds.MaxY-bounds.MinY),
+				Text: fmt.Sprintf("t%04d t%04d", 1+rng.Intn(40), 1+rng.Intn(40)),
+			}
+			if _, err := db.Insert(p); err != nil {
+				return fmt.Errorf("live insert: %w", err)
+			}
+			inserted++
+		case 1:
+			// Hitting an already-deleted id just skips the turn.
+			switch err := db.Delete(rng.Intn(db.NumObjects())); {
+			case err == nil:
+				deleted++
+			case !errors.Is(err, repro.ErrNoSuchObject):
+				return fmt.Errorf("live delete: %w", err)
+			}
+		default:
+			switch err := db.Reweight(rng.Intn(db.NumObjects()), 0.5+rng.Float64()); {
+			case err == nil:
+				reweighted++
+			case !errors.Is(err, repro.ErrNoSuchObject):
+				return fmt.Errorf("live reweight: %w", err)
+			}
+		}
+	}
+	if err := db.Compact(); err != nil {
+		return fmt.Errorf("compact after updates: %w", err)
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("updates: %d applied in %.3fs (%.0f updates/s): %d inserted, %d deleted, %d reweighted; compacted\n",
+		n, elapsed.Seconds(), float64(n)/elapsed.Seconds(), inserted, deleted, reweighted)
+	return nil
 }
 
 // runScrub verifies the posting store at path and exits non-zero on any
@@ -447,11 +519,14 @@ func runHTTP(db *repro.Database, opts repro.SearchOptions, addr string, workers 
 	}
 }
 
-// storeConfig translates -shards/-postings into a StoreConfig, creating a
-// temporary location (removed by cleanup) when none was given.
-func storeConfig(shards int, path string) (repro.StoreConfig, func(), error) {
-	if shards <= 0 {
+// storeConfig translates -shards/-postings/-open into a StoreConfig,
+// creating a temporary location (removed by cleanup) when none was given.
+func storeConfig(shards int, path string, open bool) (repro.StoreConfig, func(), error) {
+	if shards <= 0 && !open {
 		return repro.StoreConfig{}, func() {}, nil
+	}
+	if open {
+		return repro.StoreConfig{Path: path, OpenExisting: true}, func() {}, nil
 	}
 	cleanup := func() {}
 	if path == "" {

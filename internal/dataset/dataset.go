@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"repro/internal/gen"
 	"repro/internal/grid"
@@ -22,7 +23,19 @@ import (
 )
 
 // Dataset bundles a road network with its indexed geo-textual objects.
+//
+// A Dataset accepts live mutations (Insert, Delete, Reweight) concurrent
+// with queries: mutators take the internal write lock, the query paths
+// (Planner.Instantiate, GenQueries, and result materialization via
+// RLock/RUnlock) take the read side. The exported fields are owned by
+// the dataset once it is assembled — read them under RLock when updates
+// may be running.
 type Dataset struct {
+	// mu serializes live mutations against query-side reads of Vocab,
+	// Objects, ObjNode and Ratings. Lock ordering: Dataset.mu before
+	// grid.Index's internal lock (mutators call into the index while
+	// holding mu).
+	mu      sync.RWMutex
 	Name    string
 	Graph   *roadnet.Graph
 	Vocab   *textindex.Vocabulary
@@ -33,6 +46,13 @@ type Dataset struct {
 	Ratings []float64
 	Index   *grid.Index
 }
+
+// RLock takes the dataset's read lock; callers reading Objects, Vocab,
+// ObjNode or Ratings while updates may be running must hold it.
+func (d *Dataset) RLock() { d.mu.RLock() }
+
+// RUnlock releases RLock.
+func (d *Dataset) RUnlock() { d.mu.RUnlock() }
 
 // Config controls synthetic dataset construction.
 type Config struct {
@@ -48,6 +68,13 @@ type Config struct {
 	// cold reads from the query-engine workers don't contend on one tree
 	// lock). nil keeps them in memory.
 	Store grid.Store
+	// Reopen treats Store as a previously persisted store: instead of
+	// rebuilding postings from the regenerated corpus, the index comes
+	// from the store's committed metadata plus WAL replay
+	// (grid.NewIndexOver) and the vocabulary statistics from the metadata
+	// snapshot, so live updates applied before the last close — including
+	// ones that never reached a compaction — are preserved.
+	Reopen bool
 }
 
 func (c Config) withDefaults() Config {
@@ -129,11 +156,14 @@ func USANWLike(cfg Config) (*Dataset, error) {
 
 func assemble(name string, g *roadnet.Graph, corpus *gen.Corpus, cfg Config) (*Dataset, error) {
 	bounds := corpus.Bounds(g, 100)
+	if cfg.Reopen {
+		return reassemble(name, g, corpus, bounds, cfg)
+	}
 	idx, err := grid.NewIndex(corpus.Objects, bounds, cfg.CellSize, cfg.Store)
 	if err != nil {
 		return nil, fmt.Errorf("dataset: index: %w", err)
 	}
-	return &Dataset{
+	d := &Dataset{
 		Name:    name,
 		Graph:   g,
 		Vocab:   corpus.Vocab,
@@ -141,17 +171,25 @@ func assemble(name string, g *roadnet.Graph, corpus *gen.Corpus, cfg Config) (*D
 		ObjNode: corpus.ObjNode,
 		Ratings: corpus.Ratings,
 		Index:   idx,
-	}, nil
+	}
+	// Persist the vocabulary alongside the index metadata so an update-only
+	// store can be reopened without re-deriving term statistics, then commit
+	// a first metadata snapshot (a no-op for memory-backed stores).
+	vocab := d.Vocab
+	idx.SetMetaExtra(func() []byte { return vocab.EncodeSnapshot() })
+	if err := idx.Compact(); err != nil {
+		return nil, fmt.Errorf("dataset: initial meta commit: %w", err)
+	}
+	return d, nil
 }
 
-// Close releases the posting store backing the index when it is
-// disk-backed (a no-op for the in-memory store). The dataset must not be
-// queried afterwards.
+// Close compacts any pending live updates into the posting store and
+// releases it when it is disk-backed (a no-op for the in-memory store).
+// The dataset must not be queried afterwards.
 func (d *Dataset) Close() error {
-	if c, ok := d.Index.Store().(interface{ Close() error }); ok {
-		return c.Close()
-	}
-	return nil
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.Index.CloseStore()
 }
 
 // sqrtScale converts a count multiplier into a grid-side multiplier.

@@ -52,6 +52,10 @@ func (p *Planner) SolveScratch() *core.SolveScratch { return &p.solve }
 // irrelevant objects. The result aliases the planner's pooled buffers.
 func (p *Planner) Instantiate(q Query) (*QueryInstance, error) {
 	d := p.d
+	// Reads of Vocab/Objects/ObjNode/Ratings race with live mutators;
+	// hold the dataset read lock for the whole materialization.
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	sub := p.ex.ExtractRect(q.Lambda)
 	prepared := d.Vocab.PrepareQueryInto(q.Keywords, &p.qscratch)
 	// The grid index finds the matching objects (an object matches iff it

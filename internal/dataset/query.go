@@ -52,6 +52,8 @@ func (d *Dataset) GenQueries(rng *rand.Rand, count, numKeywords int, areaM2, del
 	if areaM2 <= 0 || delta <= 0 {
 		return nil, fmt.Errorf("dataset: need positive area and ∆, got %v, %v", areaM2, delta)
 	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	if len(d.Objects) == 0 {
 		return nil, fmt.Errorf("dataset: no objects to anchor queries")
 	}

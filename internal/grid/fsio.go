@@ -1,0 +1,161 @@
+package grid
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/btree"
+	"repro/internal/iofault"
+)
+
+// storeFS is the file surface a sharded store needs, factored out so the
+// crash suites can run the real store code — WAL appends, memtable
+// flushes, meta-slot commits, manifest writes — over an iofault
+// Switchboard with one global kill-point counter, while production runs
+// over the OS filesystem. Names are store-relative ("MANIFEST",
+// "shard-0001.bt", "wal-0001.log", "META.0").
+type storeFS interface {
+	// CreateTree creates a fresh B+-tree under name.
+	CreateTree(name string, opts btree.Options) (*btree.Tree, error)
+	// OpenTree opens an existing tree under name.
+	OpenTree(name string, opts btree.Options) (*btree.Tree, error)
+	// OpenFile opens name read-write, creating it empty when absent (the
+	// WAL open-or-create path; a store written before WALs existed grows
+	// empty logs on first open).
+	OpenFile(name string) (iofault.File, error)
+	// ReadFile returns the whole content of name.
+	ReadFile(name string) ([]byte, error)
+	// WriteFile replaces name with data and, when sync is set, makes it
+	// durable before returning.
+	WriteFile(name string, data []byte, sync bool) error
+	// Exists reports whether name exists.
+	Exists(name string) bool
+	// Remove deletes name.
+	Remove(name string) error
+	// Path renders name for error messages (absolute for the OS
+	// filesystem, bare for a memory board).
+	Path(name string) string
+}
+
+// osFS is the production storeFS: a directory on the OS filesystem.
+type osFS struct {
+	dir string
+}
+
+func (fs osFS) Path(name string) string { return filepath.Join(fs.dir, name) }
+
+func (fs osFS) CreateTree(name string, opts btree.Options) (*btree.Tree, error) {
+	return btree.Create(fs.Path(name), opts)
+}
+
+func (fs osFS) OpenTree(name string, opts btree.Options) (*btree.Tree, error) {
+	return btree.Open(fs.Path(name), opts)
+}
+
+func (fs osFS) OpenFile(name string) (iofault.File, error) {
+	f, err := os.OpenFile(fs.Path(name), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("grid: open %s: %w", fs.Path(name), err)
+	}
+	return f, nil
+}
+
+func (fs osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(fs.Path(name)) }
+
+func (fs osFS) WriteFile(name string, data []byte, sync bool) error {
+	return writeFileOver(fs, name, data, sync)
+}
+
+func (fs osFS) Exists(name string) bool {
+	_, err := os.Stat(fs.Path(name))
+	return err == nil
+}
+
+func (fs osFS) Remove(name string) error { return os.Remove(fs.Path(name)) }
+
+// memFS is a storeFS over an iofault Switchboard, the substrate of the
+// live-update crash suites: every write and sync of every store file
+// shares one fault plan and one kill-point counter.
+type memFS struct {
+	sb *iofault.Switchboard
+}
+
+func (fs memFS) Path(name string) string { return name }
+
+func (fs memFS) CreateTree(name string, opts btree.Options) (*btree.Tree, error) {
+	f := fs.sb.Open(name)
+	if err := f.Truncate(0); err != nil {
+		return nil, err
+	}
+	return btree.CreateFile(f, opts)
+}
+
+func (fs memFS) OpenTree(name string, opts btree.Options) (*btree.Tree, error) {
+	if !fs.sb.Exists(name) {
+		return nil, fmt.Errorf("btree: open: %s does not exist", name)
+	}
+	return btree.OpenFile(fs.sb.Open(name), opts)
+}
+
+func (fs memFS) OpenFile(name string) (iofault.File, error) { return fs.sb.Open(name), nil }
+
+func (fs memFS) ReadFile(name string) ([]byte, error) {
+	if !fs.sb.Exists(name) {
+		return nil, fmt.Errorf("%s: %w", name, os.ErrNotExist)
+	}
+	f := fs.sb.Open(name)
+	var out []byte
+	buf := make([]byte, 4096)
+	for off := int64(0); ; {
+		n, err := f.ReadAt(buf, off)
+		out = append(out, buf[:n]...)
+		off += int64(n)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			return out, nil
+		}
+	}
+}
+
+func (fs memFS) WriteFile(name string, data []byte, sync bool) error {
+	return writeFileOver(fs, name, data, sync)
+}
+
+func (fs memFS) Exists(name string) bool { return fs.sb.Exists(name) }
+
+func (fs memFS) Remove(name string) error { return fs.sb.Remove(name) }
+
+// writeFileOver replaces a file's content through the File interface, so
+// both filesystems share one code path — and its writes/syncs land on the
+// crash suites' kill-point counter.
+func writeFileOver(fs storeFS, name string, data []byte, sync bool) error {
+	f, err := fs.OpenFile(name)
+	if err != nil {
+		return err
+	}
+	if err := f.Truncate(0); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("grid: write %s: %w", fs.Path(name), err)
+	}
+	if _, err := f.WriteAt(data, 0); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("grid: write %s: %w", fs.Path(name), err)
+	}
+	if sync {
+		if err := f.Sync(); err != nil {
+			_ = f.Close()
+			return fmt.Errorf("grid: sync %s: %w", fs.Path(name), err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("grid: close %s: %w", fs.Path(name), err)
+	}
+	return nil
+}

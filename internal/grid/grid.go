@@ -13,16 +13,23 @@
 //
 // # Invariants and ownership rules
 //
-// An Index is immutable after NewIndex and safe for concurrent readers;
-// MemStore is read-only at query time, BTreeStore serializes tree access
-// behind one mutex, and ShardedStore partitions the key space across N
-// trees with one mutex and one page cache each, so concurrent cold reads
-// only contend when they need the same shard (and SearchInto fans one
-// query's fetches across shards). Each cell keeps a term directory sorted by
-// ascending TermID with posting-list lengths: term membership is a binary
-// search, the pooled search path merge-joins the query terms against it
-// (stopping as soon as either sorted list is exhausted), and the recorded
-// lengths pre-size its result scratch.
+// An Index is safe for concurrent readers, and — over a MemStore or a
+// ShardedStore — accepts live mutations (Insert, Delete, Reweight; see
+// live.go) serialized behind an internal RWMutex: searches take the read
+// side, mutations the write side. Over a sharded store each mutation is
+// one WAL record plus a memtable overlay, merged into reads until a
+// compaction folds it into the shard trees (livestore.go); over a
+// MemStore the posting lists are edited in place. The single-file
+// BTreeStore layout remains immutable after build (ErrUpdatesUnsupported).
+// BTreeStore serializes tree access behind one mutex, and ShardedStore
+// partitions the key space across N trees with one mutex and one page
+// cache each, so concurrent cold reads only contend when they need the
+// same shard (and SearchInto fans one query's fetches across shards).
+// Each cell keeps a term directory sorted by ascending TermID with
+// posting-list lengths, maintained exactly under mutation: term
+// membership is a binary search, the pooled search path merge-joins the
+// query terms against it (stopping as soon as either sorted list is
+// exhausted), and the recorded lengths pre-size its result scratch.
 //
 // Searching comes in two flavors with bit-identical results — both walk
 // cells in row-major order and query terms in ascending TermID order, so
@@ -114,6 +121,38 @@ func (s *MemStore) Append(key CellKey, ps []Posting) error {
 // Postings implements Store.
 func (s *MemStore) Postings(key CellKey) ([]Posting, error) { return s.lists[key], nil }
 
+// applyUpdate edits the posting lists in place — the MemStore live-update
+// path. Lists stay sorted by ascending ObjectID; the caller (Index)
+// serializes mutations against readers. In-place editing keeps the
+// memtable-free zero-allocation query path: Postings still returns the
+// stored slice directly.
+func (s *MemStore) applyUpdate(u *Update) {
+	for i, t := range u.Terms {
+		key := CellKey{Cell: u.Cell, Term: t}
+		list := s.lists[key]
+		j := sort.Search(len(list), func(k int) bool { return list[k].Obj >= u.Obj })
+		if u.Kind == UpdateDelete {
+			if j < len(list) && list[j].Obj == u.Obj {
+				list = append(list[:j], list[j+1:]...)
+				if len(list) == 0 {
+					delete(s.lists, key)
+				} else {
+					s.lists[key] = list
+				}
+			}
+			continue
+		}
+		if j < len(list) && list[j].Obj == u.Obj {
+			list[j].Weight = u.Weights[i]
+			continue
+		}
+		list = append(list, Posting{})
+		copy(list[j+1:], list[j:])
+		list[j] = Posting{Obj: u.Obj, Weight: u.Weights[i]}
+		s.lists[key] = list
+	}
+}
+
 // EncodePostings serializes a posting list (for disk-backed stores).
 func EncodePostings(ps []Posting) []byte {
 	buf := make([]byte, 0, len(ps)*12)
@@ -151,6 +190,10 @@ type termEntry struct {
 
 // Index is a uniform grid over the object space.
 type Index struct {
+	// mu serializes live mutations (write side) against searches (read
+	// side). Lock ordering: Index.mu before any shard mutex — mutators
+	// hold mu while calling into the store.
+	mu       sync.RWMutex
 	objects  []Object
 	bounds   geo.Rect
 	cellSize float64
@@ -164,7 +207,42 @@ type Index struct {
 	// so membership is a binary search and query∩cell intersection is a
 	// merge-join that exits as soon as either side is exhausted.
 	cellDir map[uint32][]termEntry
+
+	// live is store when it has a WAL + memtable update path (the sharded
+	// layout); memStore is store when updates edit lists in place. Both
+	// nil: the index is immutable (single-file BTreeStore).
+	live     liveStore
+	memStore *MemStore
+	// baseObjects is the object count of the original batch build; ids at
+	// or above it are live inserts (the "tail" of the meta snapshot).
+	baseObjects int
+	// tombstones marks deleted ids (never reused; scores as an empty doc).
+	tombstones map[ObjectID]struct{}
+	// reweighted marks base-build ids whose weights were replaced, so the
+	// meta snapshot patches exactly those on reopen.
+	reweighted map[ObjectID]struct{}
+	// epoch counts applied mutations (and compactions); readers can cheap-
+	// check it to learn whether cached derived state is stale.
+	epoch uint64
+	// metaExtra, when set, supplies the opaque blob stored in the meta
+	// snapshot (the dataset layer stores its vocabulary there).
+	metaExtra func() []byte
+	// metaExtraBlob and replayed carry reopen state for the owner layer:
+	// the blob of the meta snapshot the index was opened from, and the
+	// WAL updates applied on top of it (ascending Seq).
+	metaExtraBlob []byte
+	replayed      []Update
+	// pending counts updates since the last compaction; autoCompact is
+	// the threshold that triggers one from the update path (<= 0: never).
+	pending     int
+	autoCompact int
 }
+
+// defaultAutoCompact is the update count that triggers an automatic
+// compaction. Large enough that bursts stay on the cheap WAL+memtable
+// path, small enough that the memtable overlay (and recovery replay work)
+// stays bounded.
+const defaultAutoCompact = 8192
 
 // NewIndex builds a grid index over objects with the given cell size (same
 // unit as coordinates; the paper does not prescribe one — typical is a few
@@ -176,7 +254,13 @@ func NewIndex(objects []Object, bounds geo.Rect, cellSize float64, store Store) 
 // NewIndexOver builds the index metadata (grid layout, per-cell term
 // directories) over a store that already holds the postings — e.g. a
 // sharded store written by a previous build and reopened cold. Nothing is
-// appended; the objects must be the ones the store was built from.
+// appended; the objects must be the base-build objects the store was
+// built from. When the store carries a committed meta snapshot (every
+// sharded store built by NewIndex does), the metadata is loaded from it
+// instead of being re-derived — including live objects inserted after
+// the build, tombstones and reweights — and any WAL records past the
+// snapshot are re-applied, so a reopened store answers exactly as it did
+// before it was closed (or crashed).
 func NewIndexOver(objects []Object, bounds geo.Rect, cellSize float64, store Store) (*Index, error) {
 	return newIndex(objects, bounds, cellSize, store, false)
 }
@@ -197,16 +281,39 @@ func newIndex(objects []Object, bounds geo.Rect, cellSize float64, store Store, 
 		ny = 1
 	}
 	idx := &Index{
-		objects:  objects,
-		bounds:   bounds,
-		cellSize: cellSize,
-		nx:       nx,
-		ny:       ny,
-		store:    store,
-		cellDir:  make(map[uint32][]termEntry),
+		objects:     objects,
+		bounds:      bounds,
+		cellSize:    cellSize,
+		nx:          nx,
+		ny:          ny,
+		store:       store,
+		cellDir:     make(map[uint32][]termEntry),
+		baseObjects: len(objects),
+		tombstones:  make(map[ObjectID]struct{}),
+		reweighted:  make(map[ObjectID]struct{}),
+		autoCompact: defaultAutoCompact,
 	}
 	if sh, ok := store.(shardedStore); ok && sh.NumShards() > 1 {
 		idx.sharded = sh
+	}
+	if ls, ok := store.(liveStore); ok {
+		idx.live = ls
+	} else if ms, ok := store.(*MemStore); ok {
+		idx.memStore = ms
+	}
+	if !appendPostings && idx.live != nil {
+		if body, _, ok := idx.live.MetaSnapshot(); ok {
+			if err := idx.openFromMeta(body); err != nil {
+				return nil, err
+			}
+			return idx, nil
+		}
+		if len(idx.live.ReplayedUpdates()) > 0 {
+			// Updates were logged but no meta was ever committed — only a
+			// crash inside the very first meta commit can leave this; the
+			// in-memory state they patched is unrecoverable without it.
+			return nil, fmt.Errorf("%w: store holds WAL updates but no committed meta; rebuild the store", ErrCorruptMeta)
+		}
 	}
 	// Group postings per (cell, term) to batch Append calls.
 	batch := make(map[CellKey][]Posting)
@@ -230,6 +337,19 @@ func newIndex(objects []Object, bounds geo.Rect, cellSize float64, store Store, 
 	}
 	for _, dir := range idx.cellDir {
 		sort.Slice(dir, func(i, j int) bool { return dir[i].term < dir[j].term })
+	}
+	if appendPostings && idx.live != nil {
+		// Genesis meta commit: make the batch build durable and record the
+		// derived metadata, so the store can be reopened (and can accept
+		// updates whose recovery depends on a committed baseline) without
+		// ever re-deriving from objects. Under NoSync the writes happen
+		// without fsyncs — the usual bulk-build contract.
+		if err := idx.live.Flush(); err != nil {
+			return nil, err
+		}
+		if err := idx.live.CommitMeta(idx.encodeMetaLocked()); err != nil {
+			return nil, err
+		}
 	}
 	return idx, nil
 }
@@ -365,6 +485,8 @@ func (idx *Index) Search(q textindex.Query, r geo.Rect) ([]ObjScore, error) {
 	if len(q.Terms) == 0 || q.Norm == 0 {
 		return nil, nil
 	}
+	idx.mu.RLock()
+	defer idx.mu.RUnlock()
 	acc := make(map[ObjectID]float64)
 	for _, cell := range idx.cellsOverlapping(r) {
 		dir := idx.cellDir[cell]

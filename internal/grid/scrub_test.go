@@ -78,7 +78,7 @@ func TestScrubCleanStores(t *testing.T) {
 // the other shards verify clean.
 func TestScrubDetectsShardCorruption(t *testing.T) {
 	dir := buildShardedStore(t, 4)
-	victim := shardFile(dir, 1)
+	victim := filepath.Join(dir, shardFileName(1))
 	raw, err := os.ReadFile(victim)
 	if err != nil {
 		t.Fatal(err)
@@ -151,6 +151,34 @@ func TestManifestChecksum(t *testing.T) {
 		t.Errorf("legacy open: %d shards, want 2", s.NumShards())
 	}
 	s.Close()
+
+	// The open must have upgraded the manifest in place: the checksummed
+	// four-line form is back on disk, byte-identical to the original, so
+	// every later open (and Scrub) verifies a crc again.
+	upgraded, err := os.ReadFile(mpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(upgraded) != string(raw) {
+		t.Errorf("legacy manifest not upgraded on open:\n got %q\nwant %q", upgraded, raw)
+	}
+
+	// Typed rejects: every malformed manifest fails as ErrBadManifest,
+	// never as a silent mis-open.
+	for name, img := range map[string]string{
+		"wrong magic":     "some-other-store v9\nshards 2\npartition cell-mod\n",
+		"bad shard count": lines[0] + "\nshards zero\n" + lines[2] + "\n",
+		"huge count":      lines[0] + "\nshards 100000\n" + lines[2] + "\n",
+		"bad partition":   lines[0] + "\n" + lines[1] + "\npartition round-robin\n",
+		"truncated":       lines[0] + "\n",
+	} {
+		if err := os.WriteFile(mpath, []byte(img), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := OpenShardedStore(dir); !errors.Is(err, ErrBadManifest) {
+			t.Errorf("%s: open returned %v, want ErrBadManifest", name, err)
+		}
+	}
 }
 
 // flakyStore fails the first failEvery-th Postings calls once each: call n

@@ -93,6 +93,8 @@ func (idx *Index) SearchInto(q textindex.Query, r geo.Rect, s *SearchScratch) ([
 	if len(q.Terms) == 0 || q.Norm == 0 {
 		return nil, nil
 	}
+	idx.mu.RLock()
+	defer idx.mu.RUnlock()
 	s.reset(len(idx.objects))
 	// Same cell walk as cellsOverlapping, without materializing the list.
 	x0, x1, y0, y1, ok := idx.cellRange(r)

@@ -7,12 +7,14 @@ import (
 	"math"
 	"os"
 	"path/filepath"
-	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/btree"
+	"repro/internal/iofault"
 	"repro/internal/textindex"
 )
 
@@ -27,20 +29,50 @@ import (
 //
 // On disk a sharded store is a directory: a MANIFEST header recording the
 // layout (shard count and partition function, so OpenShardedStore
-// reconstructs it regardless of the opener's GOMAXPROCS) plus one
-// shard-NNNN.bt tree per shard. Each tree is held under an exclusive
-// file lock while open, so two stores can never share a shard.
+// reconstructs it regardless of the opener's GOMAXPROCS), one
+// shard-NNNN.bt tree per shard, one wal-NNNN.log write-ahead log per
+// shard, and up to two META.N slots holding the index meta committed by
+// the last compaction (see livestore.go). Each tree is held under an
+// exclusive file lock while open, so two stores can never share a shard.
+//
+// Reads see the shard's memtable merged over its tree; ApplyUpdate is
+// the write path (WAL append, then memtable). Append bypasses both and
+// writes the tree directly — it is the bulk-build path, used before the
+// store serves queries.
 type ShardedStore struct {
-	dir    string
+	dir    string // display label; a directory for osFS, "(mem)" for a board
+	fs     storeFS
+	noSync bool
+	cache  int
 	shards []storeShard
+
+	// seq is the last assigned update sequence number (global across
+	// shards; WAL replay ordering and the meta high-water mark use it).
+	seq atomic.Uint64
+
+	// metaMu serializes meta-slot commits; the fields below describe the
+	// newest valid slot (as of open, then maintained by CommitMeta).
+	metaMu     sync.Mutex
+	metaSeq    uint64
+	metaLastOp uint64
+	metaBody   []byte
+	metaLoaded bool
+
+	// replayed holds the WAL records found at open with Seq above the meta
+	// high-water mark, ascending — the updates the index layer must re-apply
+	// to its in-memory state.
+	replayed []Update
 }
 
 // storeShard pairs one B+-tree with the mutex that serializes access to
-// it (the tree's page cache is single-threaded). Shards never take each
-// other's locks, so operations on different shards proceed concurrently.
+// it (the tree's page cache is single-threaded), plus the shard's WAL
+// and memtable. Shards never take each other's locks, so operations on
+// different shards proceed concurrently.
 type storeShard struct {
 	mu   sync.Mutex
 	tree *btree.Tree
+	wal  *btree.WAL
+	mem  *memtable
 }
 
 // ShardedOptions configures CreateShardedStore (and, minus Shards, the
@@ -65,8 +97,17 @@ const (
 	maxShards = 1 << 16
 )
 
-func shardFile(dir string, i int) string {
-	return filepath.Join(dir, fmt.Sprintf("shard-%04d.bt", i))
+// ErrBadManifest marks a MANIFEST that is present but unreadable: wrong
+// magic, malformed fields, or a checksum mismatch. It is typed so
+// callers can distinguish "this is corrupt" from "this is not a store".
+var ErrBadManifest = errors.New("grid: bad sharded store manifest")
+
+func shardFileName(i int) string { return fmt.Sprintf("shard-%04d.bt", i) }
+func walFileName(i int) string   { return fmt.Sprintf("wal-%04d.log", i) }
+
+func manifestBytes(n int) []byte {
+	body := fmt.Sprintf("%s\nshards %d\npartition %s\n", manifestMagic, n, partitionName)
+	return []byte(body + fmt.Sprintf("crc %08x\n", btree.Checksum([]byte(body))))
 }
 
 // CreateShardedStore creates a fresh sharded store in dir (creating the
@@ -77,31 +118,52 @@ func shardFile(dir string, i int) string {
 // a creation that fails partway (disk full, lock conflict) never leaves
 // a valid-looking manifest over missing shards.
 func CreateShardedStore(dir string, opts ShardedOptions) (*ShardedStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("grid: sharded store: %w", err)
+	}
+	return createShardedFS(osFS{dir: dir}, dir, opts)
+}
+
+// CreateShardedStoreOn is CreateShardedStore over an iofault Switchboard —
+// the crash suites' entry point: every file of the store shares the
+// board's fault plan and kill-point counters.
+func CreateShardedStoreOn(sb *iofault.Switchboard, opts ShardedOptions) (*ShardedStore, error) {
+	return createShardedFS(memFS{sb: sb}, "(mem)", opts)
+}
+
+func createShardedFS(fs storeFS, label string, opts ShardedOptions) (*ShardedStore, error) {
 	n := opts.Shards
 	if n <= 0 {
-		n = runtime.GOMAXPROCS(0)
+		n = defaultShards()
 	}
 	if n > maxShards {
 		return nil, fmt.Errorf("grid: shard count %d exceeds the maximum %d", n, maxShards)
 	}
-	if _, err := os.Stat(filepath.Join(dir, manifestName)); err == nil {
-		return nil, fmt.Errorf("grid: %s already holds a sharded store; delete it or open it with OpenShardedStore", dir)
+	if fs.Exists(manifestName) {
+		return nil, fmt.Errorf("grid: %s already holds a sharded store; delete it or open it with OpenShardedStore", label)
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("grid: sharded store: %w", err)
-	}
-	s := &ShardedStore{dir: dir, shards: make([]storeShard, n)}
+	s := &ShardedStore{dir: label, fs: fs, noSync: opts.NoSync, cache: opts.CachePages, shards: make([]storeShard, n)}
 	for i := range s.shards {
-		t, err := btree.Create(shardFile(dir, i), btree.Options{CachePages: opts.CachePages, NoSync: opts.NoSync})
+		t, err := fs.CreateTree(shardFileName(i), btree.Options{CachePages: opts.CachePages, NoSync: opts.NoSync})
 		if err != nil {
 			_ = s.Close()
 			return nil, err
 		}
 		s.shards[i].tree = t
+		f, err := fs.OpenFile(walFileName(i))
+		if err != nil {
+			_ = s.Close()
+			return nil, err
+		}
+		w, err := btree.OpenWAL(f, opts.NoSync, nil)
+		if err != nil {
+			_ = s.Close()
+			return nil, fmt.Errorf("grid: create wal %s: %w", fs.Path(walFileName(i)), err)
+		}
+		s.shards[i].wal = w
+		s.shards[i].mem = newMemtable()
 	}
-	body := fmt.Sprintf("%s\nshards %d\npartition %s\n", manifestMagic, n, partitionName)
-	manifest := body + fmt.Sprintf("crc %08x\n", btree.Checksum([]byte(body)))
-	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte(manifest), 0o644); err != nil {
+	if err := fs.WriteFile(manifestName, manifestBytes(n), !opts.NoSync); err != nil {
 		_ = s.Close()
 		return nil, fmt.Errorf("grid: sharded store manifest: %w", err)
 	}
@@ -109,8 +171,9 @@ func CreateShardedStore(dir string, opts ShardedOptions) (*ShardedStore, error) 
 }
 
 // OpenShardedStore opens a store previously written by CreateShardedStore,
-// reconstructing the shard layout from the MANIFEST header. The per-shard
-// trees are opened concurrently — each takes its own file lock.
+// reconstructing the shard layout from the MANIFEST header and replaying
+// each shard's WAL into its memtable. The per-shard trees are opened
+// concurrently — each takes its own file lock.
 func OpenShardedStore(dir string) (*ShardedStore, error) {
 	return openSharded(dir, ShardedOptions{})
 }
@@ -121,38 +184,47 @@ func OpenShardedStoreCached(dir string, cachePages int) (*ShardedStore, error) {
 	return openSharded(dir, ShardedOptions{CachePages: cachePages})
 }
 
+// OpenShardedStoreWith is OpenShardedStore with full options (Shards is
+// ignored; the MANIFEST records the real layout).
+func OpenShardedStoreWith(dir string, opts ShardedOptions) (*ShardedStore, error) {
+	return openSharded(dir, opts)
+}
+
+// OpenShardedStoreOn opens a board-backed store written by
+// CreateShardedStoreOn — the crash suites' recovery path.
+func OpenShardedStoreOn(sb *iofault.Switchboard, opts ShardedOptions) (*ShardedStore, error) {
+	return openShardedFS(memFS{sb: sb}, "(mem)", opts)
+}
+
 func openSharded(dir string, opts ShardedOptions) (*ShardedStore, error) {
-	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+	return openShardedFS(osFS{dir: dir}, dir, opts)
+}
+
+func openShardedFS(fs storeFS, label string, opts ShardedOptions) (*ShardedStore, error) {
+	raw, err := fs.ReadFile(manifestName)
 	if err != nil {
 		return nil, fmt.Errorf("grid: sharded store manifest: %w", err)
 	}
-	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
-	// Three lines is the pre-checksum manifest; four adds a "crc" line
-	// protecting the layout header against truncation and bit rot.
-	if (len(lines) != 3 && len(lines) != 4) || lines[0] != manifestMagic {
-		return nil, fmt.Errorf("grid: %s is not a sharded store (manifest %q)", dir, string(raw))
+	n, legacy, err := parseManifest(raw, label)
+	if err != nil {
+		return nil, err
 	}
-	if len(lines) == 4 {
-		body := lines[0] + "\n" + lines[1] + "\n" + lines[2] + "\n"
-		if lines[3] != fmt.Sprintf("crc %08x", btree.Checksum([]byte(body))) {
-			return nil, fmt.Errorf("grid: manifest checksum mismatch in %s (%q)", dir, lines[3])
+	if legacy {
+		// Pre-checksum manifest (three lines, no crc): upgrade in place so
+		// the layout header is protected from here on. The rewrite is
+		// byte-stable — reopening an upgraded store never rewrites again.
+		if err := fs.WriteFile(manifestName, manifestBytes(n), !opts.NoSync); err != nil {
+			return nil, fmt.Errorf("grid: upgrade manifest: %w", err)
 		}
 	}
-	n, err := strconv.Atoi(strings.TrimPrefix(lines[1], "shards "))
-	if err != nil || n <= 0 || n > maxShards {
-		return nil, fmt.Errorf("grid: implausible shard count %q in %s", lines[1], dir)
-	}
-	if p := strings.TrimPrefix(lines[2], "partition "); p != partitionName {
-		return nil, fmt.Errorf("grid: unknown shard partition %q in %s", p, dir)
-	}
-	s := &ShardedStore{dir: dir, shards: make([]storeShard, n)}
+	s := &ShardedStore{dir: label, fs: fs, noSync: opts.NoSync, cache: opts.CachePages, shards: make([]storeShard, n)}
 	errs := make([]error, n)
 	var wg sync.WaitGroup
 	for i := range s.shards {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			t, err := btree.Open(shardFile(dir, i), btree.Options{CachePages: opts.CachePages, NoSync: opts.NoSync})
+			t, err := fs.OpenTree(shardFileName(i), btree.Options{CachePages: opts.CachePages, NoSync: opts.NoSync})
 			if err != nil {
 				errs[i] = err
 				return
@@ -167,7 +239,89 @@ func openSharded(dir string, opts ShardedOptions) (*ShardedStore, error) {
 			return nil, err
 		}
 	}
+	if err := s.loadMeta(); err != nil {
+		_ = s.Close()
+		return nil, err
+	}
+	if err := s.openWALs(); err != nil {
+		_ = s.Close()
+		return nil, err
+	}
 	return s, nil
+}
+
+// parseManifest validates a MANIFEST image and returns the shard count
+// and whether the image is the legacy three-line (checksum-free) format.
+func parseManifest(raw []byte, label string) (n int, legacy bool, err error) {
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) != 3 && len(lines) != 4 {
+		return 0, false, fmt.Errorf("%w: %s has %d header lines", ErrBadManifest, label, len(lines))
+	}
+	if lines[0] != manifestMagic {
+		return 0, false, fmt.Errorf("%w: %s is not a sharded store (magic %q)", ErrBadManifest, label, lines[0])
+	}
+	if len(lines) == 4 {
+		body := lines[0] + "\n" + lines[1] + "\n" + lines[2] + "\n"
+		if lines[3] != fmt.Sprintf("crc %08x", btree.Checksum([]byte(body))) {
+			return 0, false, fmt.Errorf("%w: checksum mismatch in %s (%q)", ErrBadManifest, label, lines[3])
+		}
+	}
+	n, err = strconv.Atoi(strings.TrimPrefix(lines[1], "shards "))
+	if err != nil || n <= 0 || n > maxShards {
+		return 0, false, fmt.Errorf("%w: implausible shard count %q in %s", ErrBadManifest, lines[1], label)
+	}
+	if p := strings.TrimPrefix(lines[2], "partition "); p != partitionName {
+		return 0, false, fmt.Errorf("%w: unknown shard partition %q in %s", ErrBadManifest, p, label)
+	}
+	return n, len(lines) == 3, nil
+}
+
+// openWALs opens every shard's log (creating empty ones on a store
+// written before WALs existed), replays intact records into the shard
+// memtables, and rebuilds the global update order. Records at or below
+// the meta high-water mark still enter the memtable — their tree effects
+// may or may not be flushed, and re-overlaying them is idempotent because
+// updates carry absolute weights.
+func (s *ShardedStore) openWALs() error {
+	var all []Update
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mem = newMemtable()
+		f, err := s.fs.OpenFile(walFileName(i))
+		if err != nil {
+			return err
+		}
+		var shardUpdates []Update
+		w, err := btree.OpenWAL(f, s.noSync, func(payload []byte) error {
+			u, err := decodeUpdate(payload)
+			if err != nil {
+				return err
+			}
+			shardUpdates = append(shardUpdates, u)
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("grid: replay wal %s: %w", s.fs.Path(walFileName(i)), err)
+		}
+		sh.wal = w
+		for j := range shardUpdates {
+			sh.mem.apply(&shardUpdates[j])
+		}
+		all = append(all, shardUpdates...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Seq < all[j].Seq })
+	last := s.metaLastOp
+	if len(all) > 0 && all[len(all)-1].Seq > last {
+		last = all[len(all)-1].Seq
+	}
+	s.seq.Store(last)
+	for i, u := range all {
+		if u.Seq > s.metaLastOp {
+			s.replayed = append([]Update(nil), all[i:]...)
+			break
+		}
+	}
+	return nil
 }
 
 // NumShards returns the number of B+-tree shards.
@@ -185,7 +339,9 @@ var errStoreClosed = fmt.Errorf("grid: sharded store is closed")
 // Append implements Store. The owning shard's lock is held across the
 // whole read-merge-write, so concurrent Appends to one key serialize
 // instead of losing postings; Appends to keys on different shards do not
-// block each other.
+// block each other. Append writes the tree directly, bypassing the WAL —
+// it is the bulk-build path (the batch is re-runnable, so it does not
+// need the log), not the live-update path.
 func (s *ShardedStore) Append(key CellKey, ps []Posting) error {
 	sh := &s.shards[s.ShardOf(key)]
 	sh.mu.Lock()
@@ -197,7 +353,11 @@ func (s *ShardedStore) Append(key CellKey, ps []Posting) error {
 }
 
 // Postings implements Store, blocking only callers that need the same
-// shard.
+// shard. The result is the shard tree's list with the memtable's pending
+// entries merged over it; when the memtable has nothing for the key —
+// the common case on a compacted store — the tree's list is returned
+// as-is, on the same code path (and with the same zero-allocation served
+// read) as before updates existed.
 func (s *ShardedStore) Postings(key CellKey) ([]Posting, error) {
 	sh := &s.shards[s.ShardOf(key)]
 	sh.mu.Lock()
@@ -206,18 +366,33 @@ func (s *ShardedStore) Postings(key CellKey) ([]Posting, error) {
 		return nil, errStoreClosed
 	}
 	raw, err := sh.tree.Get(key.Uint64())
-	sh.mu.Unlock()
 	if err == btree.ErrNotFound {
-		return nil, nil
+		raw, err = nil, nil
 	}
 	if err != nil {
+		sh.mu.Unlock()
 		return nil, err
 	}
+	over := sh.mem.overrides(key)
+	if over == nil {
+		sh.mu.Unlock()
+		if raw == nil {
+			return nil, nil
+		}
+		ps, err := DecodePostings(raw)
+		if err != nil {
+			return nil, fmt.Errorf("grid: decode postings for cell %d term %d: %w", key.Cell, key.Term, err)
+		}
+		return ps, nil
+	}
+	// Slow path: hold the shard lock through the merge — the override map
+	// belongs to the memtable and a concurrent ApplyUpdate may grow it.
+	defer sh.mu.Unlock()
 	ps, err := DecodePostings(raw)
 	if err != nil {
 		return nil, fmt.Errorf("grid: decode postings for cell %d term %d: %w", key.Cell, key.Term, err)
 	}
-	return ps, nil
+	return mergePostings(ps, over), nil
 }
 
 // CacheStats aggregates the page-cache counters of every shard. On a
@@ -236,10 +411,13 @@ func (s *ShardedStore) CacheStats() btree.CacheStats {
 	return agg
 }
 
-// Close flushes and closes every shard. Every shard is closed even when
-// some fail, and the returned error aggregates all failures (errors.Join)
-// — a flush error on shard 3 must not hide one on shard 7, and callers
-// checking errors.Is still match any of them.
+// Close closes every shard tree and WAL. It does NOT flush memtables or
+// commit meta — that is Index.CloseStore's job, which sequences flush,
+// meta commit and WAL truncation; closing the store directly after
+// updates simply leaves the WAL to be replayed on the next open. Every
+// shard is closed even when some fail, and the returned error aggregates
+// all failures (errors.Join) — a flush error on shard 3 must not hide
+// one on shard 7, and callers checking errors.Is still match any of them.
 func (s *ShardedStore) Close() error {
 	var errs []error
 	for i := range s.shards {
@@ -250,6 +428,12 @@ func (s *ShardedStore) Close() error {
 				errs = append(errs, fmt.Errorf("shard %d: %w", i, err))
 			}
 			sh.tree = nil
+		}
+		if sh.wal != nil {
+			if err := sh.wal.Close(); err != nil {
+				errs = append(errs, fmt.Errorf("shard %d wal: %w", i, err))
+			}
+			sh.wal = nil
 		}
 		sh.mu.Unlock()
 	}
@@ -292,10 +476,10 @@ func OpenStore(path string) (PostingStore, error) {
 }
 
 // RemoveStore deletes a closed posting store of either layout: the store
-// file, or — for a sharded directory — the MANIFEST and shard files only
-// (the directory itself and any foreign files in it are left alone). It
-// refuses paths that do not hold a store, so a caller cleaning up after
-// a failed build cannot delete unrelated data.
+// file, or — for a sharded directory — the MANIFEST, shard, WAL and meta
+// files only (the directory itself and any foreign files in it are left
+// alone). It refuses paths that do not hold a store, so a caller cleaning
+// up after a failed build cannot delete unrelated data.
 func RemoveStore(path string) error {
 	fi, err := os.Stat(path)
 	if err != nil {
@@ -318,13 +502,15 @@ func RemoveStore(path string) error {
 	if err != nil || !strings.HasPrefix(string(raw), manifestMagic) {
 		return fmt.Errorf("grid: %s is not a sharded store; refusing to remove it", path)
 	}
-	shardFiles, err := filepath.Glob(filepath.Join(path, "shard-*.bt"))
-	if err != nil {
-		return err
-	}
-	for _, f := range shardFiles {
-		if err := os.Remove(f); err != nil {
+	for _, pattern := range []string{"shard-*.bt", "wal-*.log", "META.*"} {
+		files, err := filepath.Glob(filepath.Join(path, pattern))
+		if err != nil {
 			return err
+		}
+		for _, f := range files {
+			if err := os.Remove(f); err != nil {
+				return err
+			}
 		}
 	}
 	return os.Remove(filepath.Join(path, manifestName))

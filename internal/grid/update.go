@@ -1,0 +1,217 @@
+package grid
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/geo"
+	"repro/internal/textindex"
+)
+
+// UpdateKind discriminates the three live object mutations.
+type UpdateKind uint8
+
+const (
+	// UpdateInsert adds a new object (its id is the next dense ObjectID).
+	UpdateInsert UpdateKind = 1
+	// UpdateDelete removes an object's postings; the id is never reused.
+	UpdateDelete UpdateKind = 2
+	// UpdateReweight replaces an object's term weights.
+	UpdateReweight UpdateKind = 3
+)
+
+func (k UpdateKind) String() string {
+	switch k {
+	case UpdateInsert:
+		return "insert"
+	case UpdateDelete:
+		return "delete"
+	case UpdateReweight:
+		return "reweight"
+	}
+	return fmt.Sprintf("UpdateKind(%d)", uint8(k))
+}
+
+// Update is one logical object mutation, the unit of the live-update
+// path: exactly one WAL record, applied atomically. An object lives in
+// exactly one grid cell, so all of its (cell, term) posting keys belong
+// to one shard — which is what makes the single-record framing atomic
+// without any cross-shard coordination.
+//
+// Weights are absolute values (the object's new wto per term), not
+// deltas or factors, so replaying a record over a state that already
+// includes its effects is idempotent — the recovery path depends on
+// that, because a crash between memtable flush and WAL truncation
+// replays already-flushed records.
+type Update struct {
+	// Seq is the store-assigned global sequence number, strictly
+	// increasing across shards; replay ordering and the meta snapshot's
+	// high-water mark are expressed in it.
+	Seq  uint64
+	Kind UpdateKind
+	Obj  ObjectID
+	// Cell is the object's grid cell (derived from Point, recorded so
+	// replay does not depend on geometry code).
+	Cell  uint32
+	Point geo.Point
+	// Terms lists the object's distinct terms, ascending.
+	Terms []textindex.TermID
+	// Weights holds the absolute wto per term (insert, reweight).
+	Weights []float64
+	// TF holds raw term frequencies (insert only; vocabulary replay).
+	TF []int32
+	// Strs holds the term strings (insert only; vocabulary replay
+	// re-interns them at their original TermIDs).
+	Strs []string
+}
+
+// ErrCorruptUpdate marks a WAL record whose checksum verified but whose
+// payload does not decode — unlike a torn tail this is real corruption,
+// and recovery must fail typed rather than guess.
+var ErrCorruptUpdate = errors.New("grid: corrupt update record")
+
+// encodeUpdate serializes an update for its WAL record.
+func encodeUpdate(u *Update) []byte {
+	size := 1 + 8 + 4 + 4 + 16 + 4
+	switch u.Kind {
+	case UpdateInsert:
+		for _, s := range u.Strs {
+			size += 4 + 8 + 4 + 2 + len(s)
+		}
+	case UpdateDelete:
+		size += 4 * len(u.Terms)
+	case UpdateReweight:
+		size += (4 + 8) * len(u.Terms)
+	}
+	out := make([]byte, 0, size)
+	out = append(out, byte(u.Kind))
+	out = binary.LittleEndian.AppendUint64(out, u.Seq)
+	out = binary.LittleEndian.AppendUint32(out, uint32(u.Obj))
+	out = binary.LittleEndian.AppendUint32(out, u.Cell)
+	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(u.Point.X))
+	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(u.Point.Y))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(u.Terms)))
+	for i, t := range u.Terms {
+		out = binary.LittleEndian.AppendUint32(out, uint32(t))
+		switch u.Kind {
+		case UpdateInsert:
+			out = binary.LittleEndian.AppendUint64(out, math.Float64bits(u.Weights[i]))
+			out = binary.LittleEndian.AppendUint32(out, uint32(u.TF[i]))
+			out = binary.LittleEndian.AppendUint16(out, uint16(len(u.Strs[i])))
+			out = append(out, u.Strs[i]...)
+		case UpdateReweight:
+			out = binary.LittleEndian.AppendUint64(out, math.Float64bits(u.Weights[i]))
+		}
+	}
+	return out
+}
+
+// decodeUpdate parses an encodeUpdate payload.
+func decodeUpdate(b []byte) (Update, error) {
+	r := updReader{b: b}
+	var u Update
+	kind := r.u8()
+	u.Kind = UpdateKind(kind)
+	u.Seq = r.u64()
+	u.Obj = ObjectID(r.u32())
+	u.Cell = r.u32()
+	u.Point.X = math.Float64frombits(r.u64())
+	u.Point.Y = math.Float64frombits(r.u64())
+	n := r.u32()
+	if r.err != nil {
+		return Update{}, fmt.Errorf("%w: short header", ErrCorruptUpdate)
+	}
+	switch u.Kind {
+	case UpdateInsert, UpdateDelete, UpdateReweight:
+	default:
+		return Update{}, fmt.Errorf("%w: unknown kind %d", ErrCorruptUpdate, kind)
+	}
+	const maxTerms = 1 << 20 // sanity bound; real objects have a handful
+	if n > maxTerms {
+		return Update{}, fmt.Errorf("%w: implausible term count %d", ErrCorruptUpdate, n)
+	}
+	u.Terms = make([]textindex.TermID, 0, n)
+	if u.Kind != UpdateDelete {
+		u.Weights = make([]float64, 0, n)
+	}
+	if u.Kind == UpdateInsert {
+		u.TF = make([]int32, 0, n)
+		u.Strs = make([]string, 0, n)
+	}
+	for i := uint32(0); i < n; i++ {
+		u.Terms = append(u.Terms, textindex.TermID(r.u32()))
+		switch u.Kind {
+		case UpdateInsert:
+			u.Weights = append(u.Weights, math.Float64frombits(r.u64()))
+			u.TF = append(u.TF, int32(r.u32()))
+			u.Strs = append(u.Strs, string(r.bytes(int(r.u16()))))
+		case UpdateReweight:
+			u.Weights = append(u.Weights, math.Float64frombits(r.u64()))
+		}
+	}
+	if r.err != nil {
+		return Update{}, fmt.Errorf("%w: short body", ErrCorruptUpdate)
+	}
+	if r.off != len(b) {
+		return Update{}, fmt.Errorf("%w: %d trailing bytes", ErrCorruptUpdate, len(b)-r.off)
+	}
+	for i := 1; i < len(u.Terms); i++ {
+		if u.Terms[i] <= u.Terms[i-1] {
+			return Update{}, fmt.Errorf("%w: terms not strictly ascending", ErrCorruptUpdate)
+		}
+	}
+	return u, nil
+}
+
+// updReader is a bounds-checked little-endian cursor over one record.
+type updReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *updReader) bytes(n int) []byte {
+	if r.err != nil || n < 0 || r.off+n > len(r.b) {
+		if r.err == nil {
+			r.err = ErrCorruptUpdate
+		}
+		return nil
+	}
+	out := r.b[r.off : r.off+n]
+	r.off += n
+	return out
+}
+
+func (r *updReader) u8() byte {
+	b := r.bytes(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *updReader) u16() uint16 {
+	b := r.bytes(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (r *updReader) u32() uint32 {
+	b := r.bytes(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *updReader) u64() uint64 {
+	b := r.bytes(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}

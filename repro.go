@@ -111,8 +111,11 @@ type ObjectSpec struct {
 	Text string
 }
 
-// Database is an immutable, queryable LCMSR database: a road network,
-// its geo-textual objects, and the text/spatial indexes over them.
+// Database is a queryable LCMSR database: a road network, its
+// geo-textual objects, and the text/spatial indexes over them. The
+// object set is live — Insert, Delete and Reweight mutate it while
+// queries keep running (queries serialize against mutations through an
+// internal reader/writer lock and always observe a consistent state).
 type Database struct {
 	ds *dataset.Dataset
 }
@@ -195,6 +198,14 @@ type StoreConfig struct {
 	// is reproducible). Leave it false for stores that must survive power
 	// loss.
 	NoSync bool
+	// OpenExisting opens the store already at Path instead of creating a
+	// fresh one. For a sharded store this restores the database exactly as
+	// it was: committed metadata plus WAL replay recover every live update
+	// applied before the last close, including updates that never reached
+	// a compaction. (A single-file store carries no metadata; reopening
+	// one is only correct if no live updates were ever applied to it.)
+	// Shards is ignored — the shard count comes from the store manifest.
+	OpenExisting bool
 }
 
 func (sc StoreConfig) open() (grid.Store, error) {
@@ -202,7 +213,20 @@ func (sc StoreConfig) open() (grid.Store, error) {
 		if sc.Shards > 1 {
 			return nil, fmt.Errorf("repro: a sharded store needs a directory path")
 		}
+		if sc.OpenExisting {
+			return nil, fmt.Errorf("repro: OpenExisting needs a path")
+		}
 		return nil, nil // in-memory
+	}
+	if sc.OpenExisting {
+		fi, err := os.Stat(sc.Path)
+		if err != nil {
+			return nil, fmt.Errorf("repro: open store: %w", err)
+		}
+		if fi.IsDir() {
+			return grid.OpenShardedStoreWith(sc.Path, grid.ShardedOptions{CachePages: sc.CachePages, NoSync: sc.NoSync})
+		}
+		return grid.OpenBTreeStore(sc.Path)
 	}
 	if sc.Shards > 1 {
 		return grid.CreateShardedStore(sc.Path, grid.ShardedOptions{Shards: sc.Shards, CachePages: sc.CachePages, NoSync: sc.NoSync})
@@ -278,9 +302,9 @@ func NYLikeWithStore(seed int64, scale float64, sc StoreConfig) (*Database, erro
 	if err != nil {
 		return nil, err
 	}
-	ds, err := dataset.NYLike(dataset.Config{Seed: seed, Scale: scale, Store: store})
+	ds, err := dataset.NYLike(dataset.Config{Seed: seed, Scale: scale, Store: store, Reopen: sc.OpenExisting})
 	if err != nil {
-		discardStore(store, sc.Path)
+		discardStore(store, sc.Path, sc.OpenExisting)
 		return nil, err
 	}
 	return &Database{ds: ds}, nil
@@ -293,9 +317,9 @@ func USANWLikeWithStore(seed int64, scale float64, sc StoreConfig) (*Database, e
 	if err != nil {
 		return nil, err
 	}
-	ds, err := dataset.USANWLike(dataset.Config{Seed: seed, Scale: scale, Store: store})
+	ds, err := dataset.USANWLike(dataset.Config{Seed: seed, Scale: scale, Store: store, Reopen: sc.OpenExisting})
 	if err != nil {
-		discardStore(store, sc.Path)
+		discardStore(store, sc.Path, sc.OpenExisting)
 		return nil, err
 	}
 	return &Database{ds: ds}, nil
@@ -304,11 +328,14 @@ func USANWLikeWithStore(seed int64, scale float64, sc StoreConfig) (*Database, e
 // discardStore disposes of a store whose dataset build failed: the store
 // was created by this call and holds partial postings, so leaving it
 // would make the (create-fresh) retry fail on "already holds a store".
-// Removal only touches the store's own files.
-func discardStore(store grid.Store, path string) {
+// Removal only touches the store's own files. A preexisting store
+// (OpenExisting) is closed but never removed — it wasn't ours to create.
+func discardStore(store grid.Store, path string, preexisting bool) {
 	if c, ok := store.(interface{ Close() error }); ok {
 		c.Close()
-		grid.RemoveStore(path)
+		if !preexisting {
+			grid.RemoveStore(path)
+		}
 	}
 }
 
@@ -357,8 +384,49 @@ func (db *Database) NumNodes() int { return db.ds.Graph.NumNodes() }
 // NumEdges returns the number of road segments.
 func (db *Database) NumEdges() int { return db.ds.Graph.NumEdges() }
 
-// NumObjects returns the number of geo-textual objects.
-func (db *Database) NumObjects() int { return len(db.ds.Objects) }
+// NumObjects returns the number of geo-textual objects (tombstoned ids
+// from deletions stay counted — ids are never reused).
+func (db *Database) NumObjects() int {
+	db.ds.RLock()
+	defer db.ds.RUnlock()
+	return len(db.ds.Objects)
+}
+
+// ErrNoSuchObject reports a Delete or Reweight aimed at an id that was
+// never allocated or that was already deleted.
+var ErrNoSuchObject = grid.ErrNoSuchObject
+
+// Insert adds a geo-textual object to the live database and returns its
+// id (ids are dense and never reused). The object is immediately visible
+// to queries; on a disk-backed sharded store it is durable in the
+// write-ahead log before Insert returns. The text may be empty.
+func (db *Database) Insert(o ObjectSpec) (int, error) {
+	id, err := db.ds.Insert(geo.Point{X: o.X, Y: o.Y}, o.Text)
+	return int(id), err
+}
+
+// Delete removes the object with the given id from the live database:
+// it stops matching every query, but its id stays allocated (corpus
+// statistics treat it as an empty document, so scores of the remaining
+// objects match a database that never held it with an empty placeholder
+// in its slot). Deleting a deleted or unknown id fails.
+func (db *Database) Delete(id int) error {
+	return db.ds.Delete(grid.ObjectID(id))
+}
+
+// Reweight scales the term weights of one object by factor (> 0): its
+// relevance contribution to every matching query scales accordingly.
+// The object's term set is fixed — to change text, Delete and Insert.
+func (db *Database) Reweight(id int, factor float64) error {
+	return db.ds.Reweight(grid.ObjectID(id), factor)
+}
+
+// Compact folds pending live updates into the posting store's shard
+// trees and commits a metadata checkpoint, truncating the write-ahead
+// logs. It bounds reopen time after many updates; queries pause for the
+// duration. A no-op for in-memory databases. Compaction also runs
+// automatically every few thousand updates and on Close.
+func (db *Database) Compact() error { return db.ds.Compact() }
 
 // Bounds returns the bounding rectangle of the road network.
 func (db *Database) Bounds() Rect { return fromGeo(db.ds.Graph.BBox()) }

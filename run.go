@@ -137,6 +137,10 @@ func (db *Database) materialize(qi *dataset.QueryInstance, region *core.Region) 
 			Length: e.Length,
 		})
 	}
+	// Object details race with live mutators (a concurrent Reweight swaps
+	// the weight slice this reads); take the dataset read lock.
+	db.ds.RLock()
+	defer db.ds.RUnlock()
 	for _, objID := range qi.RegionObjects(region) {
 		o := db.ds.Objects[objID]
 		res.Objects = append(res.Objects, ResultObject{

@@ -2,20 +2,23 @@
 # bench-json.sh — machine-readable benchmark snapshot + allocation gate.
 #
 # Runs the end-to-end serve benchmarks (BenchmarkServeQuery: searchpath,
-# tgen-e2e, app-e2e, greedy-e2e) with -benchmem, writes the results as
-# JSON (ns/op, B/op, allocs/op per benchmark) to the output file, and
-# fails when any benchmark's allocs/op exceeds the committed baseline in
-# scripts/bench-baseline.json — the zero-alloc serve-path guarantee,
-# enforced numerically.
+# tgen-e2e, app-e2e, greedy-e2e) and the live-update benchmarks
+# (BenchmarkLiveUpdate: insert/reweight/delete updates-per-second over
+# the sharded store, serve-after-updates for the memtable-empty query
+# path) with -benchmem, writes the results as JSON (ns/op, B/op,
+# allocs/op per benchmark) to the output file, and fails when any
+# benchmark's allocs/op exceeds the committed baseline in
+# scripts/bench-baseline.json — the zero-alloc serve-path guarantee and
+# the bounded-allocation update path, enforced numerically.
 #
-# Usage: scripts/bench-json.sh [output.json]   (default BENCH_PR5.json)
+# Usage: scripts/bench-json.sh [output.json]   (default BENCH_PR7.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR5.json}"
+out="${1:-BENCH_PR7.json}"
 baseline="scripts/bench-baseline.json"
 
-raw="$(go test -run=NONE -bench='^BenchmarkServeQuery$' -benchmem -benchtime=50x -count=1 .)"
+raw="$(go test -run=NONE -bench='^(BenchmarkServeQuery|BenchmarkLiveUpdate)$' -benchmem -benchtime=50x -count=1 .)"
 echo "$raw"
 
 # Each result line is "BenchmarkName  N  <value> <unit> ..."; pick the
