@@ -20,6 +20,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/grid"
 	"repro/internal/queryengine"
+	"repro/internal/textindex"
 )
 
 var (
@@ -194,9 +195,14 @@ func BenchmarkQueryThroughput(b *testing.B) {
 //   - tgen-e2e / app-e2e / greedy-e2e measure the full served path per
 //     solver method — search, pooled solve, and result mapping, i.e. what
 //     a real client sees.
+//   - hot-cached replays a Zipfian hot-spot workload (8 distinct queries)
+//     on a fresh dataset with the hot-query score cache enabled: after
+//     warm-up, every repeat's fully-inside cells come from the cache.
 //
 // Every sub-benchmark must report 0 B/op, 0 allocs/op steady-state
-// (asserted by TestServedSearchPathZeroAlloc and TestServedQueryZeroAlloc).
+// (asserted by TestServedSearchPathZeroAlloc, TestServedQueryZeroAlloc
+// and TestScoreCacheHitZeroAlloc, and gated numerically by
+// scripts/bench-json.sh).
 func BenchmarkServeQuery(b *testing.B) {
 	d, qs := throughputWorkload(b)
 	b.Run("searchpath", func(b *testing.B) {
@@ -244,6 +250,76 @@ func BenchmarkServeQuery(b *testing.B) {
 			}
 			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
 		})
+	}
+	b.Run("hot-cached", func(b *testing.B) {
+		// A fresh dataset: enabling the score cache on the shared one
+		// would perturb the other sub-benchmarks.
+		d, err := dataset.NYLike(dataset.Config{Seed: 3, Scale: 0.2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(5))
+		qs, err := d.GenHotspotQueries(rng, 64, 8, 3, 25e6, 5000, 1.2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		d.Index.SetScoreCache(4096)
+		srv := queryengine.NewServer(d, queryengine.ServerOptions{Workers: 1})
+		defer srv.Close()
+		task := queryengine.Task{Visit: func(*dataset.QueryInstance) error { return nil }}
+		for _, q := range qs { // warm the pooled buffers and fill the cache
+			task.Query = q
+			if err := srv.Do(&task); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			task.Query = qs[i%len(qs)]
+			if err := srv.Do(&task); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if st, ok := d.Index.ScoreCacheStats(); !ok || st.Hits == 0 {
+			b.Fatalf("score cache saw no hits: %+v", st)
+		}
+	})
+}
+
+// BenchmarkTopKPruned measures WAND-style top-k object retrieval through
+// the grid index: per-cell maxW upper bounds let SearchTopKInto skip
+// cells that cannot displace the k-th heap entry, so the hot loop scores
+// only a fraction of the candidate cells. Gated for allocations by
+// scripts/bench-json.sh.
+func BenchmarkTopKPruned(b *testing.B) {
+	d, qs := throughputWorkload(b)
+	type preparedQuery struct {
+		q textindex.Query
+		r geo.Rect
+	}
+	prepared := make([]preparedQuery, len(qs))
+	for i, q := range qs {
+		prepared[i] = preparedQuery{q: d.Vocab.PrepareQuery(q.Keywords), r: q.Lambda}
+	}
+	var scratch grid.TopKScratch
+	for _, p := range prepared { // warm the pooled buffers
+		if _, err := d.Index.SearchTopKInto(p.q, p.r, 10, &scratch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := prepared[i%len(prepared)]
+		if _, err := d.Index.SearchTopKInto(p.q, p.r, 10, &scratch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if scratch.Pruned() == 0 {
+		b.Fatal("top-k search pruned no cells on this workload")
 	}
 }
 

@@ -6,6 +6,7 @@
 //	lcmsr -dataset ny -keywords "t0001,t0002" -delta 10000 -area 100 -method tgen
 //	lcmsr -dataset usanw -auto -k 3          # generate a query, top-3 regions
 //	lcmsr -auto -queries 200 -parallel 8     # workload mode: throughput run
+//	lcmsr -auto -queries 2000 -hotspots 8 -cache 4096  # Zipfian hot-spot replay, score cache on
 //	lcmsr -serve -queries 500 -rate 100      # serve mode: replay at 100 q/s
 //	lcmsr -serve -http :8080 -timeout 500ms  # HTTP mode: POST /query, GET /stats
 //	lcmsr -shards 4 -queries 200 -parallel 4 # disk store, 4 B+-tree shards
@@ -21,6 +22,13 @@
 // query engine with -parallel workers, reporting throughput instead of
 // per-region detail. -cpuprofile and -memprofile write pprof profiles of
 // the query phase for performance work.
+//
+// With -hotspots N the generated workload is Zipfian instead of uniform:
+// N distinct hot queries are replayed -queries times with Zipf(-zipf)
+// popularity, the shape of real map traffic. Combine with -cache M to
+// serve the repeats from the hot-query score cache (M cached (cell,
+// query) entries, invalidated wholesale by every live update); cache
+// hit/miss/eviction counters are printed at exit and exposed on /stats.
 //
 // With -serve the command starts the streaming query server instead and
 // replays the workload against it at -rate queries/s (0 = as fast as the
@@ -98,6 +106,9 @@ func main() {
 		open       = flag.Bool("open", false, "reopen the persisted posting store at -postings (committed meta + WAL replay) instead of rebuilding it; -seed/-scale must match the run that created it")
 		updates    = flag.Int("updates", 0, "apply this many random live updates (insert/delete/reweight mix) before the query phase, then compact")
 		queries    = flag.Int("queries", 1, "number of queries (>1 switches to workload mode)")
+		hotspots   = flag.Int("hotspots", 0, "Zipfian hot-spot workload: this many distinct hot queries replayed -queries times (0 = uniform workload)")
+		zipfS      = flag.Float64("zipf", 1.2, "Zipf exponent for -hotspots popularity (> 1)")
+		cacheSize  = flag.Int("cache", 0, "enable the hot-query score cache with this many (cell, query) entries (0 = off)")
 		parallel   = flag.Int("parallel", 0, "workload workers; 0 = GOMAXPROCS")
 		serve      = flag.Bool("serve", false, "replay the workload through the streaming server and report latency percentiles")
 		rate       = flag.Float64("rate", 0, "serve mode: target request rate in queries/s (0 = closed loop)")
@@ -164,10 +175,21 @@ func main() {
 	fatalCleanups = append(fatalCleanups, func() { db.Close() })
 	fmt.Printf("dataset %s: %d nodes, %d edges, %d objects\n",
 		*dsName, db.NumNodes(), db.NumEdges(), db.NumObjects())
-	if st, ok := db.StoreStats(); ok {
+	if *cacheSize > 0 {
+		db.SetScoreCache(*cacheSize)
+		fmt.Printf("score cache: enabled, ~%d entries\n", *cacheSize)
+		defer func() {
+			if st, ok := db.StoreStats(); ok && st.ScoreCache != nil {
+				sc := st.ScoreCache
+				fmt.Printf("score cache: %d hits, %d misses, %d evictions, %d live entries\n",
+					sc.Hits, sc.Misses, sc.Evictions, sc.Entries)
+			}
+		}()
+	}
+	if st, ok := db.StoreStats(); ok && st.Shards > 0 {
 		fmt.Printf("store: %d shard(s), disk-backed posting lists\n", st.Shards)
 		defer func() {
-			if st, ok := db.StoreStats(); ok {
+			if st, ok := db.StoreStats(); ok && st.Shards > 0 {
 				fmt.Printf("store cache: %d hits, %d misses, %d evictions, %d resident pages\n",
 					st.CacheHits, st.CacheMisses, st.CacheEvictions, st.CachedPages)
 			}
@@ -225,9 +247,9 @@ func main() {
 	case *httpAddr != "": // -http implies serve mode
 		runHTTP(db, opts, *httpAddr, *parallel, *timeout, *queueAge)
 	case *serve:
-		runServe(db, q, opts, *queries, *parallel, *rate, *timeout, *queueAge, *seed, *areaKm2, *delta, *auto || *keywords == "")
+		runServe(db, q, opts, *queries, *parallel, *rate, *timeout, *queueAge, *seed, *areaKm2, *delta, *auto || *keywords == "", *hotspots, *zipfS)
 	case *queries > 1:
-		runWorkload(db, q, opts, *queries, *parallel, *seed, *areaKm2, *delta, *auto || *keywords == "")
+		runWorkload(db, q, opts, *queries, *parallel, *seed, *areaKm2, *delta, *auto || *keywords == "", *hotspots, *zipfS)
 	default:
 		runSingle(db, q, opts, *k)
 	}
@@ -328,8 +350,8 @@ func runSingle(db *repro.Database, q repro.Query, opts repro.SearchOptions, k in
 // runWorkload answers a many-query workload through the parallel engine
 // and reports throughput. Generated workloads draw fresh queries from the
 // dataset distribution; an explicit -keywords query is replicated n times.
-func runWorkload(db *repro.Database, q repro.Query, opts repro.SearchOptions, n, workers int, seed int64, areaKm2, delta float64, generated bool) {
-	qs := workloadQueries(db, q, n, seed, areaKm2, delta, generated)
+func runWorkload(db *repro.Database, q repro.Query, opts repro.SearchOptions, n, workers int, seed int64, areaKm2, delta float64, generated bool, hotspots int, zipfS float64) {
+	qs := workloadQueries(db, q, n, seed, areaKm2, delta, generated, hotspots, zipfS)
 	results, stats, err := db.RunBatch(context.Background(), qs, opts, workers)
 	if err != nil {
 		fatal(err)
@@ -344,12 +366,19 @@ func runWorkload(db *repro.Database, q repro.Query, opts repro.SearchOptions, n,
 		len(qs), stats.Workers, stats.Elapsed.Seconds(), stats.QueriesPerSecond(len(qs)), stats.Matched, totalWeight)
 }
 
-// workloadQueries generates n queries from the dataset distribution, or
-// replicates an explicit -keywords query n times.
-func workloadQueries(db *repro.Database, q repro.Query, n int, seed int64, areaKm2, delta float64, generated bool) []repro.Query {
+// workloadQueries generates n queries from the dataset distribution —
+// uniform, or a Zipfian replay of `hotspots` hot queries — or replicates
+// an explicit -keywords query n times.
+func workloadQueries(db *repro.Database, q repro.Query, n int, seed int64, areaKm2, delta float64, generated bool, hotspots int, zipfS float64) []repro.Query {
 	if generated {
 		rng := rand.New(rand.NewSource(seed + 100))
-		qs, err := db.GenQueries(rng, n, 3, areaKm2*1e6, delta)
+		var qs []repro.Query
+		var err error
+		if hotspots > 0 {
+			qs, err = db.GenHotspotQueries(rng, n, hotspots, 3, areaKm2*1e6, delta, zipfS)
+		} else {
+			qs, err = db.GenQueries(rng, n, 3, areaKm2*1e6, delta)
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -372,8 +401,8 @@ func workloadQueries(db *repro.Database, q repro.Query, n int, seed int64, areaK
 // set of clients submit sequentially, each waiting for its answer before
 // sending the next, which measures per-request service time at full
 // server utilization.
-func runServe(db *repro.Database, q repro.Query, opts repro.SearchOptions, n, workers int, rate float64, timeout, queueAge time.Duration, seed int64, areaKm2, delta float64, generated bool) {
-	qs := workloadQueries(db, q, n, seed, areaKm2, delta, generated)
+func runServe(db *repro.Database, q repro.Query, opts repro.SearchOptions, n, workers int, rate float64, timeout, queueAge time.Duration, seed int64, areaKm2, delta float64, generated bool, hotspots int, zipfS float64) {
+	qs := workloadQueries(db, q, n, seed, areaKm2, delta, generated, hotspots, zipfS)
 	srv, err := db.Serve(repro.ServeOptions{Workers: workers, Search: opts, MaxQueueAge: queueAge})
 	if err != nil {
 		fatal(err)

@@ -1,0 +1,38 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Query hot spots: real map traffic is Zipfian — a handful of downtown
+// queries dominate while the tail is long — so a realistic workload is a
+// small pool of distinct "hot" queries replayed with Zipf-distributed
+// popularity, not a stream of unique ones. The corpus side of this skew
+// already exists (Zipf vocabularies, object placement hot spots above);
+// ZipfQueryMix supplies the query side: a popularity-ranked replay
+// schedule that callers map onto any pool of generated queries.
+
+// ZipfQueryMix returns a count-length replay schedule over a pool of
+// `hot` distinct queries: each element is a pool index in [0, hot), drawn
+// from a Zipf(s) popularity distribution where index 0 is the hottest.
+// s must be > 1 (the Zipf normalization diverges otherwise); s around
+// 1.1–1.5 matches observed map-search skew — the top query accounts for
+// a large constant fraction of the traffic.
+func ZipfQueryMix(rng *rand.Rand, s float64, hot, count int) ([]int, error) {
+	if hot < 1 {
+		return nil, fmt.Errorf("gen: need at least one hot query, got %d", hot)
+	}
+	if count < 0 {
+		return nil, fmt.Errorf("gen: negative query count %d", count)
+	}
+	if s <= 1 {
+		return nil, fmt.Errorf("gen: Zipf exponent must be > 1, got %v", s)
+	}
+	z := rand.NewZipf(rng, s, 1, uint64(hot-1))
+	out := make([]int, count)
+	for i := range out {
+		out[i] = int(z.Uint64())
+	}
+	return out, nil
+}

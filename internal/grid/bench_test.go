@@ -135,3 +135,79 @@ func BenchmarkColdRead(b *testing.B) {
 		run(b, idx)
 	})
 }
+
+// BenchmarkHotQueryCache replays a small hot query set — the workload
+// shape cmd/lcmsr -hotspots generates — against a disk-backed sharded
+// store whose page cache is far smaller than the working set.
+//
+//   - cold answers every repeat by fetching and decoding postings from
+//     disk again.
+//   - cached serves every repeat wholly from the (cell, query) score
+//     cache: the steady state plans zero posting fetches.
+//
+// scripts/bench-json.sh runs both and gates cached at >= 3x faster than
+// cold, with 0 allocs/op on the cached leg (the hits replay into pooled
+// scratch; TestScoreCacheHitZeroAlloc pins the same property).
+func BenchmarkHotQueryCache(b *testing.B) {
+	v, vocab, objs, bounds := benchCorpus(b)
+	rng := rand.New(rand.NewSource(23))
+	type benchQuery struct {
+		q textindex.Query
+		r geo.Rect
+	}
+	// City-wide hot queries: the rectangle spans the whole index, so every
+	// cell is fully inside and the cached leg is a pure hit path — zero
+	// store reads, zero allocations. A partially covered rectangle would
+	// re-fetch its boundary cells from disk on every repeat and measure
+	// the page cache as much as the score cache.
+	hot := make([]benchQuery, 8)
+	for i := range hot {
+		kws := make([]string, 6)
+		for j := range kws {
+			kws[j] = vocab[rng.Intn(200)]
+		}
+		hot[i] = benchQuery{q: v.PrepareQuery(kws), r: bounds}
+	}
+	const cachePages = 16
+	mk := func(b *testing.B) *Index {
+		store, err := CreateShardedStore(b.TempDir(), ShardedOptions{Shards: 8, CachePages: cachePages})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { store.Close() })
+		idx, err := NewIndex(objs, bounds, 500, store)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return idx
+	}
+	run := func(b *testing.B, idx *Index) {
+		var scratch SearchScratch
+		for _, bq := range hot { // warm pooled buffers (and the cache, when enabled)
+			if _, err := idx.SearchInto(bq.q, bq.r, &scratch); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			bq := hot[i%len(hot)]
+			if _, err := idx.SearchInto(bq.q, bq.r, &scratch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("cold", func(b *testing.B) {
+		run(b, mk(b))
+	})
+	b.Run("cached", func(b *testing.B) {
+		idx := mk(b)
+		// Room for every (cell, query) pair of the hot set: 8 queries over a
+		// 40x40 grid, so the steady state never evicts.
+		idx.SetScoreCache(16384)
+		run(b, idx)
+		if st, ok := idx.ScoreCacheStats(); !ok || st.Hits == 0 {
+			b.Fatalf("score cache saw no hits: %+v", st)
+		}
+	})
+}

@@ -63,7 +63,15 @@ type docPatch struct {
 	weights []float64
 }
 
-const indexMetaMagic = "LCMSRIX1"
+// Meta format versions. V2 adds a per-directory-entry max normalized
+// term weight (the WAND pruning bound) after each posting count; V1
+// bodies are still decoded, with the bound defaulting to +Inf — a bound
+// that never prunes, and is snapped to exact the first time the entry is
+// re-derived from its posting list (reopen replay, or the next rebuild).
+const (
+	indexMetaMagic   = "LCMSRIX2"
+	indexMetaMagicV1 = "LCMSRIX1"
+)
 
 // encodeIndexMeta serializes a meta body deterministically (equal states
 // produce equal bytes; maps are emitted in sorted order).
@@ -90,6 +98,7 @@ func encodeIndexMeta(m *indexMeta) []byte {
 		for _, te := range dir {
 			out = binary.LittleEndian.AppendUint32(out, uint32(te.term))
 			out = binary.LittleEndian.AppendUint32(out, uint32(te.count))
+			out = binary.LittleEndian.AppendUint64(out, math.Float64bits(te.maxW))
 		}
 	}
 
@@ -128,9 +137,11 @@ func encodeIndexMeta(m *indexMeta) []byte {
 // decodeIndexMeta parses encodeIndexMeta output.
 func decodeIndexMeta(b []byte) (*indexMeta, error) {
 	r := updReader{b: b}
-	if string(r.bytes(len(indexMetaMagic))) != indexMetaMagic {
+	magic := string(r.bytes(len(indexMetaMagic)))
+	if magic != indexMetaMagic && magic != indexMetaMagicV1 {
 		return nil, fmt.Errorf("%w: bad magic", ErrCorruptMeta)
 	}
+	hasMaxW := magic == indexMetaMagic
 	m := &indexMeta{cellDir: make(map[uint32][]termEntry)}
 	m.bounds.MinX = math.Float64frombits(r.u64())
 	m.bounds.MinY = math.Float64frombits(r.u64())
@@ -157,7 +168,16 @@ func decodeIndexMeta(b []byte) (*indexMeta, error) {
 		}
 		dir := make([]termEntry, 0, nterms)
 		for j := uint32(0); j < nterms; j++ {
-			dir = append(dir, termEntry{term: textindex.TermID(r.u32()), count: int32(r.u32())})
+			te := termEntry{term: textindex.TermID(r.u32()), count: int32(r.u32())}
+			if hasMaxW {
+				te.maxW = math.Float64frombits(r.u64())
+			} else {
+				// V1 recorded no bound. +Inf disables pruning for the entry
+				// rather than guessing: live reweights can push weights past
+				// any fixed constant.
+				te.maxW = math.Inf(1)
+			}
+			dir = append(dir, te)
 		}
 		m.cellDir[cell] = dir
 	}

@@ -181,11 +181,18 @@ func DecodePostings(b []byte) ([]Posting, error) {
 }
 
 // termEntry is one row of a cell's term directory: a term present in the
-// cell and the length of its posting list, for query planning (which lists
-// exist, how much scratch a search needs).
+// cell, the length of its posting list (for query planning: which lists
+// exist, how much scratch a search needs), and an upper bound on the
+// normalized term weights in that list (for WAND-style top-k pruning:
+// Σ_t w_{Q,t}·maxW bounds any object's score in the cell). maxW is exact
+// after a batch build or a reopen re-derivation and stale-high under live
+// updates: Insert and Reweight raise it to cover new weights, Delete
+// leaves it — a too-high bound only costs pruning power, never
+// correctness.
 type termEntry struct {
 	term  textindex.TermID
 	count int32
+	maxW  float64
 }
 
 // Index is a uniform grid over the object space.
@@ -224,6 +231,10 @@ type Index struct {
 	// epoch counts applied mutations (and compactions); readers can cheap-
 	// check it to learn whether cached derived state is stale.
 	epoch uint64
+	// scoreCache, when non-nil, caches per-cell partial scores of repeated
+	// queries keyed by epoch (scorecache.go). Installed under mu; the
+	// search paths read it under the read lock.
+	scoreCache *scoreCache
 	// metaExtra, when set, supplies the opaque blob stored in the meta
 	// snapshot (the dataset layer stores its vocabulary there).
 	metaExtra func() []byte
@@ -333,7 +344,13 @@ func newIndex(objects []Object, bounds geo.Rect, cellSize float64, store Store, 
 		}
 	}
 	for key, ps := range batch {
-		idx.cellDir[key.Cell] = append(idx.cellDir[key.Cell], termEntry{term: key.Term, count: int32(len(ps))})
+		var maxW float64
+		for _, p := range ps {
+			if p.Weight > maxW {
+				maxW = p.Weight
+			}
+		}
+		idx.cellDir[key.Cell] = append(idx.cellDir[key.Cell], termEntry{term: key.Term, count: int32(len(ps)), maxW: maxW})
 	}
 	for _, dir := range idx.cellDir {
 		sort.Slice(dir, func(i, j int) bool { return dir[i].term < dir[j].term })

@@ -71,7 +71,7 @@ func (idx *Index) Insert(p geo.Point, doc textindex.Doc, strs []string) (ObjectI
 		return 0, err
 	}
 	idx.objects = append(idx.objects, Object{Point: p, Doc: doc})
-	idx.bumpCellDir(cell, doc.Terms, +1)
+	idx.bumpCellDir(cell, doc.Terms, doc.Weights, +1)
 	idx.epoch++
 	idx.pending++
 	return id, idx.maybeCompactLocked()
@@ -100,7 +100,7 @@ func (idx *Index) Delete(id ObjectID) error {
 	}
 	idx.tombstones[id] = struct{}{}
 	delete(idx.reweighted, id) // a deleted object needs no weight patch
-	idx.bumpCellDir(cell, obj.Doc.Terms, -1)
+	idx.bumpCellDir(cell, obj.Doc.Terms, nil, -1)
 	idx.epoch++
 	idx.pending++
 	return idx.maybeCompactLocked()
@@ -132,6 +132,7 @@ func (idx *Index) Reweight(id ObjectID, weights []float64) error {
 		return err
 	}
 	obj.Doc.Weights = w
+	idx.bumpCellDir(cell, obj.Doc.Terms, w, 0) // counts unchanged; maxW covers the new weights
 	if int(id) < idx.baseObjects {
 		idx.reweighted[id] = struct{}{}
 	}
@@ -167,22 +168,38 @@ func (idx *Index) applyToStoreLocked(u *Update) error {
 }
 
 // bumpCellDir adjusts the cell directory's posting counts for one object
-// entering (+1) or leaving (-1) the cell's lists, keeping each directory
-// sorted and dropping entries (and empty cells) at count zero.
-func (idx *Index) bumpCellDir(cell uint32, terms []textindex.TermID, delta int32) {
+// entering (delta +1, weights parallel to terms), leaving (delta -1,
+// weights nil) or changing weights in place (delta 0, Reweight), keeping
+// each directory sorted and dropping entries (and empty cells) at count
+// zero. Weights only ever raise an entry's maxW — after a delete or a
+// downward reweight the recorded bound may exceed every remaining
+// posting, which keeps it a valid (if loose) WAND upper bound until a
+// reopen re-derives it exactly.
+func (idx *Index) bumpCellDir(cell uint32, terms []textindex.TermID, weights []float64, delta int32) {
 	dir := idx.cellDir[cell]
-	for _, t := range terms {
+	for ti, t := range terms {
+		var w float64
+		if weights != nil {
+			w = weights[ti]
+		}
 		i := sort.Search(len(dir), func(i int) bool { return dir[i].term >= t })
 		if i < len(dir) && dir[i].term == t {
 			dir[i].count += delta
 			if dir[i].count <= 0 {
 				dir = append(dir[:i], dir[i+1:]...)
+				continue
+			}
+			if w > dir[i].maxW {
+				dir[i].maxW = w
 			}
 			continue
 		}
+		if delta <= 0 {
+			continue // nothing to decrement or reweight under this term
+		}
 		dir = append(dir, termEntry{})
 		copy(dir[i+1:], dir[i:])
-		dir[i] = termEntry{term: t, count: delta}
+		dir[i] = termEntry{term: t, count: delta, maxW: w}
 	}
 	if len(dir) == 0 {
 		delete(idx.cellDir, cell)
@@ -191,11 +208,12 @@ func (idx *Index) bumpCellDir(cell uint32, terms []textindex.TermID, delta int32
 	}
 }
 
-// setCellDirCount pins one directory entry to the store's ground truth
-// (reopen-time patching: the count is re-derived from the actual merged
-// posting list, so replaying a record whose effects were already flushed
-// cannot double-count).
-func (idx *Index) setCellDirCount(key CellKey, n int32) {
+// setCellDirEntry pins one directory entry to the store's ground truth
+// (reopen-time patching: count and maxW are re-derived from the actual
+// merged posting list, so replaying a record whose effects were already
+// flushed cannot double-count — and a bound left stale-high by deletes
+// or downward reweights snaps back to exact).
+func (idx *Index) setCellDirEntry(key CellKey, n int32, maxW float64) {
 	dir := idx.cellDir[key.Cell]
 	i := sort.Search(len(dir), func(i int) bool { return dir[i].term >= key.Term })
 	found := i < len(dir) && dir[i].term == key.Term
@@ -204,10 +222,11 @@ func (idx *Index) setCellDirCount(key CellKey, n int32) {
 		dir = append(dir[:i], dir[i+1:]...)
 	case n > 0 && found:
 		dir[i].count = n
+		dir[i].maxW = maxW
 	case n > 0 && !found:
 		dir = append(dir, termEntry{})
 		copy(dir[i+1:], dir[i:])
-		dir[i] = termEntry{term: key.Term, count: n}
+		dir[i] = termEntry{term: key.Term, count: n, maxW: maxW}
 	default:
 		return
 	}
@@ -478,7 +497,13 @@ func (idx *Index) openFromMeta(body []byte) error {
 		if err != nil {
 			return fmt.Errorf("grid: reopen count for cell %d term %d: %w", key.Cell, key.Term, err)
 		}
-		idx.setCellDirCount(key, int32(len(ps)))
+		var maxW float64
+		for _, p := range ps {
+			if p.Weight > maxW {
+				maxW = p.Weight
+			}
+		}
+		idx.setCellDirEntry(key, int32(len(ps)), maxW)
 	}
 	return nil
 }

@@ -6,6 +6,7 @@ import (
 	"slices"
 	"sync"
 
+	"repro/internal/btree"
 	"repro/internal/geo"
 	"repro/internal/textindex"
 )
@@ -16,17 +17,22 @@ import (
 // 503 (retryable) rather than 400/500, and the server keeps serving.
 var ErrShardIO = errors.New("grid: shard I/O failure")
 
-// fetchPostings reads one posting list with a single retry. Transient
-// faults (a lost read on a loaded disk) succeed on the second attempt;
-// persistent ones (corruption, a dead shard) fail typed as ErrShardIO so
+// fetchPostings reads one posting list with a single retry for transient
+// faults (a lost read on a loaded disk succeeds on the second attempt).
+// A checksum failure (btree.ErrCorrupt) is deterministic — the page is
+// bad on disk and re-reading it can only double the I/O and blur the
+// scrub signal — so corruption fails typed on the first attempt. Either
+// way a persistent failure surfaces as ErrShardIO wrapping the cause, so
 // callers can tell "this query lost its data" from "this query was bad".
 func (idx *Index) fetchPostings(key CellKey) ([]Posting, error) {
 	ps, err := idx.store.Postings(key)
 	if err == nil {
 		return ps, nil
 	}
-	if ps, rerr := idx.store.Postings(key); rerr == nil {
-		return ps, nil
+	if !errors.Is(err, btree.ErrCorrupt) {
+		if ps, rerr := idx.store.Postings(key); rerr == nil {
+			return ps, nil
+		}
 	}
 	return nil, fmt.Errorf("%w: postings(%d,%d): %w", ErrShardIO, key.Cell, key.Term, err)
 }
@@ -106,6 +112,11 @@ func (idx *Index) SearchInto(q textindex.Query, r geo.Rect, s *SearchScratch) ([
 			return nil, err
 		}
 	} else {
+		sc := idx.scoreCache
+		var sig uint64
+		if sc != nil {
+			sig = q.Signature()
+		}
 		for cy := y0; cy <= y1; cy++ {
 			for cx := x0; cx <= x1; cx++ {
 				cell := uint32(cy*idx.nx + cx)
@@ -113,8 +124,20 @@ func (idx *Index) SearchInto(q textindex.Query, r geo.Rect, s *SearchScratch) ([
 				if len(dir) == 0 {
 					continue
 				}
-				if err := idx.scoreCell(q, r, cell, dir, idx.cellInside(cell, r), s); err != nil {
+				fullInside := idx.cellInside(cell, r)
+				// Only interior cells are cacheable: their contribution does
+				// not depend on the exact query rectangle. Replay order does
+				// not matter for bit-identicality — an object's postings all
+				// live in its one cell, and the touched set is sorted below.
+				if sc != nil && fullInside && sc.replay(cell, q, sig, idx.epoch, s) {
+					continue
+				}
+				pre := len(s.touched)
+				if err := idx.scoreCell(q, r, cell, dir, fullInside, s); err != nil {
 					return nil, err
+				}
+				if sc != nil && fullInside {
+					sc.fill(cell, q, sig, idx.epoch, s.touched[pre:], s.score)
 				}
 			}
 		}
@@ -193,6 +216,11 @@ func (idx *Index) accumulate(r geo.Rect, ps []Posting, idf float64, fullInside b
 // serially in plan order, which is exactly the serial path's order, so
 // scores stay bit-identical.
 func (idx *Index) searchSharded(q textindex.Query, r geo.Rect, x0, x1, y0, y1 int, s *SearchScratch) error {
+	sc := idx.scoreCache
+	var sig uint64
+	if sc != nil {
+		sig = q.Signature()
+	}
 	s.plan = s.plan[:0]
 	for cy := y0; cy <= y1; cy++ {
 		for cx := x0; cx <= x1; cx++ {
@@ -202,6 +230,15 @@ func (idx *Index) searchSharded(q textindex.Query, r geo.Rect, x0, x1, y0, y1 in
 				continue
 			}
 			fullInside := idx.cellInside(cell, r)
+			// Cached interior cells replay during planning and are excluded
+			// from the fetch plan entirely — a hot query over a warm cache
+			// plans zero posting fetches. Cell processing order does not
+			// affect the result: every object's score comes wholly from its
+			// one cell, and the touched set is sorted by the caller.
+			if sc != nil && fullInside && sc.replay(cell, q, sig, idx.epoch, s) {
+				continue
+			}
+			planStart := len(s.plan)
 			qi, di := 0, 0
 			for qi < len(q.Terms) && di < len(dir) {
 				switch {
@@ -214,6 +251,11 @@ func (idx *Index) searchSharded(q textindex.Query, r geo.Rect, x0, x1, y0, y1 in
 					qi++
 					di++
 				}
+			}
+			if sc != nil && fullInside && len(s.plan) == planStart {
+				// The cell shares no terms with the query: cache that as an
+				// empty contribution so the next repeat skips the merge-join.
+				sc.fill(cell, q, sig, idx.epoch, nil, nil)
 			}
 		}
 	}
@@ -261,10 +303,24 @@ func (idx *Index) searchSharded(q textindex.Query, r geo.Rect, x0, x1, y0, y1 in
 			return err
 		}
 	}
-	for i, ref := range s.plan {
-		s.touched = slices.Grow(s.touched, int(ref.count))
-		idx.accumulate(r, s.fetched[i], q.IDF[ref.qi], ref.fullInside, s)
-		s.fetched[i] = nil // drop the reference; the lists die with this query
+	// Accumulate in plan order — the serial path's order — grouping the
+	// consecutive fetches of each cell (the plan is built cell-major) so a
+	// just-computed interior cell can be cached as one entry.
+	for i := 0; i < len(s.plan); {
+		cell := s.plan[i].cell
+		fullInside := s.plan[i].fullInside
+		pre := len(s.touched)
+		j := i
+		for ; j < len(s.plan) && s.plan[j].cell == cell; j++ {
+			ref := s.plan[j]
+			s.touched = slices.Grow(s.touched, int(ref.count))
+			idx.accumulate(r, s.fetched[j], q.IDF[ref.qi], ref.fullInside, s)
+			s.fetched[j] = nil // drop the reference; the lists die with this query
+		}
+		if sc != nil && fullInside {
+			sc.fill(cell, q, sig, idx.epoch, s.touched[pre:], s.score)
+		}
+		i = j
 	}
 	return nil
 }

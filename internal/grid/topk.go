@@ -1,0 +1,202 @@
+package grid
+
+import (
+	"slices"
+
+	"repro/internal/geo"
+	"repro/internal/textindex"
+)
+
+// This file implements the WAND-style top-k object mode: return the k
+// most relevant objects in the rectangle without scoring every cell. The
+// per-cell term directory already records, for each (cell, term), the
+// posting count and an upper bound maxW on the normalized term weights in
+// that list. Any object o in cell c therefore satisfies
+//
+//	σ(o.ψ, Q.ψ) = (1/W_Q) Σ_{t∈Q∩o.ψ} w_{Q,t}·wto(t)
+//	            ≤ (1/W_Q) Σ_{t∈Q∩c}   w_{Q,t}·maxW(c,t)  =  bound(c)
+//
+// and the inequality survives floating point: rounding is monotone, both
+// sums add their terms in ascending-TermID order, and the object's sum
+// ranges over a subset of the cell's terms with termwise-smaller
+// nonnegative addends. Cells are visited in descending bound order; once
+// the candidate heap holds k objects and the next cell's bound is
+// strictly below the k-th score, no remaining cell can displace any heap
+// entry (ties keep the cell: an equal-scoring object can still win its
+// tie-break on smaller ObjectID), so the rest of the rectangle is skipped
+// without being fetched. Results are bit-identical to scoring every cell:
+// per-object scores come from the same accumulation code in the same
+// order, and pruning only discards objects strictly worse than the entire
+// result set.
+
+// cellBound is one candidate cell with its score upper bound.
+type cellBound struct {
+	cell       uint32
+	fullInside bool
+	bound      float64
+}
+
+// TopKScratch is pooled state for Index.SearchTopKInto. The zero value is
+// ready to use; it serves one search at a time — pool one per worker.
+type TopKScratch struct {
+	s       SearchScratch
+	cells   []cellBound
+	heap    []ObjScore // min-heap: worst candidate (lowest score, then largest id) at the root
+	out     []ObjScore
+	visited int
+	pruned  int
+}
+
+// Visited reports how many candidate cells the last search scored.
+func (s *TopKScratch) Visited() int { return s.visited }
+
+// Pruned reports how many candidate cells the last search skipped by
+// their upper bound.
+func (s *TopKScratch) Pruned() int { return s.pruned }
+
+// topkWorse reports whether a is a strictly worse result than b under the
+// ranking (score descending, ObjectID ascending).
+func topkWorse(a, b ObjScore) bool {
+	return a.Score < b.Score || (a.Score == b.Score && a.Obj > b.Obj)
+}
+
+// SearchTopKInto returns the k best-scoring objects inside r under q,
+// ranked by score descending with ObjectID ascending as the tie-break —
+// exactly the first k entries of SearchInto's result re-sorted by that
+// ranking, but computed by scoring cells in descending upper-bound order
+// and skipping every cell that provably cannot alter the answer. The
+// returned slice aliases the scratch and is valid until the next call.
+func (idx *Index) SearchTopKInto(q textindex.Query, r geo.Rect, k int, s *TopKScratch) ([]ObjScore, error) {
+	s.visited, s.pruned = 0, 0
+	if len(q.Terms) == 0 || q.Norm == 0 || k <= 0 {
+		return nil, nil
+	}
+	idx.mu.RLock()
+	defer idx.mu.RUnlock()
+	x0, x1, y0, y1, ok := idx.cellRange(r)
+	if !ok {
+		return s.out[:0], nil
+	}
+	// Phase 1: bound every overlapping cell that shares a term with the
+	// query. The bound sum mirrors scoreCell's merge-join (ascending
+	// TermID), which is what makes it a floating-point-safe majorant.
+	s.cells = s.cells[:0]
+	for cy := y0; cy <= y1; cy++ {
+		for cx := x0; cx <= x1; cx++ {
+			cell := uint32(cy*idx.nx + cx)
+			dir := idx.cellDir[cell]
+			if len(dir) == 0 {
+				continue
+			}
+			var bsum float64
+			matched := false
+			qi, di := 0, 0
+			for qi < len(q.Terms) && di < len(dir) {
+				switch {
+				case q.Terms[qi] < dir[di].term:
+					qi++
+				case q.Terms[qi] > dir[di].term:
+					di++
+				default:
+					bsum += q.IDF[qi] * dir[di].maxW
+					matched = true
+					qi++
+					di++
+				}
+			}
+			if !matched {
+				continue
+			}
+			s.cells = append(s.cells, cellBound{cell: cell, fullInside: idx.cellInside(cell, r), bound: bsum / q.Norm})
+		}
+	}
+	// Phase 2: visit cells best-bound first (cell id breaks bound ties for
+	// a deterministic order; the result does not depend on it).
+	slices.SortFunc(s.cells, func(a, b cellBound) int {
+		switch {
+		case a.bound > b.bound:
+			return -1
+		case a.bound < b.bound:
+			return 1
+		case a.cell < b.cell:
+			return -1
+		case a.cell > b.cell:
+			return 1
+		}
+		return 0
+	})
+	s.heap = s.heap[:0]
+	for ci, cb := range s.cells {
+		if len(s.heap) == k && cb.bound < s.heap[0].Score {
+			// No object in this — or any later — cell can beat the current
+			// k-th entry, even on a tie-break.
+			s.pruned = len(s.cells) - ci
+			break
+		}
+		s.visited++
+		// Score one cell in isolation: the scratch epoch is bumped per
+		// cell, so touched lists the cell's objects and score holds their
+		// complete pre-norm sums (an object's postings never span cells).
+		s.s.reset(len(idx.objects))
+		if err := idx.scoreCell(q, r, cb.cell, idx.cellDir[cb.cell], cb.fullInside, &s.s); err != nil {
+			return nil, err
+		}
+		for _, id := range s.s.touched {
+			cand := ObjScore{Obj: id, Score: s.s.score[id] / q.Norm}
+			if len(s.heap) < k {
+				s.heap = append(s.heap, cand)
+				topkSiftUp(s.heap, len(s.heap)-1)
+			} else if topkWorse(s.heap[0], cand) {
+				s.heap[0] = cand
+				topkSiftDown(s.heap, 0)
+			}
+		}
+	}
+	// Phase 3: order the survivors by the ranking.
+	if cap(s.out) < len(s.heap) {
+		s.out = make([]ObjScore, 0, k)
+	}
+	s.out = append(s.out[:0], s.heap...)
+	slices.SortFunc(s.out, func(a, b ObjScore) int {
+		switch {
+		case topkWorse(b, a):
+			return -1
+		case topkWorse(a, b):
+			return 1
+		}
+		return 0
+	})
+	return s.out, nil
+}
+
+// topkSiftUp restores the heap property after appending at i.
+func topkSiftUp(h []ObjScore, i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !topkWorse(h[i], h[parent]) {
+			return
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+// topkSiftDown restores the heap property after replacing the root.
+func topkSiftDown(h []ObjScore, i int) {
+	n := len(h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		worst := i
+		if l < n && topkWorse(h[l], h[worst]) {
+			worst = l
+		}
+		if r < n && topkWorse(h[r], h[worst]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		h[i], h[worst] = h[worst], h[i]
+		i = worst
+	}
+}

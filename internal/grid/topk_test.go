@@ -1,0 +1,178 @@
+package grid
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+// rankTopK sorts a full result set by the top-k ranking and truncates.
+func rankTopK(full []ObjScore, k int) []ObjScore {
+	ranked := append([]ObjScore(nil), full...)
+	slices.SortFunc(ranked, func(a, b ObjScore) int {
+		switch {
+		case topkWorse(b, a):
+			return -1
+		case topkWorse(a, b):
+			return 1
+		}
+		return 0
+	})
+	if len(ranked) > k {
+		ranked = ranked[:k]
+	}
+	return ranked
+}
+
+// TestSearchTopKGolden is the bit-identicality gate for the pruned top-k
+// mode: across random queries, rectangles and k, SearchTopKInto must equal
+// the full scan re-ranked and truncated — same objects, same order, same
+// float bits — and the bound ordering must actually skip cells somewhere
+// in the sweep (otherwise the pruning path is untested).
+func TestSearchTopKGolden(t *testing.T) {
+	v, vocab, objs := randomCorpus(t, 400, 61)
+	idx, err := NewIndex(copyObjs(objs), crashBounds, 50, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(62))
+	var full SearchScratch
+	var tk TopKScratch
+	prunedTotal, nonEmpty := 0, 0
+	for trial := 0; trial < 200; trial++ {
+		kws := []string{vocab[rng.Intn(len(vocab))], vocab[rng.Intn(len(vocab))]}
+		q := v.PrepareQuery(kws)
+		x, y := rng.Float64()*800, rng.Float64()*800
+		r := geo.Rect{MinX: x, MinY: y, MaxX: x + 50 + rng.Float64()*600, MaxY: y + 50 + rng.Float64()*600}
+		k := 1 + rng.Intn(12)
+		fullRes, err := idx.SearchInto(q, r, &full)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := rankTopK(fullRes, k)
+		got, err := idx.SearchTopKInto(q, r, k, &tk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d (k=%d): %d results, want %d", trial, k, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d (k=%d) result %d: %+v, want %+v", trial, k, i, got[i], want[i])
+			}
+		}
+		prunedTotal += tk.Pruned()
+		if len(want) > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty == 0 {
+		t.Fatal("every trial returned no results; test is vacuous")
+	}
+	if prunedTotal == 0 {
+		t.Fatal("no cell was ever pruned; the bound path is untested")
+	}
+}
+
+// TestSearchTopKLiveAndReopen runs the same gate while the index absorbs
+// live updates over a sharded disk store, and again after a close/reopen:
+// the maxW bounds maintained incrementally by Insert/Delete/Reweight (and
+// re-derived from postings on reopen) must keep pruning sound.
+func TestSearchTopKLiveAndReopen(t *testing.T) {
+	v, vocab, objs := randomCorpus(t, crashBaseObjs, 71)
+	ops := liveScript(vocab, objs)
+	sb, idx := buildLiveBoard(t, objs)
+	rng := rand.New(rand.NewSource(72))
+
+	var full SearchScratch
+	var tk TopKScratch
+	check := func(ix *Index, step string) {
+		t.Helper()
+		for trial := 0; trial < 12; trial++ {
+			q := v.PrepareQuery([]string{vocab[rng.Intn(len(vocab))], vocab[rng.Intn(len(vocab))]})
+			x, y := rng.Float64()*700, rng.Float64()*700
+			r := geo.Rect{MinX: x, MinY: y, MaxX: x + 100 + rng.Float64()*400, MaxY: y + 100 + rng.Float64()*400}
+			k := 1 + rng.Intn(8)
+			fullRes, err := ix.SearchInto(q, r, &full)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := rankTopK(fullRes, k)
+			got, err := ix.SearchTopKInto(q, r, k, &tk)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%s trial %d (k=%d): %d results, want %d", step, trial, k, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s trial %d (k=%d) result %d: %+v, want %+v", step, trial, k, i, got[i], want[i])
+				}
+			}
+		}
+	}
+
+	check(idx, "pre-update")
+	for i := range ops {
+		if _, err := applyLiveOps(idx, ops[i:i+1], nil); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+		if i%6 == 0 {
+			check(idx, "live")
+		}
+	}
+	check(idx, "post-script")
+	if err := idx.CloseStore(); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := reopenLive(sb.Fork(true), objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(reopened, "reopened")
+}
+
+// TestSearchTopKEdgeCases covers degenerate inputs: k <= 0, empty query,
+// disjoint rectangle, and k larger than the matching population (the
+// result is then the full ranked set).
+func TestSearchTopKEdgeCases(t *testing.T) {
+	v, _, objs := randomCorpus(t, 60, 3)
+	idx, err := NewIndex(copyObjs(objs), crashBounds, crashCell, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tk TopKScratch
+	q := v.PrepareQuery([]string{"cafe"})
+	if got, err := idx.SearchTopKInto(q, crashBounds, 0, &tk); err != nil || got != nil {
+		t.Errorf("k=0: got %v, %v", got, err)
+	}
+	if got, err := idx.SearchTopKInto(v.PrepareQuery([]string{"nosuchterm"}), crashBounds, 5, &tk); err != nil || got != nil {
+		t.Errorf("unknown keyword: got %v, %v", got, err)
+	}
+	far := geo.Rect{MinX: 5000, MinY: 5000, MaxX: 6000, MaxY: 6000}
+	if got, err := idx.SearchTopKInto(q, far, 5, &tk); err != nil || len(got) != 0 {
+		t.Errorf("disjoint rect: got %v, %v", got, err)
+	}
+	var full SearchScratch
+	fullRes, err := idx.SearchInto(q, crashBounds, &full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rankTopK(fullRes, len(fullRes)+10)
+	got, err := idx.SearchTopKInto(q, crashBounds, len(fullRes)+10, &tk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("oversized k: %d results, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("oversized k result %d: %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}

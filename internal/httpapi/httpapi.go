@@ -107,6 +107,17 @@ type Stats struct {
 	P95Ms   float64 `json:"p95_ms"`
 	P99Ms   float64 `json:"p99_ms"`
 	MaxMs   float64 `json:"max_ms"`
+	// ScoreCache carries the hot-query score cache counters when the
+	// backing database has one enabled; omitted otherwise.
+	ScoreCache *ScoreCacheStats `json:"score_cache,omitempty"`
+}
+
+// ScoreCacheStats is the /stats fragment for the hot-query score cache.
+type ScoreCacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
 }
 
 // Backend answers decoded queries; the public repro package implements it

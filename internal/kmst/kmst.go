@@ -277,10 +277,46 @@ func (s *Garg) mstFallback(quota int64) Result {
 	return res
 }
 
+// pruneCand is one quotaPrune heap candidate: a leaf at the moment its
+// degree reached 1, with its (then-fixed) single alive incident edge and
+// removal score. Scores never change after that moment — edge costs and
+// node weights are static, and a leaf's alive edge can only disappear by
+// the leaf itself (or its neighbor) dying — so candidates are pushed once
+// with their final score and lazily revalidated when popped.
+type pruneCand struct {
+	score float64
+	pos   int32 // position in r.Nodes: replicates the scan's first-max tie-break
+	node  int32
+	edge  int32 // index into r.Edges
+}
+
+// pruneBetter orders heap candidates exactly as the reference scan picks
+// them: higher score first, earlier r.Nodes position on ties (the scan
+// keeps the first maximum under a strict > comparison).
+func pruneBetter(a, b pruneCand) bool {
+	return a.score > b.score || (a.score == b.score && a.pos < b.pos)
+}
+
+// pruneScore is the leaf-removal score: zero-weight leaves are free
+// removals (+Inf), otherwise length per unit of weight given up.
+func pruneScore(length float64, weight int64) float64 {
+	if weight == 0 {
+		return math.Inf(1)
+	}
+	return length / float64(weight)
+}
+
 // quotaPrune repeatedly removes the least useful leaf while the remaining
 // weight still meets the quota, shrinking the tree's length. "Least
 // useful" prefers zero-weight leaves with long edges (pure gain), then the
-// highest length-per-weight ratio.
+// highest length-per-weight ratio. Leaves live in a max-heap updated as
+// nodes peel — O(|T| log |T|) where the old full rescan per removal was
+// O(|T|²) — and the removal sequence is identical to the scan's
+// (quotaPruneScan, kept for the golden tests): the heap order matches the
+// scan's strict-max-plus-first-position selection, and a candidate the
+// scan would skip is skipped here for the same reason — staleness (dead
+// or no longer degree 1) or a quota failure, which is permanent because
+// the remaining weight only ever decreases.
 func quotaPrune(g *Graph, r *Result, quota int64) {
 	if len(r.Nodes) <= 1 {
 		return
@@ -288,6 +324,102 @@ func quotaPrune(g *Graph, r *Result, quota int64) {
 	// Local adjacency of the tree.
 	deg := make(map[int32]int, len(r.Nodes))
 	inc := make(map[int32][]int, len(r.Nodes)) // node -> indices into r.Edges
+	alive := make(map[int32]bool, len(r.Nodes))
+	pos := make(map[int32]int32, len(r.Nodes))
+	edgeAlive := make([]bool, len(r.Edges))
+	for i, v := range r.Nodes {
+		alive[v] = true
+		pos[v] = int32(i)
+	}
+	for i, ei := range r.Edges {
+		e := g.Edges[ei]
+		deg[e.U]++
+		deg[e.V]++
+		inc[e.U] = append(inc[e.U], i)
+		inc[e.V] = append(inc[e.V], i)
+		edgeAlive[i] = true
+	}
+	h := container.NewHeap[pruneCand](pruneBetter)
+	push := func(v int32) {
+		ei := int32(-1)
+		for _, i := range inc[v] {
+			if edgeAlive[i] {
+				ei = int32(i)
+				break
+			}
+		}
+		if ei < 0 {
+			return
+		}
+		h.Push(pruneCand{
+			score: pruneScore(g.Edges[r.Edges[ei]].Cost, g.Weights[v]),
+			pos:   pos[v], node: v, edge: ei,
+		})
+	}
+	for _, v := range r.Nodes {
+		if deg[v] == 1 {
+			push(v)
+		}
+	}
+	for {
+		c, ok := h.Pop()
+		if !ok {
+			break // no removable leaf left
+		}
+		v := c.node
+		if !alive[v] || deg[v] != 1 || !edgeAlive[c.edge] {
+			continue // stale: the candidate (or its edge) died since the push
+		}
+		if r.Weight-g.Weights[v] < quota {
+			continue // permanent: the remaining weight only decreases
+		}
+		// Only prune when it shortens the tree (always true for cost>0) or
+		// frees weight with zero cost; stop pruning weight-carrying leaves
+		// that don't save length.
+		e := g.Edges[r.Edges[c.edge]]
+		if e.Cost <= 0 && g.Weights[v] > 0 {
+			break
+		}
+		alive[v] = false
+		edgeAlive[c.edge] = false
+		other := e.U
+		if other == v {
+			other = e.V
+		}
+		deg[other]--
+		deg[v]--
+		r.Weight -= g.Weights[v]
+		r.Length -= e.Cost
+		if alive[other] && deg[other] == 1 {
+			push(other) // its single alive edge is fixed from here on
+		}
+	}
+	// Compact.
+	var nodes []int32
+	for _, v := range r.Nodes {
+		if alive[v] {
+			nodes = append(nodes, v)
+		}
+	}
+	var edges []int
+	for i, ei := range r.Edges {
+		if edgeAlive[i] {
+			edges = append(edges, ei)
+		}
+	}
+	r.Nodes, r.Edges = nodes, edges
+}
+
+// quotaPruneScan is the original O(|T|²) reference implementation of
+// quotaPrune — a full leaf rescan per removal. It is kept as the golden
+// oracle: the tests assert quotaPrune produces bit-identical results on
+// the same trees.
+func quotaPruneScan(g *Graph, r *Result, quota int64) {
+	if len(r.Nodes) <= 1 {
+		return
+	}
+	deg := make(map[int32]int, len(r.Nodes))
+	inc := make(map[int32][]int, len(r.Nodes))
 	alive := make(map[int32]bool, len(r.Nodes))
 	edgeAlive := make([]bool, len(r.Edges))
 	for _, v := range r.Nodes {
@@ -302,7 +434,6 @@ func quotaPrune(g *Graph, r *Result, quota int64) {
 		edgeAlive[i] = true
 	}
 	for {
-		// Find the best removable leaf.
 		bestLeaf := int32(-1)
 		bestEdge := -1
 		bestScore := math.Inf(-1)
@@ -313,7 +444,6 @@ func quotaPrune(g *Graph, r *Result, quota int64) {
 			if r.Weight-g.Weights[v] < quota {
 				continue
 			}
-			// Its single alive incident edge.
 			ei := -1
 			for _, i := range inc[v] {
 				if edgeAlive[i] {
@@ -324,13 +454,7 @@ func quotaPrune(g *Graph, r *Result, quota int64) {
 			if ei < 0 {
 				continue
 			}
-			length := g.Edges[r.Edges[ei]].Cost
-			var score float64
-			if g.Weights[v] == 0 {
-				score = math.Inf(1) // free removal
-			} else {
-				score = length / float64(g.Weights[v])
-			}
+			score := pruneScore(g.Edges[r.Edges[ei]].Cost, g.Weights[v])
 			if score > bestScore {
 				bestScore = score
 				bestLeaf = v
@@ -340,9 +464,6 @@ func quotaPrune(g *Graph, r *Result, quota int64) {
 		if bestLeaf < 0 {
 			break
 		}
-		// Only prune when it shortens the tree (always true for cost>0) or
-		// frees weight with zero cost; stop pruning weight-carrying leaves
-		// that don't save length.
 		e := g.Edges[r.Edges[bestEdge]]
 		if e.Cost <= 0 && g.Weights[bestLeaf] > 0 {
 			break
@@ -358,7 +479,6 @@ func quotaPrune(g *Graph, r *Result, quota int64) {
 		r.Weight -= g.Weights[bestLeaf]
 		r.Length -= e.Cost
 	}
-	// Compact.
 	var nodes []int32
 	for _, v := range r.Nodes {
 		if alive[v] {

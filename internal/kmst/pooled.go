@@ -50,6 +50,8 @@ type quotaState struct {
 	edgeAlive []bool
 	incOffs   []int32
 	inc       []int32
+	ph        container.Heap[pruneCand]
+	phReady   bool
 
 	// Pre-arena result assembly buffers.
 	tmpNodes []int32
@@ -128,14 +130,10 @@ func (q *quotaState) finish(r Result) Result {
 	return r
 }
 
-// quotaPrune mirrors quotaPrune with pooled, map-free scratch: the tree is
-// remapped to local indices, incident-edge lists become a CSR in r.Edges
-// order, and leaf selection scans r.Nodes in the same order with the same
-// strict comparisons, so the pruned tree is identical.
-func (q *quotaState) quotaPrune(r *Result, quota int64) {
-	if len(r.Nodes) <= 1 {
-		return
-	}
+// pruneSetup builds the map-free prune scratch for a tree: the local
+// index remap, degrees, liveness and the incident-edge CSR in r.Edges
+// order. Shared by the heap prune and its scan-based golden oracle.
+func (q *quotaState) pruneSetup(r *Result) {
 	nt := len(r.Nodes)
 	q.pos = container.GrowTo(q.pos, q.n)
 	for i, v := range r.Nodes {
@@ -173,6 +171,112 @@ func (q *quotaState) quotaPrune(r *Result, quota int64) {
 		q.inc[q.cursor[q.pos[e.V]]] = int32(i)
 		q.cursor[q.pos[e.V]]++
 	}
+}
+
+// pruneCompact drops dead nodes and edges in place, preserving order.
+func (q *quotaState) pruneCompact(r *Result) {
+	nodes := r.Nodes[:0]
+	for _, v := range r.Nodes {
+		if q.alive[q.pos[v]] {
+			nodes = append(nodes, v)
+		}
+	}
+	edges := r.Edges[:0]
+	for i, ei := range r.Edges {
+		if q.edgeAlive[i] {
+			edges = append(edges, ei)
+		}
+	}
+	r.Nodes, r.Edges = nodes, edges
+}
+
+// prunePush pushes a just-turned leaf (local index lv) with its single
+// alive incident edge and final score; no-op if no alive edge remains.
+func (q *quotaState) prunePush(r *Result, lv int32) {
+	ei := int32(-1)
+	for k := q.incOffs[lv]; k < q.incOffs[lv+1]; k++ {
+		if q.edgeAlive[q.inc[k]] {
+			ei = q.inc[k]
+			break
+		}
+	}
+	if ei < 0 {
+		return
+	}
+	v := r.Nodes[lv]
+	q.ph.Push(pruneCand{
+		score: pruneScore(q.edges[r.Edges[ei]].Cost, q.weights[v]),
+		pos:   lv, node: v, edge: ei,
+	})
+}
+
+// quotaPrune mirrors the package-level quotaPrune with pooled, map-free
+// scratch: the tree is remapped to local indices, incident-edge lists
+// become a CSR in r.Edges order, and the same lazily revalidated max-heap
+// drives leaf selection — heap order (score desc, r.Nodes position asc)
+// replicates the reference scan's strict-max-plus-first-position pick, so
+// the pruned tree is identical (golden-tested against quotaPruneScan).
+func (q *quotaState) quotaPrune(r *Result, quota int64) {
+	if len(r.Nodes) <= 1 {
+		return
+	}
+	q.pruneSetup(r)
+	if !q.phReady {
+		q.ph.Init(pruneBetter)
+		q.phReady = true
+	} else {
+		q.ph.Reset()
+	}
+	for i := range r.Nodes {
+		if q.deg[i] == 1 {
+			q.prunePush(r, int32(i))
+		}
+	}
+	for {
+		if q.chk.Tick() {
+			return // partial prune; the abandoned result is discarded upstream
+		}
+		c, ok := q.ph.Pop()
+		if !ok {
+			break // no removable leaf left
+		}
+		v := c.node
+		lv := c.pos
+		if !q.alive[lv] || q.deg[lv] != 1 || !q.edgeAlive[c.edge] {
+			continue // stale: the candidate (or its edge) died since the push
+		}
+		if r.Weight-q.weights[v] < quota {
+			continue // permanent: the remaining weight only decreases
+		}
+		e := q.edges[r.Edges[c.edge]]
+		if e.Cost <= 0 && q.weights[v] > 0 {
+			break
+		}
+		q.alive[lv] = false
+		q.edgeAlive[c.edge] = false
+		other := e.U
+		if other == v {
+			other = e.V
+		}
+		lo := q.pos[other]
+		q.deg[lo]--
+		q.deg[lv]--
+		r.Weight -= q.weights[v]
+		r.Length -= e.Cost
+		if q.alive[lo] && q.deg[lo] == 1 {
+			q.prunePush(r, lo) // its single alive edge is fixed from here on
+		}
+	}
+	q.pruneCompact(r)
+}
+
+// quotaPruneScan is the pooled mirror of the original O(|T|²) rescan
+// prune, kept as the golden oracle for quotaPrune.
+func (q *quotaState) quotaPruneScan(r *Result, quota int64) {
+	if len(r.Nodes) <= 1 {
+		return
+	}
+	q.pruneSetup(r)
 	for {
 		if q.chk.Tick() {
 			return // partial prune; the abandoned result is discarded upstream
@@ -200,13 +304,7 @@ func (q *quotaState) quotaPrune(r *Result, quota int64) {
 			if ei < 0 {
 				continue
 			}
-			length := q.edges[r.Edges[ei]].Cost
-			var score float64
-			if q.weights[v] == 0 {
-				score = math.Inf(1) // free removal
-			} else {
-				score = length / float64(q.weights[v])
-			}
+			score := pruneScore(q.edges[r.Edges[ei]].Cost, q.weights[v])
 			if score > bestScore {
 				bestScore = score
 				bestLeaf = v
@@ -231,20 +329,7 @@ func (q *quotaState) quotaPrune(r *Result, quota int64) {
 		r.Weight -= q.weights[bestLeaf]
 		r.Length -= e.Cost
 	}
-	// Compact in place, preserving order.
-	nodes := r.Nodes[:0]
-	for _, v := range r.Nodes {
-		if q.alive[q.pos[v]] {
-			nodes = append(nodes, v)
-		}
-	}
-	edges := r.Edges[:0]
-	for i, ei := range r.Edges {
-		if q.edgeAlive[i] {
-			edges = append(edges, ei)
-		}
-	}
-	r.Nodes, r.Edges = nodes, edges
+	q.pruneCompact(r)
 }
 
 // GargSolver is the pooled Garg quota solver: the same λ binary search
@@ -265,10 +350,35 @@ type GargSolver struct {
 	cacheLam   []float64     // sorted ascending
 	cacheTrees [][]pcst.Tree // parallel to cacheLam
 
+	// λ-cache persistence: a solver-owned snapshot of the scaled quota
+	// graph. When Reset sees the same graph again (queries over one
+	// scaling share it), the λ-cache and the GW runs it holds survive the
+	// reset instead of being recomputed from scratch. The snapshot is a
+	// deep copy because callers reuse and rewrite their edge/weight
+	// buffers between queries; quotaState.edges/weights point at the
+	// snapshot, never at the caller's slices.
+	snapN       int
+	snapEdges   []pcst.Edge
+	snapWeights []int64
+	snapValid   bool
+	lamReuses   uint64
+
 	inTree []bool
 	h      container.Heap[primItem]
 	hReady bool
 }
+
+// maxLamCache caps how many distinct λ values one snapshot may cache.
+// Every cached GW run pins trees in the PCST solver's arenas (which only
+// a full reset reclaims), so a full cache forces the slow Reset path,
+// bounding memory under an adversarial λ sequence. 48 binary-search
+// midpoints per quota are deterministic and shared, so real workloads
+// saturate far below the cap.
+const maxLamCache = 1024
+
+// LamCacheReuses reports how many Resets kept the λ-cache alive because
+// the graph was unchanged. Exposed for tests and instrumentation.
+func (s *GargSolver) LamCacheReuses() uint64 { return s.lamReuses }
 
 type primItem struct {
 	cost float64
@@ -288,11 +398,36 @@ func (s *GargSolver) SetCancel(chk *cancel.Check) {
 }
 
 // Reset points the solver at a new quota graph, reclaiming the previous
-// query's Results, λ-cache, and PCST state.
+// query's Results. When the graph is byte-identical to the previous one
+// (hot queries against a shared scaling), the λ-cache — and the GW runs
+// behind it — persists across the reset: cached trees live in the PCST
+// solver's arenas, which pcst.Solver.Reset alone reclaims, so skipping
+// that reset keeps every cached tree valid. Only the result arenas are
+// reclaimed, preserving the contract that prior Results die at Reset.
 func (s *GargSolver) Reset(n int, edges []pcst.Edge, weights []int64) error {
+	if s.snapValid && n == s.snapN && len(s.cacheLam) < maxLamCache &&
+		slices.Equal(edges, s.snapEdges) && slices.Equal(weights, s.snapWeights) {
+		// Same graph: keep the CSR, component weights, λmax and λ-cache.
+		// Re-point at the snapshot (not the caller's volatile buffers) and
+		// reclaim only what the Reset contract demands.
+		s.edges, s.weights = s.snapEdges, s.snapWeights
+		s.chk = nil
+		s.ps.SetCancel(nil)
+		s.nodeArena.Reset()
+		s.edgeArena.Reset()
+		s.lamReuses++
+		return nil
+	}
 	if err := s.quotaState.reset(n, edges, weights); err != nil {
 		return err
 	}
+	// Snapshot the validated graph so later Resets can recognize it after
+	// the caller rewrites its buffers, and re-point the solver at the copy.
+	s.snapN = n
+	s.snapEdges = append(s.snapEdges[:0], edges...)
+	s.snapWeights = append(s.snapWeights[:0], weights...)
+	s.snapValid = true
+	s.edges, s.weights = s.snapEdges, s.snapWeights
 	s.ps.Reset()
 	s.ps.SetCancel(nil)
 	s.cacheLam = s.cacheLam[:0]
@@ -427,6 +562,13 @@ func (s *GargSolver) quotaTreeAt(lambda float64, quota int64) (*pcst.Tree, int64
 			// a bug in one query's optimization must fail that query, not
 			// the process hosting it.
 			return nil, 0, fmt.Errorf("kmst: pcst solve (lambda %g): %w", lambda, err)
+		}
+		if s.chk.Cancelled() {
+			// A cancelled Solve legitimately returns no trees. The λ-cache
+			// now outlives the query, so caching that empty run would serve
+			// a poisoned "no tree at λ" answer to later, uncancelled
+			// queries; the caller is unwinding anyway.
+			return nil, 0, nil
 		}
 		s.cacheLam = append(s.cacheLam, 0)
 		copy(s.cacheLam[idx+1:], s.cacheLam[idx:])

@@ -242,6 +242,31 @@ func (v *Vocabulary) PrepareQueryInto(keywords []string, s *QueryScratch) Query 
 	return q
 }
 
+// FNV-1a constants for Query.Signature (FNV-0 64-bit offset basis and
+// prime, Fowler/Noll/Vo).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// Signature returns a 64-bit FNV-1a hash of the query's term IDs in
+// order. It identifies a prepared query for caching: two queries over the
+// same vocabulary with equal Terms always produce equal signatures, and
+// the hash allocates nothing. It is a hash, not an identity — caches
+// keyed by it must verify the full term list (and the IDF weights, which
+// can drift as documents are indexed) before trusting an entry.
+func (q Query) Signature() uint64 {
+	h := uint64(fnvOffset64)
+	for _, t := range q.Terms {
+		x := uint32(t)
+		h = (h ^ uint64(x&0xff)) * fnvPrime64
+		h = (h ^ uint64(x>>8&0xff)) * fnvPrime64
+		h = (h ^ uint64(x>>16&0xff)) * fnvPrime64
+		h = (h ^ uint64(x>>24)) * fnvPrime64
+	}
+	return h
+}
+
 // Score computes σ(o.ψ, Q.ψ) for a document under the query, exactly as
 // Equation (2): (1/W_{Q.ψ}) Σ_{t ∈ Q.ψ ∩ o.ψ} w_{Q.ψ,t} · wto(t).
 func (q Query) Score(d *Doc) float64 {

@@ -355,27 +355,57 @@ type StoreStats struct {
 	CacheHits, CacheMisses, CacheEvictions uint64
 	// CachedPages is the number of pages currently resident.
 	CachedPages int
+	// ScoreCache holds the hot-query score cache counters when one is
+	// enabled (SetScoreCache); nil otherwise. It is store-independent —
+	// in-memory databases report it too.
+	ScoreCache *ScoreCacheStats
+}
+
+// ScoreCacheStats are the hot-query score cache counters: hits and misses
+// of per-(cell, query) cached score replays, entries evicted by the
+// bounded clock, and the current live entry count.
+type ScoreCacheStats struct {
+	Hits, Misses, Evictions uint64
+	Entries                 int
 }
 
 // StoreStats returns posting-store statistics, or ok == false when the
-// Database uses the in-memory store.
+// Database uses the in-memory store and no score cache is enabled.
 func (db *Database) StoreStats() (st StoreStats, ok bool) {
+	if cs, cacheOK := db.ds.Index.ScoreCacheStats(); cacheOK {
+		st.ScoreCache = &ScoreCacheStats{
+			Hits:      cs.Hits,
+			Misses:    cs.Misses,
+			Evictions: cs.Evictions,
+			Entries:   cs.Entries,
+		}
+		ok = true
+	}
 	s, hasStats := db.ds.Index.Store().(interface{ CacheStats() btree.CacheStats })
 	if !hasStats {
-		return StoreStats{}, false
+		return st, ok
 	}
 	cs := s.CacheStats()
-	st = StoreStats{
-		Shards:         1,
-		CacheHits:      cs.Hits,
-		CacheMisses:    cs.Misses,
-		CacheEvictions: cs.Evictions,
-		CachedPages:    cs.Resident,
-	}
+	st.Shards = 1
+	st.CacheHits = cs.Hits
+	st.CacheMisses = cs.Misses
+	st.CacheEvictions = cs.Evictions
+	st.CachedPages = cs.Resident
 	if n, ok := s.(interface{ NumShards() int }); ok {
 		st.Shards = n.NumShards()
 	}
 	return st, true
+}
+
+// SetScoreCache enables a bounded cache of roughly `entries` per-(cell,
+// query) partial score contributions on the search path, or disables it
+// when entries <= 0 (the default). Cached entries are keyed by the index
+// update epoch, so every Insert/Delete/Reweight/Compact invalidates them
+// wholesale; hot repeated queries then serve their interior cells from
+// cache without touching the posting store, with answers bit-identical
+// to the uncached path. Counters surface through StoreStats.
+func (db *Database) SetScoreCache(entries int) {
+	db.ds.Index.SetScoreCache(entries)
 }
 
 // NumNodes returns the number of road-network nodes.
@@ -438,6 +468,23 @@ func (db *Database) Bounds() Rect { return fromGeo(db.ds.Graph.BBox()) }
 // the length budget.
 func (db *Database) GenQueries(rng *rand.Rand, count, numKeywords int, areaM2, delta float64) ([]Query, error) {
 	qs, err := db.ds.GenQueries(rng, count, numKeywords, areaM2, delta)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Query, len(qs))
+	for i, q := range qs {
+		out[i] = Query{Keywords: q.Keywords, Delta: q.Delta, Region: fromGeo(q.Lambda)}
+	}
+	return out, nil
+}
+
+// GenHotspotQueries generates a Zipfian hot-spot workload: `hotspots`
+// distinct base queries (generated exactly as GenQueries does) replayed
+// `count` times with Zipf(zipfS) popularity, the first base query being
+// the hottest. zipfS must be > 1; around 1.1–1.5 matches real map-search
+// skew. This is the workload SetScoreCache is built for.
+func (db *Database) GenHotspotQueries(rng *rand.Rand, count, hotspots, numKeywords int, areaM2, delta, zipfS float64) ([]Query, error) {
+	qs, err := db.ds.GenHotspotQueries(rng, count, hotspots, numKeywords, areaM2, delta, zipfS)
 	if err != nil {
 		return nil, err
 	}

@@ -97,7 +97,7 @@ func (b httpBackend) Query(ctx context.Context, req httpapi.QueryRequest) (httpa
 // Stats implements httpapi.Backend.
 func (b httpBackend) Stats() httpapi.Stats {
 	st := b.s.Stats()
-	return httpapi.Stats{
+	out := httpapi.Stats{
 		Served:  st.Served,
 		Matched: st.Matched,
 		Errors:  st.Errors,
@@ -109,6 +109,15 @@ func (b httpBackend) Stats() httpapi.Stats {
 		P99Ms:   httpapi.MillisOf(st.P99),
 		MaxMs:   httpapi.MillisOf(st.Max),
 	}
+	if ss, ok := b.s.db.StoreStats(); ok && ss.ScoreCache != nil {
+		out.ScoreCache = &httpapi.ScoreCacheStats{
+			Hits:      ss.ScoreCache.Hits,
+			Misses:    ss.ScoreCache.Misses,
+			Evictions: ss.ScoreCache.Evictions,
+			Entries:   ss.ScoreCache.Entries,
+		}
+	}
+	return out
 }
 
 // toWireRegion converts a public Result into its wire form.

@@ -283,3 +283,53 @@ func TestHTTPMethodOverrideOnNonDefaultServer(t *testing.T) {
 		t.Fatalf("default-path score %v, want APP %v", wr.Regions[0].Score, wantAPP.Score)
 	}
 }
+
+// TestHTTPStatsScoreCache checks that enabling the hot-query score cache
+// surfaces its counters on GET /stats — and that repeating a query over
+// the HTTP path actually hits it.
+func TestHTTPStatsScoreCache(t *testing.T) {
+	db, qs := serveWorkload(t)
+	db.SetScoreCache(256)
+	srv, err := db.Serve(ServeOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.HTTPHandler(HTTPOptions{Timeout: time.Minute}))
+	defer ts.Close()
+
+	body := httpQueryBody(qs[0], "", 0, 0)
+	for i := 0; i < 3; i++ {
+		if status, wr := postQuery(t, ts.URL, body); status != http.StatusOK {
+			t.Fatalf("query %d: status %d (%s)", i, status, wr.Error)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st struct {
+		Served     int64 `json:"served"`
+		ScoreCache *struct {
+			Hits    uint64 `json:"hits"`
+			Misses  uint64 `json:"misses"`
+			Entries int    `json:"entries"`
+		} `json:"score_cache"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Served != 3 {
+		t.Fatalf("served = %d, want 3", st.Served)
+	}
+	if st.ScoreCache == nil {
+		t.Fatal("stats carry no score_cache fragment with the cache enabled")
+	}
+	if st.ScoreCache.Misses == 0 || st.ScoreCache.Entries == 0 {
+		t.Fatalf("cache never filled: %+v", *st.ScoreCache)
+	}
+	if st.ScoreCache.Hits == 0 {
+		t.Fatalf("repeated query never hit the cache: %+v", *st.ScoreCache)
+	}
+}
