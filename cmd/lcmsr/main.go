@@ -13,6 +13,8 @@
 //	lcmsr -shards 4 -postings /data/store -updates 500   # mutate, compact, persist
 //	lcmsr -open -postings /data/store -queries 50        # reopen the same store
 //	lcmsr -scrub /data/store                 # verify a posting store offline
+//	lcmsr -node -cells 0:800 -listen :7070   # cluster node: serve cells [0, 800)
+//	lcmsr -coord -nodes :7070,:7071 -http :8080          # coordinator over the nodes
 //
 // -area is the Q.Λ area in km²; -delta the length budget in metres. With
 // -auto the keywords and region are drawn by the workload generator.
@@ -64,6 +66,16 @@
 // of each shard — prints a per-shard report, and exits 1 if any shard is
 // corrupt. Run it after a crash (or on a restore) before trusting the
 // store.
+//
+// With -node the command serves this process's cells of the grid over a
+// narrow TCP protocol for a coordinator: -cells A:B assigns the half-open
+// cell range (recorded in a disk store's MANIFEST so a reopen can omit
+// it), -listen picks the address. With -coord -nodes a,b,... the command
+// fronts those nodes instead of searching locally: the node cell ranges
+// must tile the grid (replicas share a range), answers are bit-identical
+// to single-process serving, and -quota-rate/-quota-burst enable
+// per-client admission control. Combine -coord with -http for the JSON
+// API; without it the workload is replayed through the cluster.
 package main
 
 import (
@@ -115,6 +127,13 @@ func main() {
 		httpAddr   = flag.String("http", "", "listen on this address (e.g. :8080) and answer POST /query, GET /stats as JSON (implies -serve; no workload replay)")
 		timeout    = flag.Duration("timeout", 0, "serve mode: per-request timeout (0 = unbounded)")
 		queueAge   = flag.Duration("max-queue-age", 0, "serve mode: shed requests queued longer than this (0 = no shedding)")
+		node       = flag.Bool("node", false, "cluster node mode: serve this database's cells over TCP for a coordinator (see -cells, -listen)")
+		cells      = flag.String("cells", "", "node mode: owned cell range as A:B (half-open); empty adopts the range recorded in the store's MANIFEST")
+		listen     = flag.String("listen", ":7070", "node mode: TCP listen address")
+		coord      = flag.Bool("coord", false, "coordinator mode: answer queries by scattering to the cluster nodes at -nodes")
+		nodesFlag  = flag.String("nodes", "", "coordinator mode: comma-separated node addresses (host:port); their cell ranges must tile the grid")
+		quotaRate  = flag.Float64("quota-rate", 0, "coordinator mode: per-client sustained request rate (token bucket); 0 disables quotas")
+		quotaBurst = flag.Float64("quota-burst", 0, "coordinator mode: per-client burst capacity; 0 = max(1, quota-rate)")
 		scrub      = flag.String("scrub", "", "verify the posting store at this path (every page checksum, tree shape, free list) and exit; non-zero exit on corruption")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the query phase to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile after the query phase to this file")
@@ -202,6 +221,11 @@ func main() {
 		}
 	}
 
+	if *node {
+		runNode(db, *cells, *listen)
+		return
+	}
+
 	var q repro.Query
 	if *auto || *keywords == "" {
 		rng := rand.New(rand.NewSource(*seed + 100))
@@ -244,6 +268,9 @@ func main() {
 	}
 
 	switch {
+	case *coord:
+		runCoord(db, q, opts, *nodesFlag, *httpAddr, *queries, *parallel, *timeout, *queueAge,
+			*seed, *areaKm2, *delta, *auto || *keywords == "", *hotspots, *zipfS, *quotaRate, *quotaBurst)
 	case *httpAddr != "": // -http implies serve mode
 		runHTTP(db, opts, *httpAddr, *parallel, *timeout, *queueAge)
 	case *serve:
@@ -506,6 +533,151 @@ func runServe(db *repro.Database, q repro.Query, opts repro.SearchOptions, n, wo
 	}
 	if nf := failed.Load(); nf > 0 {
 		fatal(fmt.Errorf("%d/%d serve requests failed; first error: %w", nf, n, firstErr))
+	}
+}
+
+// runNode serves the database's cells as one cluster node until SIGINT
+// or SIGTERM. The cell range comes from -cells A:B, or — on a reopened
+// disk store — from the assignment recorded in the MANIFEST; an explicit
+// -cells on a disk-backed store records the assignment for next time.
+func runNode(db *repro.Database, cells, listen string) {
+	var lo, hi uint32
+	if cells != "" {
+		if _, err := fmt.Sscanf(cells, "%d:%d", &lo, &hi); err != nil || lo >= hi {
+			usage(fmt.Sprintf("-cells %q: want A:B with A < B", cells))
+		}
+		// Persist the assignment when the store can hold it, so a reopen
+		// serves the same cells without -cells; in-memory stores just skip.
+		if err := db.RecordCellRange(lo, hi); err == nil {
+			fmt.Printf("node: cell assignment [%d, %d) recorded in MANIFEST\n", lo, hi)
+		}
+	}
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		fatal(err)
+	}
+	cn, err := db.ServeClusterNode(ln, lo, hi)
+	if err != nil {
+		_ = ln.Close()
+		fatal(err)
+	}
+	alo, ahi := cn.CellRange()
+	fmt.Printf("node: serving cells [%d, %d) of %d on %s\n", alo, ahi, db.NumCells(), cn.Addr())
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	fmt.Printf("node: %v, shutting down\n", s)
+	if err := cn.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "lcmsr: node close:", err)
+	}
+}
+
+// runCoord fronts the cluster at -nodes: with -http it serves the HTTP
+// API until SIGINT/SIGTERM, otherwise it replays the workload through
+// the coordinator closed-loop and prints throughput, latency, and the
+// cluster routing counters.
+func runCoord(db *repro.Database, q repro.Query, opts repro.SearchOptions, nodes, httpAddr string,
+	n, workers int, timeout, queueAge time.Duration,
+	seed int64, areaKm2, delta float64, generated bool, hotspots int, zipfS float64,
+	quotaRate, quotaBurst float64) {
+	if nodes == "" {
+		usage("-coord needs -nodes host:port,...")
+	}
+	var quota *repro.ClusterQuota
+	if quotaRate > 0 {
+		quota = &repro.ClusterQuota{RatePerSec: quotaRate, Burst: quotaBurst}
+	}
+	cl, err := db.OpenCluster(repro.ClusterOptions{
+		Nodes: strings.Split(nodes, ","),
+		Serve: repro.ServeOptions{Workers: workers, Search: opts, MaxQueueAge: queueAge},
+		Quota: quota,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	printCluster := func() {
+		st := cl.Stats()
+		fmt.Printf("cluster: %d searches, %d skipped (rect), %d skipped (term), %d retries, %d no-replica, %d quota-denied over %d group(s)\n",
+			st.Searches, st.SkippedRect, st.SkippedTerm, st.Retries, st.NoReplica, st.QuotaDenied, st.Groups)
+		for _, ns := range st.Nodes {
+			fmt.Printf("  node %s cells [%d, %d): %d sent, %d errors, p50=%v p95=%v p99=%v (%d samples)\n",
+				ns.Addr, ns.CellLo, ns.CellHi, ns.Sent, ns.Errors, ns.P50, ns.P95, ns.P99, ns.Samples)
+		}
+	}
+	if httpAddr != "" {
+		hs := &http.Server{Addr: httpAddr, Handler: cl.HTTPHandler(repro.HTTPOptions{Timeout: timeout})}
+		ln, err := net.Listen("tcp", httpAddr)
+		if err != nil {
+			cl.Close()
+			fatal(err)
+		}
+		fmt.Printf("coord: %d node(s), serving POST /query and GET /stats on %s (method=%v timeout=%v)\n",
+			len(cl.Stats().Nodes), ln.Addr(), opts.Method, timeout)
+		done := make(chan error, 1)
+		go func() { done <- hs.Serve(ln) }()
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		select {
+		case err := <-done:
+			cl.Close()
+			fatal(err)
+		case s := <-sig:
+			fmt.Printf("coord: %v, shutting down\n", s)
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if err := hs.Shutdown(ctx); err != nil {
+				fmt.Fprintln(os.Stderr, "lcmsr: shutdown:", err)
+			}
+			printCluster()
+			cl.Close()
+		}
+		return
+	}
+	qs := workloadQueries(db, q, n, seed, areaKm2, delta, generated, hotspots, zipfS)
+	var (
+		wg       sync.WaitGroup
+		failed   atomic.Int64
+		next     atomic.Int64
+		errOnce  sync.Once
+		firstErr error
+	)
+	clients := 2 * workers
+	if clients <= 0 {
+		clients = 2 * runtime.GOMAXPROCS(0)
+	}
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(qs) {
+					return
+				}
+				ctx := context.Background()
+				if timeout > 0 {
+					var cancel context.CancelFunc
+					ctx, cancel = context.WithTimeout(ctx, timeout)
+					defer cancel()
+				}
+				if resp := cl.Do(ctx, repro.Request{Query: qs[i]}); resp.Err != nil {
+					failed.Add(1)
+					errOnce.Do(func() { firstErr = resp.Err })
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	st := cl.ServeStats()
+	fmt.Printf("coord: %d queries over the cluster: %.3fs total, %.1f queries/s, %d matched, %d failed\n",
+		len(qs), elapsed.Seconds(), float64(len(qs))/elapsed.Seconds(), st.Matched, failed.Load())
+	fmt.Printf("latency: p50=%v p95=%v p99=%v max=%v (window %d)\n", st.P50, st.P95, st.P99, st.Max, st.Window)
+	printCluster()
+	cl.Close()
+	if nf := failed.Load(); nf > 0 {
+		fatal(fmt.Errorf("%d/%d cluster requests failed; first error: %w", nf, len(qs), firstErr))
 	}
 }
 

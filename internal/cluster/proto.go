@@ -1,0 +1,163 @@
+// Package cluster distributes LCMSR serving across processes: the grid's
+// cell space [0, NumCells) is split into contiguous ranges, each owned by
+// one or more node processes (replicas), with a thin coordinator in front
+// that scatters a query's rectangle to the owning nodes, gathers their
+// partial scores, and merges them into exactly the result a single
+// process would have computed.
+//
+// The correctness backbone is the partition property documented on
+// grid.SearchRangeInto: every object's postings live entirely in its one
+// grid cell, so partial searches over disjoint cell ranges return
+// disjoint per-object score sets, each computed node-side with the same
+// floating-point accumulation order a single process uses. The
+// coordinator's merge is concatenate + sort by object id — no arithmetic
+// — so distributed answers are bit-identical to single-process answers
+// (the wire is JSON, and Go's float64 JSON encoding round-trips exactly).
+//
+// The transport is deliberately small: length-prefixed JSON frames over
+// TCP, request/response per frame, no external dependencies.
+package cluster
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// maxFrame bounds a frame body; a peer announcing more is broken or
+// hostile, and the connection is dropped rather than the memory allocated.
+const maxFrame = 64 << 20
+
+// Protocol operations.
+const (
+	opHello   = "hello"
+	opPartial = "partial"
+	opStats   = "stats"
+	opHealth  = "health"
+)
+
+// Error kinds carried in responses, so the coordinator can tell a
+// retryable storage fault from a permanent request error without parsing
+// message strings.
+const (
+	kindShardIO = "shardio" // grid.ErrShardIO: retry on a replica
+	kindBad     = "bad"     // malformed request: do not retry
+)
+
+// request is the coordinator→node frame.
+type request struct {
+	Op string `json:"op"`
+
+	// partial search (opPartial)
+	Terms []int32   `json:"terms,omitempty"` // textindex.TermID values, sorted
+	IDF   []float64 `json:"idf,omitempty"`
+	Norm  float64   `json:"norm,omitempty"`
+	Rect  *wireRect `json:"rect,omitempty"`
+	// TimeoutMillis is the caller's remaining budget; the node bounds its
+	// own I/O with it so a node stuck on storage cannot hold the
+	// connection past the client's deadline.
+	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
+}
+
+type wireRect struct {
+	MinX float64 `json:"x0"`
+	MinY float64 `json:"y0"`
+	MaxX float64 `json:"x1"`
+	MaxY float64 `json:"y1"`
+}
+
+// wireScore is one per-object partial score. Score is final (including
+// the query-norm division), computed entirely node-side.
+type wireScore struct {
+	Obj   int32   `json:"o"`
+	Score float64 `json:"s"`
+}
+
+// NodeStats is the node-side counter snapshot returned by opStats and
+// aggregated into the coordinator's cluster stats.
+type NodeStats struct {
+	CellLo     uint32 `json:"cell_lo"`
+	CellHi     uint32 `json:"cell_hi"`
+	Objects    int    `json:"objects"`
+	Served     int64  `json:"served"`
+	Errors     int64  `json:"errors"`
+	Tombstones int    `json:"tombstones"`
+}
+
+// response is the node→coordinator frame.
+type response struct {
+	Err     string `json:"err,omitempty"`
+	ErrKind string `json:"err_kind,omitempty"`
+
+	// hello
+	CellLo   uint32  `json:"cell_lo,omitempty"`
+	CellHi   uint32  `json:"cell_hi,omitempty"`
+	NumCells int     `json:"num_cells,omitempty"`
+	Objects  int     `json:"objects,omitempty"`
+	Terms    []int32 `json:"terms,omitempty"` // term-directory summary for skip routing
+
+	// partial
+	Scores []wireScore `json:"scores,omitempty"`
+
+	// stats
+	Stats *NodeStats `json:"stats,omitempty"`
+}
+
+// writeFrame marshals v and writes it as one length-prefixed frame.
+func writeFrame(w io.Writer, v any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("cluster: encode frame: %w", err)
+	}
+	if len(body) > maxFrame {
+		return fmt.Errorf("cluster: frame of %d bytes exceeds the %d limit", len(body), maxFrame)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// readFrame reads one length-prefixed frame into v.
+func readFrame(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return fmt.Errorf("cluster: peer announced a %d-byte frame (limit %d)", n, maxFrame)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return err
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		return fmt.Errorf("cluster: decode frame: %w", err)
+	}
+	return nil
+}
+
+// Typed failure modes of the distributed path.
+var (
+	// ErrNoReplica is returned when every replica of a required cell range
+	// has failed (connection refused, or grid.ErrShardIO from its store):
+	// the query cannot be answered correctly, so it fails fast and typed
+	// instead of returning a silently incomplete result.
+	ErrNoReplica = errors.New("cluster: no replica left for required cell range")
+	// ErrQuotaExceeded is returned by coordinator admission when a
+	// client's token bucket is empty; clients should back off.
+	ErrQuotaExceeded = errors.New("cluster: client quota exceeded")
+	// ErrMismatch is returned when a node's dataset identity (cell count,
+	// object count) disagrees with the coordinator's — serving would give
+	// wrong answers, so the node is refused at Hello time.
+	ErrMismatch = errors.New("cluster: node dataset does not match coordinator")
+	// ErrBadTopology is returned when the nodes' cell ranges do not tile
+	// the coordinator's cell space.
+	ErrBadTopology = errors.New("cluster: node cell ranges do not cover the grid")
+)

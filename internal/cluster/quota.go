@@ -1,0 +1,64 @@
+package cluster
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// QuotaOptions configures per-client token-bucket admission at the
+// coordinator: each client id gets a bucket holding up to Burst tokens,
+// refilled at RatePerSec; a request costs one token. A client that
+// exhausts its bucket is answered ErrQuotaExceeded until it refills —
+// one hot client cannot starve the rest of the fleet.
+type QuotaOptions struct {
+	// RatePerSec is the sustained request rate allowed per client.
+	RatePerSec float64
+	// Burst is the bucket capacity; <= 0 means max(1, RatePerSec).
+	Burst float64
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+type quotaTable struct {
+	opts   QuotaOptions
+	mu     sync.Mutex
+	m      map[string]*bucket
+	denied atomic.Int64
+}
+
+func newQuotaTable(opts QuotaOptions) *quotaTable {
+	if opts.Burst <= 0 {
+		opts.Burst = opts.RatePerSec
+		if opts.Burst < 1 {
+			opts.Burst = 1
+		}
+	}
+	return &quotaTable{opts: opts, m: make(map[string]*bucket)}
+}
+
+// take spends one token from client's bucket, reporting whether one was
+// available.
+func (q *quotaTable) take(client string) bool {
+	now := time.Now()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b := q.m[client]
+	if b == nil {
+		b = &bucket{tokens: q.opts.Burst, last: now}
+		q.m[client] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * q.opts.RatePerSec
+	if b.tokens > q.opts.Burst {
+		b.tokens = q.opts.Burst
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}

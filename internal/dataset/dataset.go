@@ -11,12 +11,14 @@
 package dataset
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"sync"
 
 	"repro/internal/gen"
+	"repro/internal/geo"
 	"repro/internal/grid"
 	"repro/internal/roadnet"
 	"repro/internal/textindex"
@@ -45,6 +47,10 @@ type Dataset struct {
 	// nil means every object rates 1.
 	Ratings []float64
 	Index   *grid.Index
+	// searchFn, when non-nil, replaces Index.SearchInto in the planners
+	// (distributed serving routes the search through a coordinator).
+	// Guarded by mu like the other query-visible state.
+	searchFn SearchFunc
 }
 
 // RLock takes the dataset's read lock; callers reading Objects, Vocab,
@@ -53,6 +59,23 @@ func (d *Dataset) RLock() { d.mu.RLock() }
 
 // RUnlock releases RLock.
 func (d *Dataset) RUnlock() { d.mu.RUnlock() }
+
+// SearchFunc is a replacement for the planner's object-relevance search.
+// It must return exactly what Index.SearchInto would: every matching
+// object in the rectangle with its final score, ascending by object id,
+// bit-identical — distributed serving (internal/cluster) installs one
+// that scatters the search across node processes. ctx carries the
+// request's deadline.
+type SearchFunc func(ctx context.Context, q textindex.Query, r geo.Rect, s *grid.SearchScratch) ([]grid.ObjScore, error)
+
+// SetSearchFunc installs fn as the search the planners use (nil restores
+// the local index search). Set it before serving begins; it applies to
+// planners created before or after the call.
+func (d *Dataset) SetSearchFunc(fn SearchFunc) {
+	d.mu.Lock()
+	d.searchFn = fn
+	d.mu.Unlock()
+}
 
 // Config controls synthetic dataset construction.
 type Config struct {

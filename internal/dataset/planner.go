@@ -1,6 +1,7 @@
 package dataset
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -51,6 +52,14 @@ func (p *Planner) SolveScratch() *core.SolveScratch { return &p.solve }
 // the summed relevance of the objects mapped to it, zero for junctions and
 // irrelevant objects. The result aliases the planner's pooled buffers.
 func (p *Planner) Instantiate(q Query) (*QueryInstance, error) {
+	return p.InstantiateCtx(context.Background(), q)
+}
+
+// InstantiateCtx is Instantiate with a request context: when the dataset
+// has a SearchFunc installed (distributed serving), ctx carries the
+// request deadline down to the remote scatter. The local search path
+// ignores ctx.
+func (p *Planner) InstantiateCtx(ctx context.Context, q Query) (*QueryInstance, error) {
 	d := p.d
 	// Reads of Vocab/Objects/ObjNode/Ratings race with live mutators;
 	// hold the dataset read lock for the whole materialization.
@@ -64,7 +73,13 @@ func (p *Planner) Instantiate(q Query) (*QueryInstance, error) {
 	// SearchInto/PrepareQueryInto variants keep the steady-state relevance
 	// path allocation-free (the language-model side path still allocates
 	// its LMQuery).
-	scores, err := d.Index.SearchInto(prepared, q.Lambda, &p.sscratch)
+	var scores []grid.ObjScore
+	var err error
+	if d.searchFn != nil {
+		scores, err = d.searchFn(ctx, prepared, q.Lambda, &p.sscratch)
+	} else {
+		scores, err = d.Index.SearchInto(prepared, q.Lambda, &p.sscratch)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("dataset: index search: %w", err)
 	}

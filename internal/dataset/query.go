@@ -205,6 +205,40 @@ func (d *Dataset) Instantiate(q Query) (*QueryInstance, error) {
 	return d.NewPlanner().Instantiate(q)
 }
 
+// Detach returns a self-contained deep copy of qi: the subgraph is
+// compact-copied (roadnet.Subgraph.Compact — no parent-sized remap
+// arrays, no aliasing of extractor scratch), the instance, object lists,
+// and prepared query get fresh right-sized storage, and the solver
+// scratch is its own. The copy stays valid across later Instantiate
+// calls on the owning planner and retains O(subgraph) memory, so a
+// driver can pin one instance per query of a workload (see
+// internal/experiments) while still instantiating through one pooled
+// planner.
+func (qi *QueryInstance) Detach() (*QueryInstance, error) {
+	in, err := core.NewInstance(qi.In.NumNodes,
+		append([]core.Edge(nil), qi.In.Edges...),
+		append([]float64(nil), qi.In.Weights...))
+	if err != nil {
+		return nil, fmt.Errorf("dataset: detach: %w", err)
+	}
+	nodeObjs := make([][]grid.ObjectID, len(qi.NodeObjects))
+	for i, objs := range qi.NodeObjects {
+		if len(objs) > 0 {
+			nodeObjs[i] = append([]grid.ObjectID(nil), objs...)
+		}
+	}
+	prepared := qi.Prepared
+	prepared.Terms = append([]textindex.TermID(nil), qi.Prepared.Terms...)
+	prepared.IDF = append([]float64(nil), qi.Prepared.IDF...)
+	return &QueryInstance{
+		In:          in,
+		Sub:         qi.Sub.Compact(),
+		NodeObjects: nodeObjs,
+		Prepared:    prepared,
+		Scratch:     &core.SolveScratch{},
+	}, nil
+}
+
 // rating returns the object's popularity score (1 when none recorded).
 func (d *Dataset) rating(id grid.ObjectID) float64 {
 	if int(id) >= len(d.Ratings) {

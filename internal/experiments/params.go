@@ -251,15 +251,20 @@ func (e *Env) Table1() (Table, error) {
 	return table, nil
 }
 
-// instantiateAll materializes instances for a query slice.
+// instantiateAll materializes instances for a query slice through one
+// pooled planner, detaching each instance so pinning the whole workload
+// costs O(Σ subgraph) — not one parent-sized planner per query.
 func instantiateAll(d *dataset.Dataset, qs []dataset.Query) ([]*dataset.QueryInstance, error) {
+	p := d.NewPlanner()
 	out := make([]*dataset.QueryInstance, len(qs))
 	for i, q := range qs {
-		qi, err := d.Instantiate(q)
+		qi, err := p.Instantiate(q)
 		if err != nil {
 			return nil, err
 		}
-		out[i] = qi
+		if out[i], err = qi.Detach(); err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }

@@ -181,6 +181,91 @@ func TestManifestChecksum(t *testing.T) {
 	}
 }
 
+// TestManifestUpgradeReopenCycle: the legacy 3-line path end to end —
+// legacy open upgrades the header in place, the store then reopens on the
+// checksummed path with its data intact, and the upgraded header accepts
+// a later cell-range assignment that itself survives reopen.
+func TestManifestUpgradeReopenCycle(t *testing.T) {
+	dir := buildShardedStore(t, 2)
+	mpath := filepath.Join(dir, manifestName)
+	raw, err := os.ReadFile(mpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Rewind the header to the legacy checksum-free format.
+	lines := strings.SplitN(string(raw), "\n", 4)
+	legacy := lines[0] + "\n" + lines[1] + "\n" + lines[2] + "\n"
+	if err := os.WriteFile(mpath, []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Legacy open upgrades; the data must be readable through it.
+	s, err := OpenShardedStore(dir)
+	if err != nil {
+		t.Fatalf("legacy open: %v", err)
+	}
+	if ps, err := s.Postings(CellKey{Cell: 7, Term: 3}); err != nil || len(ps) != 8 {
+		t.Fatalf("postings through legacy-opened store: %d, %v (want 8, nil)", len(ps), err)
+	}
+	if _, _, ok := s.CellRange(); ok {
+		t.Error("legacy store reports a cell range it never recorded")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: now on the checksummed path, same data, no further rewrite.
+	s, err = OpenShardedStore(dir)
+	if err != nil {
+		t.Fatalf("reopen after upgrade: %v", err)
+	}
+	if ps, err := s.Postings(CellKey{Cell: 7, Term: 3}); err != nil || len(ps) != 8 {
+		t.Fatalf("postings after reopen: %d, %v (want 8, nil)", len(ps), err)
+	}
+	upgraded, err := os.ReadFile(mpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(upgraded) != string(raw) {
+		t.Errorf("upgrade not byte-stable:\n got %q\nwant %q", upgraded, raw)
+	}
+
+	// Record a cell-range assignment on the upgraded store; it must come
+	// back on the next open, still checksummed (tamper is refused).
+	if err := s.RecordCellRange(10, 20); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s, err = OpenShardedStore(dir)
+	if err != nil {
+		t.Fatalf("reopen after RecordCellRange: %v", err)
+	}
+	lo, hi, ok := s.CellRange()
+	if !ok || lo != 10 || hi != 20 {
+		t.Fatalf("cell range after reopen: [%d, %d) ok=%v, want [10, 20) true", lo, hi, ok)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	withCells, err := os.ReadFile(mpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := strings.Replace(string(withCells), "cells 10 20", "cells 0 99", 1)
+	if tampered == string(withCells) {
+		t.Fatalf("manifest lacks cells line:\n%s", withCells)
+	}
+	if err := os.WriteFile(mpath, []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenShardedStore(dir); !errors.Is(err, ErrBadManifest) {
+		t.Fatalf("tampered cell range opened (err = %v)", err)
+	}
+}
+
 // flakyStore fails the first failEvery-th Postings calls once each: call n
 // fails if n is a designated failure and the immediate retry succeeds —
 // unless permanent is set, in which case designated keys always fail.

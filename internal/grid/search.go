@@ -96,6 +96,19 @@ func (s *SearchScratch) reset(n int) {
 // query fan out across the shards concurrently (the accumulation order —
 // and therefore every floating-point sum — stays identical).
 func (idx *Index) SearchInto(q textindex.Query, r geo.Rect, s *SearchScratch) ([]ObjScore, error) {
+	return idx.SearchRangeInto(q, r, 0, ^uint32(0), s)
+}
+
+// SearchRangeInto is SearchInto restricted to the cells whose id lies in
+// [cellLo, cellHi): it accumulates exactly the contributions SearchInto
+// would accumulate from those cells — same per-cell accumulation order,
+// same floating-point sums — and nothing else. Because every object's
+// postings live entirely in its one cell, the results of SearchRangeInto
+// over a partition of the cell space are disjoint per object, and their
+// union (re-sorted by ObjectID) is bit-identical to one SearchInto over
+// the whole grid. That property is what lets a cluster node answer a
+// partial search for its owned cell range (see internal/cluster).
+func (idx *Index) SearchRangeInto(q textindex.Query, r geo.Rect, cellLo, cellHi uint32, s *SearchScratch) ([]ObjScore, error) {
 	if len(q.Terms) == 0 || q.Norm == 0 {
 		return nil, nil
 	}
@@ -108,7 +121,7 @@ func (idx *Index) SearchInto(q textindex.Query, r geo.Rect, s *SearchScratch) ([
 		return s.out[:0], nil
 	}
 	if idx.sharded != nil {
-		if err := idx.searchSharded(q, r, x0, x1, y0, y1, s); err != nil {
+		if err := idx.searchSharded(q, r, x0, x1, y0, y1, cellLo, cellHi, s); err != nil {
 			return nil, err
 		}
 	} else {
@@ -120,6 +133,9 @@ func (idx *Index) SearchInto(q textindex.Query, r geo.Rect, s *SearchScratch) ([
 		for cy := y0; cy <= y1; cy++ {
 			for cx := x0; cx <= x1; cx++ {
 				cell := uint32(cy*idx.nx + cx)
+				if cell < cellLo || cell >= cellHi {
+					continue
+				}
 				dir := idx.cellDir[cell]
 				if len(dir) == 0 {
 					continue
@@ -215,7 +231,7 @@ func (idx *Index) accumulate(r geo.Rect, ps []Posting, idf float64, fullInside b
 // shard's lock; (3) accumulate — fold the fetched lists into the scratch
 // serially in plan order, which is exactly the serial path's order, so
 // scores stay bit-identical.
-func (idx *Index) searchSharded(q textindex.Query, r geo.Rect, x0, x1, y0, y1 int, s *SearchScratch) error {
+func (idx *Index) searchSharded(q textindex.Query, r geo.Rect, x0, x1, y0, y1 int, cellLo, cellHi uint32, s *SearchScratch) error {
 	sc := idx.scoreCache
 	var sig uint64
 	if sc != nil {
@@ -225,6 +241,9 @@ func (idx *Index) searchSharded(q textindex.Query, r geo.Rect, x0, x1, y0, y1 in
 	for cy := y0; cy <= y1; cy++ {
 		for cx := x0; cx <= x1; cx++ {
 			cell := uint32(cy*idx.nx + cx)
+			if cell < cellLo || cell >= cellHi {
+				continue
+			}
 			dir := idx.cellDir[cell]
 			if len(dir) == 0 {
 				continue

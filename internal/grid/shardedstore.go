@@ -62,6 +62,13 @@ type ShardedStore struct {
 	// high-water mark, ascending — the updates the index layer must re-apply
 	// to its in-memory state.
 	replayed []Update
+
+	// cellMu guards the recorded cell-range assignment (the optional
+	// "cells A B" MANIFEST line, see RecordCellRange).
+	cellMu   sync.Mutex
+	cellLo   uint32
+	cellHi   uint32
+	hasCells bool
 }
 
 // storeShard pairs one B+-tree with the mutex that serializes access to
@@ -107,6 +114,15 @@ func walFileName(i int) string   { return fmt.Sprintf("wal-%04d.log", i) }
 
 func manifestBytes(n int) []byte {
 	body := fmt.Sprintf("%s\nshards %d\npartition %s\n", manifestMagic, n, partitionName)
+	return []byte(body + fmt.Sprintf("crc %08x\n", btree.Checksum([]byte(body))))
+}
+
+// manifestBytesCells is manifestBytes plus the optional "cells A B" line
+// recording the store's cell-range assignment [A, B) in a cluster split.
+// The line sits inside the checksummed body, so a tampered assignment is
+// rejected the same way a tampered shard count is.
+func manifestBytesCells(n int, lo, hi uint32) []byte {
+	body := fmt.Sprintf("%s\nshards %d\npartition %s\ncells %d %d\n", manifestMagic, n, partitionName, lo, hi)
 	return []byte(body + fmt.Sprintf("crc %08x\n", btree.Checksum([]byte(body))))
 }
 
@@ -205,11 +221,12 @@ func openShardedFS(fs storeFS, label string, opts ShardedOptions) (*ShardedStore
 	if err != nil {
 		return nil, fmt.Errorf("grid: sharded store manifest: %w", err)
 	}
-	n, legacy, err := parseManifest(raw, label)
+	mi, err := parseManifest(raw, label)
 	if err != nil {
 		return nil, err
 	}
-	if legacy {
+	n := mi.shards
+	if mi.legacy {
 		// Pre-checksum manifest (three lines, no crc): upgrade in place so
 		// the layout header is protected from here on. The rewrite is
 		// byte-stable — reopening an upgraded store never rewrites again.
@@ -218,6 +235,7 @@ func openShardedFS(fs storeFS, label string, opts ShardedOptions) (*ShardedStore
 		}
 	}
 	s := &ShardedStore{dir: label, fs: fs, noSync: opts.NoSync, cache: opts.CachePages, shards: make([]storeShard, n)}
+	s.hasCells, s.cellLo, s.cellHi = mi.hasCells, mi.cellLo, mi.cellHi
 	errs := make([]error, n)
 	var wg sync.WaitGroup
 	for i := range s.shards {
@@ -250,30 +268,52 @@ func openShardedFS(fs storeFS, label string, opts ShardedOptions) (*ShardedStore
 	return s, nil
 }
 
-// parseManifest validates a MANIFEST image and returns the shard count
-// and whether the image is the legacy three-line (checksum-free) format.
-func parseManifest(raw []byte, label string) (n int, legacy bool, err error) {
+// manifestInfo is the decoded MANIFEST header: the shard layout, the
+// optional cell-range assignment, and whether the image is the legacy
+// three-line (checksum-free) format.
+type manifestInfo struct {
+	shards   int
+	legacy   bool
+	hasCells bool
+	cellLo   uint32
+	cellHi   uint32
+}
+
+// parseManifest validates a MANIFEST image. Accepted shapes: legacy
+// 3-line (magic/shards/partition), 4-line (plus crc), and 5-line (plus
+// "cells A B" before the crc).
+func parseManifest(raw []byte, label string) (manifestInfo, error) {
+	var mi manifestInfo
 	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
-	if len(lines) != 3 && len(lines) != 4 {
-		return 0, false, fmt.Errorf("%w: %s has %d header lines", ErrBadManifest, label, len(lines))
+	if len(lines) < 3 || len(lines) > 5 {
+		return mi, fmt.Errorf("%w: %s has %d header lines", ErrBadManifest, label, len(lines))
 	}
 	if lines[0] != manifestMagic {
-		return 0, false, fmt.Errorf("%w: %s is not a sharded store (magic %q)", ErrBadManifest, label, lines[0])
+		return mi, fmt.Errorf("%w: %s is not a sharded store (magic %q)", ErrBadManifest, label, lines[0])
 	}
-	if len(lines) == 4 {
-		body := lines[0] + "\n" + lines[1] + "\n" + lines[2] + "\n"
-		if lines[3] != fmt.Sprintf("crc %08x", btree.Checksum([]byte(body))) {
-			return 0, false, fmt.Errorf("%w: checksum mismatch in %s (%q)", ErrBadManifest, label, lines[3])
+	if len(lines) >= 4 {
+		body := strings.Join(lines[:len(lines)-1], "\n") + "\n"
+		if lines[len(lines)-1] != fmt.Sprintf("crc %08x", btree.Checksum([]byte(body))) {
+			return mi, fmt.Errorf("%w: checksum mismatch in %s (%q)", ErrBadManifest, label, lines[len(lines)-1])
 		}
 	}
-	n, err = strconv.Atoi(strings.TrimPrefix(lines[1], "shards "))
+	n, err := strconv.Atoi(strings.TrimPrefix(lines[1], "shards "))
 	if err != nil || n <= 0 || n > maxShards {
-		return 0, false, fmt.Errorf("%w: implausible shard count %q in %s", ErrBadManifest, lines[1], label)
+		return mi, fmt.Errorf("%w: implausible shard count %q in %s", ErrBadManifest, lines[1], label)
 	}
 	if p := strings.TrimPrefix(lines[2], "partition "); p != partitionName {
-		return 0, false, fmt.Errorf("%w: unknown shard partition %q in %s", ErrBadManifest, p, label)
+		return mi, fmt.Errorf("%w: unknown shard partition %q in %s", ErrBadManifest, p, label)
 	}
-	return n, len(lines) == 3, nil
+	if len(lines) == 5 {
+		var lo, hi uint32
+		if _, err := fmt.Sscanf(lines[3], "cells %d %d", &lo, &hi); err != nil || lo >= hi {
+			return mi, fmt.Errorf("%w: bad cell range %q in %s", ErrBadManifest, lines[3], label)
+		}
+		mi.hasCells, mi.cellLo, mi.cellHi = true, lo, hi
+	}
+	mi.shards = n
+	mi.legacy = len(lines) == 3
+	return mi, nil
 }
 
 // openWALs opens every shard's log (creating empty ones on a store
@@ -330,6 +370,33 @@ func (s *ShardedStore) NumShards() int { return len(s.shards) }
 // ShardOf returns the shard owning key.
 func (s *ShardedStore) ShardOf(key CellKey) int {
 	return int(key.Cell % uint32(len(s.shards)))
+}
+
+// RecordCellRange records in the MANIFEST that this store holds exactly
+// the cells with id in [lo, hi) of a cluster split, rewriting the header
+// with the assignment inside its checksum. A node opening the store later
+// reads the range back with CellRange and refuses to serve a different
+// assignment — the manifest, not the command line, is the authority on
+// who owns which cells.
+func (s *ShardedStore) RecordCellRange(lo, hi uint32) error {
+	if lo >= hi {
+		return fmt.Errorf("grid: invalid cell range [%d, %d)", lo, hi)
+	}
+	s.cellMu.Lock()
+	defer s.cellMu.Unlock()
+	if err := s.fs.WriteFile(manifestName, manifestBytesCells(len(s.shards), lo, hi), !s.noSync); err != nil {
+		return fmt.Errorf("grid: record cell range: %w", err)
+	}
+	s.hasCells, s.cellLo, s.cellHi = true, lo, hi
+	return nil
+}
+
+// CellRange returns the cell-range assignment recorded in the MANIFEST,
+// if any. ok is false for stores that were never part of a cluster split.
+func (s *ShardedStore) CellRange() (lo, hi uint32, ok bool) {
+	s.cellMu.Lock()
+	defer s.cellMu.Unlock()
+	return s.cellLo, s.cellHi, s.hasCells
 }
 
 // errStoreClosed is returned by operations on a closed sharded store

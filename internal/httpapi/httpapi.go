@@ -22,9 +22,11 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"net"
 	"net/http"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/grid"
 	"repro/internal/queryengine"
 )
@@ -107,9 +109,16 @@ type Stats struct {
 	P95Ms   float64 `json:"p95_ms"`
 	P99Ms   float64 `json:"p99_ms"`
 	MaxMs   float64 `json:"max_ms"`
+	// Tombstones is the count of deleted objects whose postings still
+	// await compaction in the backing index.
+	Tombstones int `json:"tombstones"`
 	// ScoreCache carries the hot-query score cache counters when the
 	// backing database has one enabled; omitted otherwise.
 	ScoreCache *ScoreCacheStats `json:"score_cache,omitempty"`
+	// Cluster carries the coordinator's routing and per-node counters when
+	// the backend serves a multi-node cluster; omitted for single-process
+	// serving.
+	Cluster *ClusterStats `json:"cluster,omitempty"`
 }
 
 // ScoreCacheStats is the /stats fragment for the hot-query score cache.
@@ -118,6 +127,51 @@ type ScoreCacheStats struct {
 	Misses    uint64 `json:"misses"`
 	Evictions uint64 `json:"evictions"`
 	Entries   int    `json:"entries"`
+}
+
+// ClusterStats is the /stats fragment aggregating the whole cluster:
+// coordinator routing counters plus one entry per node connection.
+type ClusterStats struct {
+	Searches    int64              `json:"searches"`
+	SkippedRect int64              `json:"skipped_rect"`
+	SkippedTerm int64              `json:"skipped_term"`
+	Retries     int64              `json:"retries"`
+	NoReplica   int64              `json:"no_replica"`
+	QuotaDenied int64              `json:"quota_denied"`
+	Groups      int                `json:"groups"`
+	Nodes       []ClusterNodeStats `json:"nodes,omitempty"`
+}
+
+// ClusterNodeStats is one node connection's slice of ClusterStats.
+// Latencies are RPC round-trips measured at the coordinator.
+type ClusterNodeStats struct {
+	Addr    string  `json:"addr"`
+	CellLo  uint32  `json:"cell_lo"`
+	CellHi  uint32  `json:"cell_hi"`
+	Sent    int64   `json:"sent"`
+	Errors  int64   `json:"errors"`
+	P50Ms   float64 `json:"p50_ms"`
+	P95Ms   float64 `json:"p95_ms"`
+	P99Ms   float64 `json:"p99_ms"`
+	Samples int     `json:"samples"`
+}
+
+// clientKey carries the requester's identity (remote host) in the query
+// context for per-client quota admission at a cluster coordinator.
+type clientKey struct{}
+
+// ClientID extracts the requesting client's identity set by the handler
+// (the remote host, ports stripped so one client is one bucket), or ""
+// when the query did not arrive over HTTP.
+func ClientID(ctx context.Context) string {
+	id, _ := ctx.Value(clientKey{}).(string)
+	return id
+}
+
+// WithClientID returns ctx carrying id for ClientID. The handler applies
+// it automatically; tests and non-HTTP front ends may set it directly.
+func WithClientID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, clientKey{}, id)
 }
 
 // Backend answers decoded queries; the public repro package implements it
@@ -174,6 +228,11 @@ func NewHandler(b Backend, opts Options) http.Handler {
 			ctx, cancel = context.WithTimeout(ctx, timeout)
 			defer cancel()
 		}
+		if host, _, splitErr := net.SplitHostPort(r.RemoteAddr); splitErr == nil && host != "" {
+			ctx = WithClientID(ctx, host)
+		} else if r.RemoteAddr != "" {
+			ctx = WithClientID(ctx, r.RemoteAddr)
+		}
 		resp, err := b.Query(ctx, req)
 		if err != nil {
 			writeQueryError(w, r, err)
@@ -197,7 +256,16 @@ func writeQueryError(w http.ResponseWriter, r *http.Request, err error) {
 	switch {
 	case errors.Is(err, ErrBadRequest):
 		writeError(w, http.StatusBadRequest, err.Error())
+	case errors.Is(err, cluster.ErrQuotaExceeded):
+		// The client outran its token bucket; its budget refills with time.
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err.Error())
 	case errors.Is(err, queryengine.ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+	case errors.Is(err, cluster.ErrNoReplica):
+		// Every replica of some cell range failed; the cluster is degraded
+		// but replicas may come back — retryable, 503.
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable, err.Error())
 	case errors.Is(err, grid.ErrShardIO):

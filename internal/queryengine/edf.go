@@ -1,0 +1,92 @@
+package queryengine
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// edfQueue re-orders admitted tasks earliest-deadline-first. Admission
+// (and its backpressure) still happens through the server's bounded
+// channel; a dispatcher goroutine drains that channel into this heap and
+// workers pop from it, so under load the request closest to its deadline
+// is served next instead of the one that happened to arrive first. FIFO
+// ordering is preserved as the tie-break (by admission sequence), and
+// requests with no deadline sort after every request with one — a client
+// that declared urgency outranks one that declared none.
+type edfQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  edfHeap
+	seq    uint64
+	closed bool
+}
+
+type edfItem struct {
+	t        *Task
+	deadline time.Time
+	hasDL    bool
+	seq      uint64
+}
+
+type edfHeap []edfItem
+
+func (h edfHeap) Len() int { return len(h) }
+func (h edfHeap) Less(i, j int) bool {
+	a, b := h[i], h[j]
+	if a.hasDL != b.hasDL {
+		return a.hasDL
+	}
+	if a.hasDL && !a.deadline.Equal(b.deadline) {
+		return a.deadline.Before(b.deadline)
+	}
+	return a.seq < b.seq
+}
+func (h edfHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *edfHeap) Push(x any)   { *h = append(*h, x.(edfItem)) }
+func (h *edfHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = edfItem{} // drop the *Task reference
+	*h = old[:n-1]
+	return it
+}
+
+func newEDFQueue() *edfQueue {
+	q := &edfQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *edfQueue) push(t *Task) {
+	dl, ok := t.ctx().Deadline()
+	q.mu.Lock()
+	q.seq++
+	heap.Push(&q.items, edfItem{t: t, deadline: dl, hasDL: ok, seq: q.seq})
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+// close marks the queue finished; pops drain what remains, then report
+// closed.
+func (q *edfQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// pop blocks until a task is available or the queue is closed and empty.
+func (q *edfQueue) pop() (*Task, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	it := heap.Pop(&q.items).(edfItem)
+	return it.t, true
+}

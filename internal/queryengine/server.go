@@ -54,6 +54,14 @@ type ServerOptions struct {
 	// for percentile reporting (a ring buffer of the most recent requests);
 	// <= 0 means 4096.
 	LatencyWindow int
+	// DeadlineOrdered, when set, serves queued requests earliest-deadline-
+	// first instead of FIFO: a dispatcher drains the admission channel into
+	// a deadline-ordered heap and workers pop from it. Requests without a
+	// deadline sort after every request with one; ties (equal deadlines, or
+	// all-deadline-free) fall back to admission order. Admission,
+	// backpressure and shedding are unchanged — only the order in which
+	// waiting requests reach a worker differs.
+	DeadlineOrdered bool
 }
 
 // Task is one streamed query request. A Task is reusable: submitting the
@@ -120,6 +128,7 @@ type Server struct {
 	maxQueueAge time.Duration
 
 	tasks    chan *Task
+	edf      *edfQueue // non-nil when DeadlineOrdered: workers pop here
 	workers  []*workerState
 	rejected atomic.Int64 // admission rejections (context done before dispatch)
 
@@ -202,6 +211,17 @@ func NewServer(d *dataset.Dataset, opts ServerOptions) *Server {
 		maxQueueAge: opts.MaxQueueAge,
 		tasks:       make(chan *Task, queue),
 	}
+	if opts.DeadlineOrdered {
+		s.edf = newEDFQueue()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for t := range s.tasks {
+				s.edf.push(t)
+			}
+			s.edf.close()
+		}()
+	}
 	for i := 0; i < workers; i++ {
 		ws := &workerState{lat: make([]time.Duration, 0, window)}
 		s.workers = append(s.workers, ws)
@@ -269,11 +289,23 @@ func (s *Server) Close() {
 	s.wg.Wait()
 }
 
-// worker owns one planner and serves tasks until the channel closes.
+// worker owns one planner and serves tasks until the queue closes. In
+// FIFO mode tasks come straight off the admission channel; in
+// deadline-ordered mode they come off the EDF heap the dispatcher feeds.
 func (s *Server) worker(ws *workerState) {
 	defer s.wg.Done()
 	p := s.d.NewPlanner()
-	for t := range s.tasks {
+	for {
+		var t *Task
+		var ok bool
+		if s.edf != nil {
+			t, ok = s.edf.pop()
+		} else {
+			t, ok = <-s.tasks
+		}
+		if !ok {
+			return
+		}
 		err, panicked := s.serveSafe(p, ws, t)
 		if panicked {
 			// The panic may have left the planner's pooled scratch in an
@@ -324,7 +356,7 @@ func (s *Server) serve(p *dataset.Planner, ws *workerState, t *Task) error {
 		opts = *t.Opts
 	}
 	matched := false
-	qi, err := p.Instantiate(t.Query)
+	qi, err := p.InstantiateCtx(ctx, t.Query)
 	if err == nil {
 		if t.Visit != nil {
 			err = t.Visit(qi)

@@ -1,6 +1,10 @@
 package roadnet
 
-import "repro/internal/geo"
+import (
+	"slices"
+
+	"repro/internal/geo"
+)
 
 // Subgraph is the restriction of a parent Graph to the nodes inside a query
 // rectangle Q.Λ, with dense local IDs. The LCMSR definition (§2, Def. 3)
@@ -20,6 +24,12 @@ type Subgraph struct {
 	localOf  []NodeID
 	stamp    []uint32
 	epoch    uint32
+	// Compact copies replace the parent-sized stamped remap with sorted
+	// (parent, local) pairs: lookupParent is ascending, lookupLocal[i] is
+	// the local ID of lookupParent[i]. Exactly one of the two
+	// representations is set.
+	lookupParent []NodeID
+	lookupLocal  []NodeID
 }
 
 // ExtractRect returns the subgraph induced by the nodes of g inside r.
@@ -38,8 +48,67 @@ func (g *Graph) ExtractNodes(nodes []NodeID) *Subgraph {
 // Local returns the local ID of a parent node, or -1 if it is outside the
 // subgraph.
 func (s *Subgraph) Local(parent NodeID) NodeID {
-	if parent >= 0 && int(parent) < len(s.stamp) && s.stamp[parent] == s.epoch {
-		return s.localOf[parent]
+	if s.stamp != nil {
+		if parent >= 0 && int(parent) < len(s.stamp) && s.stamp[parent] == s.epoch {
+			return s.localOf[parent]
+		}
+		return -1
+	}
+	if i, ok := slices.BinarySearch(s.lookupParent, parent); ok {
+		return s.lookupLocal[i]
 	}
 	return -1
+}
+
+// Compact returns a self-contained copy of s sized to the subgraph
+// itself: every slice is freshly allocated at its exact length, the
+// parent→local mapping becomes sorted pairs instead of the extractor's
+// parent-sized stamp/remap arrays, and nothing aliases extractor scratch
+// — the copy stays valid across later extractions on the same extractor.
+// Retaining it costs O(subgraph), not O(parent graph), which is what
+// lets a driver pin many instances at once (see dataset.Detach).
+func (s *Subgraph) Compact() *Subgraph {
+	g := &Graph{
+		pts:       append([]geo.Point(nil), s.Graph.pts...),
+		edges:     append([]Edge(nil), s.Graph.edges...),
+		offs:      append([]int32(nil), s.Graph.offs...),
+		adj:       append([]Halfedge(nil), s.Graph.adj...),
+		bbox:      s.Graph.bbox,
+		cellStart: append([]int32(nil), s.Graph.cellStart...),
+		cellNodes: append([]NodeID(nil), s.Graph.cellNodes...),
+		nx:        s.Graph.nx,
+		ny:        s.Graph.ny,
+		cellW:     s.Graph.cellW,
+		cellH:     s.Graph.cellH,
+	}
+	out := &Subgraph{
+		Graph:        g,
+		ToParent:     append([]NodeID(nil), s.ToParent...),
+		lookupParent: append([]NodeID(nil), s.ToParent...),
+		lookupLocal:  make([]NodeID, len(s.ToParent)),
+	}
+	for i := range out.lookupLocal {
+		out.lookupLocal[i] = NodeID(i)
+	}
+	// ExtractRect produces ascending ToParent already; ExtractNodes may
+	// not, so sort the pair view when needed.
+	if !slices.IsSorted(out.lookupParent) {
+		sortParentLocal(out.lookupParent, out.lookupLocal)
+	}
+	return out
+}
+
+// sortParentLocal sorts the pair slices by parent, keeping them aligned.
+func sortParentLocal(parents, locals []NodeID) {
+	idx := make([]int, len(parents))
+	for i := range idx {
+		idx[i] = i
+	}
+	slices.SortFunc(idx, func(a, b int) int { return int(parents[a]) - int(parents[b]) })
+	ps := append([]NodeID(nil), parents...)
+	ls := append([]NodeID(nil), locals...)
+	for i, j := range idx {
+		parents[i] = ps[j]
+		locals[i] = ls[j]
+	}
 }

@@ -355,6 +355,10 @@ type StoreStats struct {
 	CacheHits, CacheMisses, CacheEvictions uint64
 	// CachedPages is the number of pages currently resident.
 	CachedPages int
+	// Tombstones is the number of deleted objects whose postings are
+	// filtered at query time and still await removal by the next Compact.
+	// It is store-independent — in-memory databases report it too.
+	Tombstones int
 	// ScoreCache holds the hot-query score cache counters when one is
 	// enabled (SetScoreCache); nil otherwise. It is store-independent —
 	// in-memory databases report it too.
@@ -372,6 +376,7 @@ type ScoreCacheStats struct {
 // StoreStats returns posting-store statistics, or ok == false when the
 // Database uses the in-memory store and no score cache is enabled.
 func (db *Database) StoreStats() (st StoreStats, ok bool) {
+	st.Tombstones = db.ds.Index.TombstoneCount()
 	if cs, cacheOK := db.ds.Index.ScoreCacheStats(); cacheOK {
 		st.ScoreCache = &ScoreCacheStats{
 			Hits:      cs.Hits,

@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# bench-cluster.sh — distributed-serving throughput gate.
+#
+# Replays the same generated workload through a coordinator twice: once
+# over a single node owning every grid cell, once over two nodes
+# splitting the cell space in half. Both topologies serve disk-backed
+# posting stores built fresh per run, so the workload is a cold-read one
+# — and the 2-node split must beat the 1-node topology by at least
+# CLUSTER_MIN_RATIO x (default 1.05): each query's scatter runs the two
+# halves' searches in different processes, so splitting buys real
+# parallelism, not just process count. The development container has a
+# single CPU, so like bench-scaling.sh this gate skips on hosts with
+# < 4 CPUs and only proves the speedup on the multi-core CI runner.
+#
+# Usage: scripts/bench-cluster.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+min="${CLUSTER_MIN_RATIO:-1.05}"
+scale="${CLUSTER_SCALE:-0.2}"
+queries="${CLUSTER_QUERIES:-96}"
+cpus="$(nproc)"
+if [ "$cpus" -lt 4 ]; then
+  echo "bench-cluster: host has $cpus CPU(s), the gate needs 4 — skipping (CI runs it)"
+  exit 0
+fi
+
+tmp="$(mktemp -d)"
+pids=()
+cleanup() {
+  for p in "${pids[@]:-}"; do kill "$p" 2>/dev/null || true; done
+  wait 2>/dev/null || true
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+go build -o "$tmp/lcmsr" ./cmd/lcmsr
+
+# start_node LOG CELLS PORT STOREDIR — one node process over a fresh
+# 4-shard disk store; records its pid for cleanup.
+start_node() {
+  "$tmp/lcmsr" -node -cells "$2" -listen "127.0.0.1:$3" \
+    -scale "$scale" -shards 4 -postings "$4" >"$1" 2>&1 &
+  pids+=($!)
+}
+
+wait_port() {
+  for _ in $(seq 1 300); do
+    (exec 3<>"/dev/tcp/127.0.0.1/$1") 2>/dev/null && return 0
+    sleep 0.2
+  done
+  echo "bench-cluster: node on port $1 never came up" >&2
+  return 1
+}
+
+# qps_of FILE — the closed-loop throughput printed by the coordinator.
+qps_of() {
+  awk '/queries over the cluster/ {
+    for (i = 1; i < NF; i++) if ($(i+1) ~ /^queries\/s/) print $i
+  }' "$1" | tr -d ','
+}
+
+# Topology A: one node owns the whole cell space.
+start_node "$tmp/n1.log" "0:100000000" 19101 "$tmp/store1"
+wait_port 19101
+"$tmp/lcmsr" -coord -nodes 127.0.0.1:19101 -scale "$scale" \
+  -queries "$queries" -parallel 4 | tee "$tmp/coord1.txt"
+kill "${pids[0]}" 2>/dev/null || true
+wait "${pids[0]}" 2>/dev/null || true
+
+# The node printed its true cell count; split the space at the midpoint.
+cells="$(awk '/node: serving cells/ { print $7 }' "$tmp/n1.log")"
+if [ -z "$cells" ] || [ "$cells" -lt 2 ]; then
+  echo "bench-cluster: could not read the grid cell count from the node log" >&2
+  exit 1
+fi
+half=$((cells / 2))
+
+# Topology B: two nodes split the cell space in half.
+start_node "$tmp/n2.log" "0:$half" 19102 "$tmp/store2"
+start_node "$tmp/n3.log" "$half:100000000" 19103 "$tmp/store3"
+wait_port 19102
+wait_port 19103
+"$tmp/lcmsr" -coord -nodes 127.0.0.1:19102,127.0.0.1:19103 -scale "$scale" \
+  -queries "$queries" -parallel 4 | tee "$tmp/coord2.txt"
+
+one="$(qps_of "$tmp/coord1.txt")"
+two="$(qps_of "$tmp/coord2.txt")"
+if [ -z "$one" ] || [ -z "$two" ]; then
+  echo "FAIL: missing coordinator throughput (1-node='$one' 2-node='$two')" >&2
+  exit 1
+fi
+ratio="$(awk -v a="$two" -v b="$one" 'BEGIN { printf "%.2f", a / b }')"
+echo "cluster cold-read throughput: $one q/s @1 node vs $two q/s @2 nodes → ${ratio}x (need >= ${min}x)"
+if ! awk -v r="$ratio" -v m="$min" 'BEGIN { exit !(r >= m) }'; then
+  echo "FAIL: 2-node split scales ${ratio}x < ${min}x over 1 node"
+  exit 1
+fi

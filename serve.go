@@ -38,6 +38,12 @@ type ServeOptions struct {
 	// LatencyWindow is how many recent per-worker latency samples the
 	// percentile report covers; <= 0 means 4096.
 	LatencyWindow int
+	// DeadlineOrdered makes idle workers pick up the queued request whose
+	// context deadline is earliest (EDF) instead of the oldest one (FIFO).
+	// Admission, backpressure, and shedding are unchanged. Useful when
+	// requests arrive with heterogeneous deadlines — e.g. a cluster
+	// coordinator fanning out with per-node budgets.
+	DeadlineOrdered bool
 }
 
 // ServeStats summarizes a server's traffic so far. Latency percentiles are
@@ -94,11 +100,12 @@ func (db *Database) Serve(opts ServeOptions) (*Server, error) {
 		return nil, err
 	}
 	inner := queryengine.NewServer(db.ds, queryengine.ServerOptions{
-		Workers:       opts.Workers,
-		Options:       qeOpts,
-		Queue:         opts.Queue,
-		MaxQueueAge:   opts.MaxQueueAge,
-		LatencyWindow: opts.LatencyWindow,
+		Workers:         opts.Workers,
+		Options:         qeOpts,
+		Queue:           opts.Queue,
+		MaxQueueAge:     opts.MaxQueueAge,
+		LatencyWindow:   opts.LatencyWindow,
+		DeadlineOrdered: opts.DeadlineOrdered,
 	})
 	return &Server{db: db, inner: inner, opts: qeOpts, search: opts.Search}, nil
 }

@@ -109,7 +109,9 @@ func (b httpBackend) Stats() httpapi.Stats {
 		P99Ms:   httpapi.MillisOf(st.P99),
 		MaxMs:   httpapi.MillisOf(st.Max),
 	}
-	if ss, ok := b.s.db.StoreStats(); ok && ss.ScoreCache != nil {
+	ss, ok := b.s.db.StoreStats()
+	out.Tombstones = ss.Tombstones
+	if ok && ss.ScoreCache != nil {
 		out.ScoreCache = &httpapi.ScoreCacheStats{
 			Hits:      ss.ScoreCache.Hits,
 			Misses:    ss.ScoreCache.Misses,
