@@ -41,6 +41,11 @@ type ClusterNode struct {
 // RecordCellRange), that assignment is authoritative: pass zeros to adopt
 // it, or matching bounds; contradicting it is an error. The node owns ln
 // from here — ClusterNode.Close closes it.
+//
+// Becoming a node freezes the database's index: cluster serving is
+// read-only (coordinators cache each node's term directory at startup),
+// so Insert/Delete/Reweight fail from here on. Rebuild and restart to
+// mutate.
 func (db *Database) ServeClusterNode(ln net.Listener, cellLo, cellHi uint32) (*ClusterNode, error) {
 	n, err := cluster.NewNode(cluster.NodeConfig{
 		Index:   db.ds.Index,

@@ -41,8 +41,7 @@ type Coordinator struct {
 
 	quotas *quotaTable // nil when quotas are disabled
 
-	mu     sync.Mutex
-	closed bool
+	closed atomic.Bool
 }
 
 // CoordinatorConfig configures NewCoordinator.
@@ -81,8 +80,9 @@ type replicaGroup struct {
 type nodeClient struct {
 	addr string
 
-	mu   sync.Mutex
-	idle []net.Conn
+	mu     sync.Mutex
+	idle   []net.Conn
+	closed bool // set by closeIdle: stop pooling, fail new requests
 
 	inflight atomic.Int64
 	sent     atomic.Int64
@@ -105,22 +105,28 @@ func (nc *nodeClient) record(d time.Duration) {
 	nc.latMu.Unlock()
 }
 
-// get returns an idle pooled connection or dials a fresh one.
-func (nc *nodeClient) get(timeout time.Duration) (net.Conn, error) {
+// get returns an idle pooled connection or dials a fresh one; pooled
+// reports which. After closeIdle it fails with ErrCoordinatorClosed.
+func (nc *nodeClient) get(timeout time.Duration) (c net.Conn, pooled bool, err error) {
 	nc.mu.Lock()
+	if nc.closed {
+		nc.mu.Unlock()
+		return nil, false, ErrCoordinatorClosed
+	}
 	if l := len(nc.idle); l > 0 {
-		c := nc.idle[l-1]
+		c = nc.idle[l-1]
 		nc.idle = nc.idle[:l-1]
 		nc.mu.Unlock()
-		return c, nil
+		return c, true, nil
 	}
 	nc.mu.Unlock()
-	return net.DialTimeout("tcp", nc.addr, timeout)
+	c, err = net.DialTimeout("tcp", nc.addr, timeout)
+	return c, false, err
 }
 
 func (nc *nodeClient) put(c net.Conn) {
 	nc.mu.Lock()
-	if len(nc.idle) < 8 {
+	if !nc.closed && len(nc.idle) < 8 {
 		nc.idle = append(nc.idle, c)
 		nc.mu.Unlock()
 		return
@@ -129,8 +135,12 @@ func (nc *nodeClient) put(c net.Conn) {
 	_ = c.Close()
 }
 
+// closeIdle closes the pooled connections and marks the client closed:
+// an in-flight Search racing Close can no longer dial fresh connections
+// or park finished ones back in the pool, so Close leaks nothing.
 func (nc *nodeClient) closeIdle() {
 	nc.mu.Lock()
+	nc.closed = true
 	for _, c := range nc.idle {
 		_ = c.Close()
 	}
@@ -138,15 +148,10 @@ func (nc *nodeClient) closeIdle() {
 	nc.mu.Unlock()
 }
 
-// rpc performs one request/response exchange, bounding it by deadline.
-// On transport failure the connection is discarded and the error is
-// retryable; a response with ErrKind kindShardIO is retryable too.
-func (nc *nodeClient) rpc(req *request, deadline time.Time, dialTimeout time.Duration) (*response, error, bool) {
-	c, err := nc.get(dialTimeout)
-	if err != nil {
-		nc.errors.Add(1)
-		return nil, err, true
-	}
+// exchange runs one framed request/response on c, bounded by deadline.
+// On success the connection returns to the pool; on transport failure it
+// is closed and the error returned.
+func (nc *nodeClient) exchange(c net.Conn, req *request, deadline time.Time) (*response, error) {
 	nc.sent.Add(1)
 	nc.inflight.Add(1)
 	start := time.Now()
@@ -160,24 +165,52 @@ func (nc *nodeClient) rpc(req *request, deadline time.Time, dialTimeout time.Dur
 		req.TimeoutMillis = 1
 	}
 	var resp response
-	err = writeFrame(c, req)
+	err := writeFrame(c, req)
 	if err == nil {
 		err = readFrame(c, &resp)
 	}
 	if err != nil {
 		_ = c.Close()
-		nc.errors.Add(1)
-		return nil, fmt.Errorf("cluster: rpc to %s: %w", nc.addr, err), true
+		return nil, err
 	}
 	nc.put(c)
-	if resp.Err != "" {
-		nc.errors.Add(1)
-		if resp.ErrKind == kindShardIO {
-			return nil, fmt.Errorf("cluster: node %s: %s: %w", nc.addr, resp.Err, grid.ErrShardIO), true
+	return &resp, nil
+}
+
+// rpc performs one request/response exchange, bounding it by deadline.
+// A transport failure on a pooled connection proves nothing about the
+// node — the connection may simply have died while idle (node restart,
+// half-closed socket) — so those are retried here on the next connection
+// until a freshly dialed one has spoken; only a failure on a fresh dial
+// (or a node-reported error) escapes to the caller. Transport failures
+// and node-side kindShardIO responses are retryable on a replica; other
+// node-reported errors are not.
+func (nc *nodeClient) rpc(req *request, deadline time.Time, dialTimeout time.Duration) (*response, error, bool) {
+	for {
+		c, pooled, err := nc.get(dialTimeout)
+		if err != nil {
+			nc.errors.Add(1)
+			return nil, err, true
 		}
-		return nil, fmt.Errorf("cluster: node %s: %s", nc.addr, resp.Err), false
+		resp, err := nc.exchange(c, req, deadline)
+		if err != nil {
+			nc.errors.Add(1)
+			if pooled {
+				// The pool is finite and get drained one entry, so this
+				// loop reaches a fresh dial after at most pool-size spins.
+				continue
+			}
+			return nil, fmt.Errorf("cluster: rpc to %s: %w", nc.addr, err), true
+		}
+		if resp.Err != "" {
+			nc.errors.Add(1)
+			if resp.ErrKind == kindShardIO {
+				return nil, fmt.Errorf("cluster: node %s: %s: %w", nc.addr, resp.Err, grid.ErrShardIO), true
+			}
+			return nil, fmt.Errorf("cluster: node %s: %s", nc.addr, resp.Err), false
+		}
+		return resp, nil, false
 	}
-	return &resp, nil, false
 }
 
 // NewCoordinator dials every node, validates their dataset identity
@@ -276,6 +309,9 @@ func (c *Coordinator) Admit(client string) error {
 // are disjoint per object (see grid.SearchRangeInto) and the merge is
 // concatenate + sort by object id, no arithmetic.
 func (c *Coordinator) Search(ctx context.Context, q textindex.Query, r geo.Rect) ([]grid.ObjScore, error) {
+	if c.closed.Load() {
+		return nil, ErrCoordinatorClosed
+	}
 	c.searches.Add(1)
 	deadline, ok := ctx.Deadline()
 	if !ok {
@@ -408,14 +444,14 @@ func sharesTerm(set map[textindex.TermID]struct{}, terms []textindex.TermID) boo
 	return false
 }
 
-// Close releases every pooled connection. Idempotent.
+// Close releases every pooled connection and fails later Searches fast
+// with ErrCoordinatorClosed. A Search racing Close may still finish (or
+// fail on a closed connection), but it can no longer dial new
+// connections or park them in the pool. Idempotent.
 func (c *Coordinator) Close() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
+	if !c.closed.CompareAndSwap(false, true) {
 		return nil
 	}
-	c.closed = true
 	closeGroups(c.groups)
 	return nil
 }

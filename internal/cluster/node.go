@@ -20,9 +20,13 @@ import (
 // exposes the narrow RPC surface the coordinator speaks: Hello,
 // PartialSearch, Stats, Health.
 //
-// A node is read-only from the cluster's point of view: replicas of a
-// range are interchangeable because they serve identical data, which is
-// what makes retry-on-replica sound.
+// A node is read-only, and NewNode enforces it by freezing the index
+// (grid.Index.Freeze): replicas of a range are interchangeable because
+// they serve identical data, which is what makes retry-on-replica
+// sound, and the coordinator caches the node's term directory once at
+// Hello — a live update landing a new term in the node's cells after
+// that would make the coordinator's skip routing silently drop results.
+// Serving live updates requires rebuilding and restarting the cluster.
 type Node struct {
 	idx     *grid.Index
 	lo, hi  uint32
@@ -53,8 +57,10 @@ type NodeConfig struct {
 	Objects int
 }
 
-// NewNode validates cfg against the index and returns an unstarted node;
-// call Serve with a listener to start it.
+// NewNode validates cfg against the index, freezes the index (cluster
+// serving is read-only: the routing metadata shipped at Hello must stay
+// truthful, so later Insert/Delete/Reweight fail with grid.ErrFrozen),
+// and returns an unstarted node; call Serve with a listener to start it.
 func NewNode(cfg NodeConfig) (*Node, error) {
 	if cfg.Index == nil {
 		return nil, fmt.Errorf("cluster: NewNode: nil index")
@@ -73,6 +79,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	if n := uint32(cfg.Index.NumCells()); lo >= n {
 		return nil, fmt.Errorf("cluster: cell range [%d, %d) starts beyond the grid's %d cells", lo, hi, n)
 	}
+	cfg.Index.Freeze()
 	return &Node{idx: cfg.Index, lo: lo, hi: hi, objects: cfg.Objects, conns: make(map[net.Conn]struct{})}, nil
 }
 
@@ -156,14 +163,19 @@ func (n *Node) handle(c net.Conn) {
 		}
 		if req.TimeoutMillis > 0 {
 			_ = c.SetDeadline(time.Now().Add(time.Duration(req.TimeoutMillis) * time.Millisecond))
-		} else {
-			_ = c.SetDeadline(time.Time{})
 		}
 		resp := n.dispatch(&req)
 		if resp.Err != "" {
 			n.errs.Add(1)
 		}
-		if err := writeFrame(c, resp); err != nil {
+		err := writeFrame(c, resp)
+		// Disarm the per-request deadline before blocking for the next
+		// frame: the connection may now sit idle in the coordinator's pool
+		// for arbitrarily long, and a deadline left ticking would close it
+		// the moment the previous request's budget lapsed — making every
+		// pooled connection look like a dead replica.
+		_ = c.SetDeadline(time.Time{})
+		if err != nil {
 			return
 		}
 	}

@@ -160,4 +160,8 @@ var (
 	// ErrBadTopology is returned when the nodes' cell ranges do not tile
 	// the coordinator's cell space.
 	ErrBadTopology = errors.New("cluster: node cell ranges do not cover the grid")
+	// ErrCoordinatorClosed is returned by Search after Close: a closed
+	// coordinator fails fast instead of dialing nodes whose connections
+	// it could no longer pool or release.
+	ErrCoordinatorClosed = errors.New("cluster: coordinator closed")
 )

@@ -23,11 +23,18 @@ type bucket struct {
 	last   time.Time
 }
 
+// quotaSweepMin is the table size below which no eviction sweep runs:
+// small tables are left alone, and after a sweep the next one is not
+// due until the table has doubled, so the amortized sweep cost per take
+// is O(1).
+const quotaSweepMin = 1024
+
 type quotaTable struct {
-	opts   QuotaOptions
-	mu     sync.Mutex
-	m      map[string]*bucket
-	denied atomic.Int64
+	opts    QuotaOptions
+	mu      sync.Mutex
+	m       map[string]*bucket
+	sweepAt int // sweep when len(m) reaches this
+	denied  atomic.Int64
 }
 
 func newQuotaTable(opts QuotaOptions) *quotaTable {
@@ -37,7 +44,7 @@ func newQuotaTable(opts QuotaOptions) *quotaTable {
 			opts.Burst = 1
 		}
 	}
-	return &quotaTable{opts: opts, m: make(map[string]*bucket)}
+	return &quotaTable{opts: opts, m: make(map[string]*bucket), sweepAt: quotaSweepMin}
 }
 
 // take spends one token from client's bucket, reporting whether one was
@@ -46,6 +53,9 @@ func (q *quotaTable) take(client string) bool {
 	now := time.Now()
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	if len(q.m) >= q.sweepAt {
+		q.sweepLocked(now)
+	}
 	b := q.m[client]
 	if b == nil {
 		b = &bucket{tokens: q.opts.Burst, last: now}
@@ -61,4 +71,26 @@ func (q *quotaTable) take(client string) bool {
 	}
 	b.tokens--
 	return true
+}
+
+// sweepLocked evicts every bucket idle long enough to have refilled
+// completely: such a client is indistinguishable from one the table has
+// never seen (take would hand either a full bucket), so eviction cannot
+// change any admission decision — it only stops the table growing one
+// bucket per distinct client id forever. With RatePerSec <= 0 buckets
+// never refill and none can be safely evicted (a spent bucket is a
+// permanent ban, which eviction would lift), so the sweep is skipped.
+func (q *quotaTable) sweepLocked(now time.Time) {
+	if q.opts.RatePerSec > 0 {
+		refill := q.opts.Burst / q.opts.RatePerSec // seconds from empty to full
+		for id, b := range q.m {
+			if now.Sub(b.last).Seconds() >= refill {
+				delete(q.m, id)
+			}
+		}
+	}
+	q.sweepAt = 2 * len(q.m)
+	if q.sweepAt < quotaSweepMin {
+		q.sweepAt = quotaSweepMin
+	}
 }

@@ -231,6 +231,10 @@ type Index struct {
 	// epoch counts applied mutations (and compactions); readers can cheap-
 	// check it to learn whether cached derived state is stale.
 	epoch uint64
+	// frozen permanently disables the live-update path (Freeze); mutators
+	// fail with ErrFrozen. A cluster node freezes its index so the term
+	// directories it ships at Hello stay truthful for its lifetime.
+	frozen bool
 	// scoreCache, when non-nil, caches per-cell partial scores of repeated
 	// queries keyed by epoch (scorecache.go). Installed under mu; the
 	// search paths read it under the read lock.

@@ -23,6 +23,23 @@ import (
 // or is already deleted.
 var ErrNoSuchObject = errors.New("grid: no such object")
 
+// ErrFrozen marks a mutation attempted after Freeze. Distinct from
+// ErrUpdatesUnsupported (a store layout without an update path): a
+// frozen index could apply the update, but its owner promised not to.
+var ErrFrozen = errors.New("grid: index is frozen (read-only)")
+
+// Freeze permanently disables the live-update path: every later Insert,
+// Delete and Reweight fails with ErrFrozen. A cluster node freezes its
+// index before announcing itself, because the coordinator caches the
+// node's term directory once at Hello — a term appearing in the node's
+// cells afterwards would make skip routing silently drop results. There
+// is no Unfreeze; restart the process to mutate again.
+func (idx *Index) Freeze() {
+	idx.mu.Lock()
+	idx.frozen = true
+	idx.mu.Unlock()
+}
+
 // ErrCompaction marks an automatic compaction failure surfaced from a
 // mutator. The mutation itself was applied and is durable in the WAL —
 // only the fold into the shard trees failed; the store recovers it on
@@ -43,6 +60,9 @@ func (idx *Index) Contains(p geo.Point) bool {
 func (idx *Index) Insert(p geo.Point, doc textindex.Doc, strs []string) (ObjectID, error) {
 	idx.mu.Lock()
 	defer idx.mu.Unlock()
+	if idx.frozen {
+		return 0, ErrFrozen
+	}
 	if idx.live == nil && idx.memStore == nil {
 		return 0, ErrUpdatesUnsupported
 	}
@@ -83,6 +103,9 @@ func (idx *Index) Insert(p geo.Point, doc textindex.Doc, strs []string) (ObjectI
 func (idx *Index) Delete(id ObjectID) error {
 	idx.mu.Lock()
 	defer idx.mu.Unlock()
+	if idx.frozen {
+		return ErrFrozen
+	}
 	if idx.live == nil && idx.memStore == nil {
 		return ErrUpdatesUnsupported
 	}
@@ -112,6 +135,9 @@ func (idx *Index) Delete(id ObjectID) error {
 func (idx *Index) Reweight(id ObjectID, weights []float64) error {
 	idx.mu.Lock()
 	defer idx.mu.Unlock()
+	if idx.frozen {
+		return ErrFrozen
+	}
 	if idx.live == nil && idx.memStore == nil {
 		return ErrUpdatesUnsupported
 	}

@@ -6,20 +6,29 @@ import (
 	"time"
 )
 
-// edfQueue re-orders admitted tasks earliest-deadline-first. Admission
-// (and its backpressure) still happens through the server's bounded
-// channel; a dispatcher goroutine drains that channel into this heap and
-// workers pop from it, so under load the request closest to its deadline
-// is served next instead of the one that happened to arrive first. FIFO
-// ordering is preserved as the tie-break (by admission sequence), and
-// requests with no deadline sort after every request with one — a client
-// that declared urgency outranks one that declared none.
+// edfQueue re-orders admitted tasks earliest-deadline-first: a
+// dispatcher goroutine drains the server's admission channel into this
+// heap and workers pop from it, so under load the request closest to
+// its deadline is served next instead of the one that happened to
+// arrive first. FIFO ordering is preserved as the tie-break (by
+// admission sequence), and requests with no deadline sort after every
+// request with one — a client that declared urgency outranks one that
+// declared none.
+//
+// The heap is bounded at the server's Queue capacity: push blocks once
+// the heap is full, which stalls the dispatcher, which in turn makes
+// Do's channel send block — the same backpressure the FIFO channel
+// gives, just one hop removed. Without the bound the dispatcher would
+// drain the bounded channel as fast as requests arrive and the heap
+// would grow without limit under sustained overload.
 type edfQueue struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	items  edfHeap
-	seq    uint64
-	closed bool
+	mu       sync.Mutex
+	notEmpty *sync.Cond // signaled by push; waited on by pop
+	notFull  *sync.Cond // signaled by pop; waited on by push
+	items    edfHeap
+	cap      int
+	seq      uint64
+	closed   bool
 }
 
 type edfItem struct {
@@ -53,19 +62,30 @@ func (h *edfHeap) Pop() any {
 	return it
 }
 
-func newEDFQueue() *edfQueue {
-	q := &edfQueue{}
-	q.cond = sync.NewCond(&q.mu)
+func newEDFQueue(capacity int) *edfQueue {
+	if capacity < 1 {
+		capacity = 1
+	}
+	q := &edfQueue{cap: capacity}
+	q.notEmpty = sync.NewCond(&q.mu)
+	q.notFull = sync.NewCond(&q.mu)
 	return q
 }
 
+// push enqueues t, blocking while the heap is at capacity (that stall
+// is the server's backpressure). A push racing close still lands — the
+// sole pusher is the dispatcher and it closes the queue only after its
+// final push — so no admitted task is ever dropped.
 func (q *edfQueue) push(t *Task) {
 	dl, ok := t.ctx().Deadline()
 	q.mu.Lock()
+	for len(q.items) >= q.cap && !q.closed {
+		q.notFull.Wait()
+	}
 	q.seq++
 	heap.Push(&q.items, edfItem{t: t, deadline: dl, hasDL: ok, seq: q.seq})
 	q.mu.Unlock()
-	q.cond.Signal()
+	q.notEmpty.Signal()
 }
 
 // close marks the queue finished; pops drain what remains, then report
@@ -74,19 +94,22 @@ func (q *edfQueue) close() {
 	q.mu.Lock()
 	q.closed = true
 	q.mu.Unlock()
-	q.cond.Broadcast()
+	q.notEmpty.Broadcast()
+	q.notFull.Broadcast()
 }
 
 // pop blocks until a task is available or the queue is closed and empty.
 func (q *edfQueue) pop() (*Task, bool) {
 	q.mu.Lock()
-	defer q.mu.Unlock()
 	for len(q.items) == 0 && !q.closed {
-		q.cond.Wait()
+		q.notEmpty.Wait()
 	}
 	if len(q.items) == 0 {
+		q.mu.Unlock()
 		return nil, false
 	}
 	it := heap.Pop(&q.items).(edfItem)
+	q.mu.Unlock()
+	q.notFull.Signal()
 	return it.t, true
 }

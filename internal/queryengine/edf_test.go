@@ -98,6 +98,96 @@ func TestDeadlineOrderedService(t *testing.T) {
 	}
 }
 
+// TestEDFQueueBounded: push blocks at capacity until a pop frees a
+// slot. Regression: the heap was unbounded, so the dispatcher drained
+// the bounded admission channel as fast as requests arrived and the
+// documented Queue backpressure silently disappeared in EDF mode.
+func TestEDFQueueBounded(t *testing.T) {
+	q := newEDFQueue(2)
+	q.push(&Task{})
+	q.push(&Task{})
+	pushed := make(chan struct{})
+	go func() {
+		q.push(&Task{})
+		close(pushed)
+	}()
+	select {
+	case <-pushed:
+		t.Fatal("push past capacity did not block")
+	case <-time.After(50 * time.Millisecond):
+	}
+	if _, ok := q.pop(); !ok {
+		t.Fatal("pop on a full queue failed")
+	}
+	select {
+	case <-pushed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("push did not resume after a pop freed a slot")
+	}
+	q.close()
+	for i := 0; i < 2; i++ {
+		if _, ok := q.pop(); !ok {
+			t.Fatalf("drain pop %d failed", i)
+		}
+	}
+	if _, ok := q.pop(); ok {
+		t.Fatal("pop on a closed empty queue reported a task")
+	}
+}
+
+// TestDeadlineOrderedBackpressure: at the server level, the EDF heap
+// never holds more than Queue tasks even with far more submitted — the
+// overflow waits in Do, exactly like FIFO mode.
+func TestDeadlineOrderedBackpressure(t *testing.T) {
+	const queue = 2
+	d, qs := testWorkload(t, 0.1, 1)
+	srv := NewServer(d, ServerOptions{Workers: 1, Queue: queue, DeadlineOrdered: true})
+	defer srv.Close()
+
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	gateTask := Task{Query: qs[0], Visit: func(*dataset.QueryInstance) error {
+		close(started)
+		<-gate
+		return nil
+	}}
+	gateDone := make(chan error, 1)
+	go func() { gateDone <- srv.Do(&gateTask) }()
+	<-started
+
+	const submitted = 6
+	var wg sync.WaitGroup
+	for i := 0; i < submitted; i++ {
+		task := &Task{Query: qs[0], Visit: func(*dataset.QueryInstance) error { return nil }}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := srv.Do(task); err != nil {
+				t.Errorf("task: %v", err)
+			}
+		}()
+	}
+
+	// While the worker is parked, the waiting backlog must stay capped at
+	// Queue no matter how many submissions pile up behind Do.
+	deadline := time.Now().Add(200 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		srv.edf.mu.Lock()
+		l := len(srv.edf.items)
+		srv.edf.mu.Unlock()
+		if l > queue {
+			t.Fatalf("EDF heap holds %d tasks, capacity %d", l, queue)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	close(gate)
+	if err := <-gateDone; err != nil {
+		t.Fatalf("gate task: %v", err)
+	}
+	wg.Wait()
+}
+
 // TestDeadlineOrderedMatchesFIFO: the golden guarantee holds in EDF mode
 // too — ordering changes scheduling, never answers.
 func TestDeadlineOrderedMatchesFIFO(t *testing.T) {

@@ -55,12 +55,15 @@ type ServerOptions struct {
 	// <= 0 means 4096.
 	LatencyWindow int
 	// DeadlineOrdered, when set, serves queued requests earliest-deadline-
-	// first instead of FIFO: a dispatcher drains the admission channel into
-	// a deadline-ordered heap and workers pop from it. Requests without a
-	// deadline sort after every request with one; ties (equal deadlines, or
-	// all-deadline-free) fall back to admission order. Admission,
-	// backpressure and shedding are unchanged — only the order in which
-	// waiting requests reach a worker differs.
+	// first instead of FIFO: a dispatcher moves requests from the admission
+	// channel into a deadline-ordered heap and workers pop from it.
+	// Requests without a deadline sort after every request with one; ties
+	// (equal deadlines, or all-deadline-free) fall back to admission order.
+	// The heap is bounded at Queue and the admission channel is unbuffered
+	// in this mode, so the total waiting backlog stays capped by Queue
+	// (plus the one request in the dispatcher's hand) and Do blocks on a
+	// full backlog exactly as in FIFO mode; shedding is unchanged — only
+	// the order in which waiting requests reach a worker differs.
 	DeadlineOrdered bool
 }
 
@@ -209,18 +212,23 @@ func NewServer(d *dataset.Dataset, opts ServerOptions) *Server {
 		d:           d,
 		opts:        opts.Options,
 		maxQueueAge: opts.MaxQueueAge,
-		tasks:       make(chan *Task, queue),
 	}
 	if opts.DeadlineOrdered {
-		s.edf = newEDFQueue()
+		// The waiting backlog lives in the bounded heap, so the channel is
+		// a pure handoff: buffering it too would double the effective queue
+		// capacity behind the caller's back.
+		s.tasks = make(chan *Task)
+		s.edf = newEDFQueue(queue)
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
 			for t := range s.tasks {
-				s.edf.push(t)
+				s.edf.push(t) // blocks while the heap is full: backpressure
 			}
 			s.edf.close()
 		}()
+	} else {
+		s.tasks = make(chan *Task, queue)
 	}
 	for i := 0; i < workers; i++ {
 		ws := &workerState{lat: make([]time.Duration, 0, window)}
