@@ -104,6 +104,11 @@ func toEngineOptions(opts SearchOptions, workers int) (queryengine.Options, erro
 		out.Method = queryengine.MethodAPP
 	case MethodGreedy:
 		out.Method = queryengine.MethodGreedy
+	case MethodAuto:
+		// Auto is resolved per request by Database.Do and Server.Do before
+		// the engine sees it; the batch path has no per-request budget or
+		// load signal to resolve against.
+		return out, fmt.Errorf("repro: MethodAuto is resolved by Do/Serve, not the batch path; pick a concrete method")
 	default:
 		return out, fmt.Errorf("repro: unknown method %v", opts.Method)
 	}

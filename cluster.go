@@ -144,8 +144,11 @@ func (db *Database) OpenCluster(opts ClusterOptions) (*Cluster, error) {
 		return nil, err
 	}
 	// Route every planner search through the coordinator from here on.
-	db.ds.SetSearchFunc(func(ctx context.Context, q textindex.Query, r geo.Rect, _ *grid.SearchScratch) ([]grid.ObjScore, error) {
-		return coord.Search(ctx, q, r)
+	// The scratch's trace (set when the request asked for EXPLAIN) rides
+	// along so the coordinator can merge per-node fragments and its own
+	// routing decisions into it.
+	db.ds.SetSearchFunc(func(ctx context.Context, q textindex.Query, r geo.Rect, s *grid.SearchScratch) ([]grid.ObjScore, error) {
+		return coord.SearchTrace(ctx, q, r, s.Trace)
 	})
 	serveOpts := opts.Serve
 	serveOpts.DeadlineOrdered = true

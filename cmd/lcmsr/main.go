@@ -110,8 +110,9 @@ func main() {
 		keywords   = flag.String("keywords", "", "comma-separated query keywords")
 		delta      = flag.Float64("delta", 10000, "length constraint Q.∆ in metres")
 		areaKm2    = flag.Float64("area", 100, "query region Q.Λ area in km²")
-		method     = flag.String("method", "tgen", "tgen, app or greedy")
+		method     = flag.String("method", "tgen", "tgen, app, greedy, or auto (cost-based per-query choice)")
 		k          = flag.Int("k", 1, "number of regions (top-k)")
+		explain    = flag.Bool("explain", false, "single-query mode: print the EXPLAIN plan (method choice, estimated vs actual cost, cells scanned vs skipped)")
 		auto       = flag.Bool("auto", false, "generate keywords and region automatically")
 		shards     = flag.Int("shards", 0, "disk-backed posting store: 1 = single B+-tree, >1 = that many cell-striped shards (cell mod N); 0 keeps postings in memory")
 		postings   = flag.String("postings", "", "posting store location (file for -shards 1, directory for -shards >1); default: a temporary path removed on exit")
@@ -278,7 +279,7 @@ func main() {
 	case *queries > 1:
 		runWorkload(db, q, opts, *queries, *parallel, *seed, *areaKm2, *delta, *auto || *keywords == "", *hotspots, *zipfS)
 	default:
-		runSingle(db, q, opts, *k)
+		runSingle(db, q, opts, *k, *explain)
 	}
 
 	if *memprofile != "" {
@@ -355,22 +356,49 @@ func runScrub(path string) {
 	fmt.Printf("scrub %s: ok (%d shard(s))\n", path, len(rep.Shards))
 }
 
-// runSingle answers one query and prints its regions in full detail.
-func runSingle(db *repro.Database, q repro.Query, opts repro.SearchOptions, k int) {
-	results, err := db.RunTopK(context.Background(), q, k, opts)
-	if err != nil {
-		fatal(err)
+// runSingle answers one query and prints its regions in full detail,
+// plus the EXPLAIN plan when asked.
+func runSingle(db *repro.Database, q repro.Query, opts repro.SearchOptions, k int, explain bool) {
+	resp := db.Do(context.Background(), repro.Request{Query: q, Search: opts, K: k, Explain: explain})
+	if resp.Err != nil {
+		fatal(resp.Err)
 	}
-	if len(results) == 0 {
+	printPlan(resp.Plan)
+	if len(resp.Results) == 0 {
 		fmt.Println("no region matches the keywords inside Q.Λ")
 		return
 	}
-	for i, r := range results {
+	for i, r := range resp.Results {
 		fmt.Printf("region %d: weight=%.4f length=%.0fm nodes=%d objects=%d\n",
 			i+1, r.Score, r.Length, len(r.Nodes), len(r.Objects))
 		for _, o := range r.Objects {
 			fmt.Printf("  object %d at (%.0f, %.0f) relevance %.4f\n", o.ID, o.X, o.Y, o.Score)
 		}
+	}
+}
+
+// printPlan renders an EXPLAIN plan in the human-readable form (-explain).
+func printPlan(p *repro.Plan) {
+	if p == nil {
+		return
+	}
+	how := "requested by client"
+	if p.Auto {
+		how = "chosen by planner"
+	}
+	fmt.Printf("plan: method=%v (%s)\n", p.Method, how)
+	fmt.Printf("  reason: %s\n", p.Reason)
+	fmt.Printf("  budget=%v pressure=%.2f degraded=%v\n", p.Budget, p.Pressure, p.Degraded)
+	fmt.Printf("  cost: estimated=%v actual=%v (greedy=%v tgen=%v app=%v, %d nodes)\n",
+		p.EstimatedCost, p.ActualCost, p.EstGreedy, p.EstTGEN, p.EstAPP, p.Nodes)
+	fmt.Printf("  cells: in-rect=%d scanned=%d skipped=%d (empty=%d no-term=%d cache-hit=%d) wand-pruned=%d\n",
+		p.CellsInRect, p.CellsScanned, p.CellsSkipped(),
+		p.CellsSkippedEmpty, p.CellsSkippedNoTerm, p.CellsSkippedCache, p.CellsPrunedWAND)
+	fmt.Printf("  postings: lists=%d postings=%d rect-filtered=%d candidates=%d\n",
+		p.PostingLists, p.Postings, p.PostingsFiltered, p.Candidates)
+	if c := p.Cluster; c != nil {
+		fmt.Printf("  cluster: groups contacted=%d skipped-rect=%d skipped-term=%d\n",
+			c.GroupsContacted, c.GroupsSkippedRect, c.GroupsSkippedTerm)
 	}
 }
 

@@ -309,6 +309,17 @@ func (c *Coordinator) Admit(client string) error {
 // are disjoint per object (see grid.SearchRangeInto) and the merge is
 // concatenate + sort by object id, no arithmetic.
 func (c *Coordinator) Search(ctx context.Context, q textindex.Query, r geo.Rect) ([]grid.ObjScore, error) {
+	return c.SearchTrace(ctx, q, r, nil)
+}
+
+// SearchTrace is Search with an EXPLAIN trace: when tr is non-nil, every
+// contacted node runs its partial search traced and the coordinator sums
+// the returned fragments into tr — plus the routing decisions of this one
+// request (groups contacted, skipped by rectangle, skipped by term
+// directory), which only the coordinator knows. The caller owns tr and
+// resets it between queries; the scores themselves are bit-identical
+// traced or not.
+func (c *Coordinator) SearchTrace(ctx context.Context, q textindex.Query, r geo.Rect, tr *grid.SearchTrace) ([]grid.ObjScore, error) {
 	if c.closed.Load() {
 		return nil, ErrCoordinatorClosed
 	}
@@ -324,24 +335,34 @@ func (c *Coordinator) Search(ctx context.Context, q textindex.Query, r geo.Rect)
 	for _, g := range c.groups {
 		if !c.cfg.Index.RangeOverlapsRect(g.lo, g.hi, r) {
 			c.skippedRect.Add(1)
+			if tr != nil {
+				tr.GroupsSkippedRect++
+			}
 			continue
 		}
 		if !sharesTerm(g.terms, q.Terms) {
 			c.skippedTerm.Add(1)
+			if tr != nil {
+				tr.GroupsSkippedTerm++
+			}
 			continue
 		}
 		needed = append(needed, g)
+	}
+	if tr != nil {
+		tr.GroupsContacted += int64(len(needed))
 	}
 	if len(needed) == 0 {
 		return nil, nil
 	}
 
 	req := request{
-		Op:    opPartial,
-		Terms: make([]int32, len(q.Terms)),
-		IDF:   q.IDF,
-		Norm:  q.Norm,
-		Rect:  &wireRect{MinX: r.MinX, MinY: r.MinY, MaxX: r.MaxX, MaxY: r.MaxY},
+		Op:      opPartial,
+		Terms:   make([]int32, len(q.Terms)),
+		IDF:     q.IDF,
+		Norm:    q.Norm,
+		Rect:    &wireRect{MinX: r.MinX, MinY: r.MinY, MaxX: r.MaxX, MaxY: r.MaxY},
+		Explain: tr != nil,
 	}
 	for i, t := range q.Terms {
 		req.Terms[i] = int32(t)
@@ -349,6 +370,7 @@ func (c *Coordinator) Search(ctx context.Context, q textindex.Query, r geo.Rect)
 
 	type partial struct {
 		scores []wireScore
+		trace  *wireTrace
 		err    error
 	}
 	parts := make([]partial, len(needed))
@@ -358,7 +380,7 @@ func (c *Coordinator) Search(ctx context.Context, q textindex.Query, r geo.Rect)
 		go func(i int, g *replicaGroup) {
 			defer wg.Done()
 			reqCopy := req // per-goroutine: rpc mutates TimeoutMillis
-			parts[i].scores, parts[i].err = c.searchGroup(g, &reqCopy, deadline)
+			parts[i].scores, parts[i].trace, parts[i].err = c.searchGroup(g, &reqCopy, deadline)
 		}(i, g)
 	}
 	wg.Wait()
@@ -380,6 +402,9 @@ func (c *Coordinator) Search(ctx context.Context, q textindex.Query, r geo.Rect)
 		for _, ws := range parts[i].scores {
 			out = append(out, grid.ObjScore{Obj: grid.ObjectID(ws.Obj), Score: ws.Score})
 		}
+		if tr != nil && parts[i].trace != nil {
+			parts[i].trace.addTo(tr)
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Obj < out[j].Obj })
 	return out, nil
@@ -389,7 +414,7 @@ func (c *Coordinator) Search(ctx context.Context, q textindex.Query, r geo.Rect)
 // by power-of-two-choices on in-flight counts, then retry on each
 // remaining replica for retryable failures. Exhausting the group is
 // ErrNoReplica.
-func (c *Coordinator) searchGroup(g *replicaGroup, req *request, deadline time.Time) ([]wireScore, error) {
+func (c *Coordinator) searchGroup(g *replicaGroup, req *request, deadline time.Time) ([]wireScore, *wireTrace, error) {
 	order := c.replicaOrder(g)
 	var lastErr error
 	for attempt, nc := range order {
@@ -398,15 +423,15 @@ func (c *Coordinator) searchGroup(g *replicaGroup, req *request, deadline time.T
 		}
 		resp, err, retryable := nc.rpc(req, deadline, c.cfg.DialTimeout)
 		if err == nil {
-			return resp.Scores, nil
+			return resp.Scores, resp.Trace, nil
 		}
 		lastErr = err
 		if !retryable {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	c.noReplica.Add(1)
-	return nil, fmt.Errorf("%w: cells [%d, %d): %w", ErrNoReplica, g.lo, g.hi, lastErr)
+	return nil, nil, fmt.Errorf("%w: cells [%d, %d): %w", ErrNoReplica, g.lo, g.hi, lastErr)
 }
 
 // replicaOrder returns the group's replicas in routing order: the head is

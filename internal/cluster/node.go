@@ -236,7 +236,15 @@ func (n *Node) partial(req *request) *response {
 	if s == nil {
 		s = &grid.SearchScratch{}
 	}
+	// Tracing lives on the stack for the request and is detached before
+	// the scratch returns to the pool, so explain requests cost nothing to
+	// the untraced ones sharing the pool.
+	var tr grid.SearchTrace
+	if req.Explain {
+		s.Trace = &tr
+	}
 	scores, err := n.idx.SearchRangeInto(q, r, n.lo, n.hi, s)
+	s.Trace = nil
 	if err != nil {
 		n.putScratch(s)
 		if errors.Is(err, grid.ErrShardIO) {
@@ -250,7 +258,11 @@ func (n *Node) partial(req *request) *response {
 	}
 	n.putScratch(s) // scores alias the scratch; copied out above
 	n.served.Add(1)
-	return &response{Scores: out}
+	resp := &response{Scores: out}
+	if req.Explain {
+		resp.Trace = toWire(&tr)
+	}
+	return resp
 }
 
 // putScratch returns a search scratch to the pool. sync.Pool.Put shares

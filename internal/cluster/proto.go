@@ -24,6 +24,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+
+	"repro/internal/grid"
 )
 
 // maxFrame bounds a frame body; a peer announcing more is broken or
@@ -59,6 +61,10 @@ type request struct {
 	// own I/O with it so a node stuck on storage cannot hold the
 	// connection past the client's deadline.
 	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
+	// Explain asks the node to trace its partial search (grid.SearchTrace)
+	// and ship the counters back as the response's Trace fragment. Off by
+	// default: an untraced partial search does no counting.
+	Explain bool `json:"explain,omitempty"`
 }
 
 type wireRect struct {
@@ -100,9 +106,57 @@ type response struct {
 
 	// partial
 	Scores []wireScore `json:"scores,omitempty"`
+	// Trace is the node's search-trace fragment, present only when the
+	// request set Explain. The coordinator sums the fragments of one
+	// scattered search into the query's grid.SearchTrace.
+	Trace *wireTrace `json:"trace,omitempty"`
 
 	// stats
 	Stats *NodeStats `json:"stats,omitempty"`
+}
+
+// wireTrace mirrors the grid.SearchTrace counters a node can fill (the
+// cluster routing fields are coordinator-side and never cross the wire).
+type wireTrace struct {
+	CellsInRect      int64 `json:"cells_in_rect,omitempty"`
+	CellsEmpty       int64 `json:"cells_empty,omitempty"`
+	CellsNoTerm      int64 `json:"cells_no_term,omitempty"`
+	CellsCacheHit    int64 `json:"cells_cache_hit,omitempty"`
+	CellsScanned     int64 `json:"cells_scanned,omitempty"`
+	Lists            int64 `json:"lists,omitempty"`
+	Postings         int64 `json:"postings,omitempty"`
+	PostingsFiltered int64 `json:"postings_filtered,omitempty"`
+	Objects          int64 `json:"objects,omitempty"`
+}
+
+// toWire copies the node-fillable counters of t into a wire fragment.
+func toWire(t *grid.SearchTrace) *wireTrace {
+	return &wireTrace{
+		CellsInRect:      t.CellsInRect,
+		CellsEmpty:       t.CellsEmpty,
+		CellsNoTerm:      t.CellsNoTerm,
+		CellsCacheHit:    t.CellsCacheHit,
+		CellsScanned:     t.CellsScanned,
+		Lists:            t.Lists,
+		Postings:         t.Postings,
+		PostingsFiltered: t.PostingsFiltered,
+		Objects:          t.Objects,
+	}
+}
+
+// addTo accumulates the fragment into t.
+func (w *wireTrace) addTo(t *grid.SearchTrace) {
+	t.Add(grid.SearchTrace{
+		CellsInRect:      w.CellsInRect,
+		CellsEmpty:       w.CellsEmpty,
+		CellsNoTerm:      w.CellsNoTerm,
+		CellsCacheHit:    w.CellsCacheHit,
+		CellsScanned:     w.CellsScanned,
+		Lists:            w.Lists,
+		Postings:         w.Postings,
+		PostingsFiltered: w.PostingsFiltered,
+		Objects:          w.Objects,
+	})
 }
 
 // writeFrame marshals v and writes it as one length-prefixed frame.

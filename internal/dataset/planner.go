@@ -33,6 +33,7 @@ type Planner struct {
 	nodeObjs [][]grid.ObjectID
 	qscratch textindex.QueryScratch
 	sscratch grid.SearchScratch
+	strace   grid.SearchTrace
 	solve    core.SolveScratch
 	qi       QueryInstance
 }
@@ -73,6 +74,16 @@ func (p *Planner) InstantiateCtx(ctx context.Context, q Query) (*QueryInstance, 
 	// SearchInto/PrepareQueryInto variants keep the steady-state relevance
 	// path allocation-free (the language-model side path still allocates
 	// its LMQuery).
+	// Tracing points the pooled scratch at the planner's own trace for
+	// this one search; untraced queries get a nil Trace so the search
+	// stays on its hot branches. The trace is reset here, not by the
+	// search, because a distributed search merges several partials into it.
+	if q.Trace {
+		p.strace.Clear()
+		p.sscratch.Trace = &p.strace
+	} else {
+		p.sscratch.Trace = nil
+	}
 	var scores []grid.ObjScore
 	var err error
 	if d.searchFn != nil {
@@ -124,6 +135,9 @@ func (p *Planner) InstantiateCtx(ctx context.Context, q Query) (*QueryInstance, 
 		return nil, fmt.Errorf("dataset: instance: %w", err)
 	}
 	p.qi = QueryInstance{In: &p.inst, Sub: sub, NodeObjects: p.nodeObjs, Prepared: prepared, Scratch: &p.solve}
+	if q.Trace {
+		p.qi.SearchTrace = &p.strace
+	}
 	return &p.qi, nil
 }
 

@@ -39,6 +39,11 @@ type Query struct {
 	Delta    float64  // length constraint, metres
 	Lambda   geo.Rect // region of interest
 	Mode     WeightMode
+	// Trace asks the planner to record the grid search's scan/skip
+	// decisions (see grid.SearchTrace); the result surfaces as
+	// QueryInstance.SearchTrace. Off by default: the untraced search path
+	// is unchanged and allocation-free.
+	Trace bool
 }
 
 // GenQueries generates a workload as §7.1 does: each query's rectangle has
@@ -191,6 +196,11 @@ type QueryInstance struct {
 	// their result regions are valid only until the next solve on the same
 	// planner. Always set by Planner.Instantiate.
 	Scratch *core.SolveScratch
+	// SearchTrace records the grid search's scan/skip decisions when the
+	// query set Trace (nil otherwise). Like the rest of the instance it
+	// aliases the owning planner's pooled state: read it before the next
+	// Instantiate on the same planner, copy it to keep it.
+	SearchTrace *grid.SearchTrace
 }
 
 // Instantiate restricts the road network to Q.Λ, scores the objects inside
@@ -230,12 +240,18 @@ func (qi *QueryInstance) Detach() (*QueryInstance, error) {
 	prepared := qi.Prepared
 	prepared.Terms = append([]textindex.TermID(nil), qi.Prepared.Terms...)
 	prepared.IDF = append([]float64(nil), qi.Prepared.IDF...)
+	var trace *grid.SearchTrace
+	if qi.SearchTrace != nil {
+		t := *qi.SearchTrace
+		trace = &t
+	}
 	return &QueryInstance{
 		In:          in,
 		Sub:         qi.Sub.Compact(),
 		NodeObjects: nodeObjs,
 		Prepared:    prepared,
 		Scratch:     &core.SolveScratch{},
+		SearchTrace: trace,
 	}, nil
 }
 

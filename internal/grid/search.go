@@ -58,6 +58,12 @@ type SearchScratch struct {
 	fetched [][]Posting
 	byShard [][]int32
 	errs    []error
+	// Trace, when non-nil, makes the search record its scan/skip decisions
+	// there (see SearchTrace). nil — the default — keeps the search on its
+	// untraced branches: no counting, no extra work on the hot path. The
+	// search increments, never resets; the trace's owner resets between
+	// queries.
+	Trace *SearchTrace
 }
 
 // fetchRef is one planned posting-list fetch: cell, the query-term index
@@ -130,14 +136,21 @@ func (idx *Index) SearchRangeInto(q textindex.Query, r geo.Rect, cellLo, cellHi 
 		if sc != nil {
 			sig = q.Signature()
 		}
+		tr := s.Trace
 		for cy := y0; cy <= y1; cy++ {
 			for cx := x0; cx <= x1; cx++ {
 				cell := uint32(cy*idx.nx + cx)
 				if cell < cellLo || cell >= cellHi {
 					continue
 				}
+				if tr != nil {
+					tr.CellsInRect++
+				}
 				dir := idx.cellDir[cell]
 				if len(dir) == 0 {
+					if tr != nil {
+						tr.CellsEmpty++
+					}
 					continue
 				}
 				fullInside := idx.cellInside(cell, r)
@@ -146,17 +159,36 @@ func (idx *Index) SearchRangeInto(q textindex.Query, r geo.Rect, cellLo, cellHi 
 				// not matter for bit-identicality — an object's postings all
 				// live in its one cell, and the touched set is sorted below.
 				if sc != nil && fullInside && sc.replay(cell, q, sig, idx.epoch, s) {
+					if tr != nil {
+						tr.CellsCacheHit++
+					}
 					continue
 				}
 				pre := len(s.touched)
+				var preLists int64
+				if tr != nil {
+					preLists = tr.Lists
+				}
 				if err := idx.scoreCell(q, r, cell, dir, fullInside, s); err != nil {
 					return nil, err
+				}
+				if tr != nil {
+					// A merge-join that fetched nothing is the term-directory
+					// miss; anything else was a real scan.
+					if tr.Lists == preLists {
+						tr.CellsNoTerm++
+					} else {
+						tr.CellsScanned++
+					}
 				}
 				if sc != nil && fullInside {
 					sc.fill(cell, q, sig, idx.epoch, s.touched[pre:], s.score)
 				}
 			}
 		}
+	}
+	if tr := s.Trace; tr != nil {
+		tr.Objects += int64(len(s.touched))
 	}
 	slices.Sort(s.touched)
 	if cap(s.out) < len(s.touched) {
@@ -193,6 +225,9 @@ func (idx *Index) scoreCell(q textindex.Query, r geo.Rect, cell uint32, dir []te
 			if err != nil {
 				return err
 			}
+			if s.Trace != nil {
+				s.Trace.Lists++
+			}
 			// The directory records the list length, so the touched set can
 			// grow once up front instead of reallocating mid-scan.
 			s.touched = slices.Grow(s.touched, int(dir[di].count))
@@ -206,10 +241,36 @@ func (idx *Index) scoreCell(q textindex.Query, r geo.Rect, cell uint32, dir []te
 
 // accumulate folds one posting list into the scratch with the query-side
 // weight idf. It is the one shared inner loop of the serial and sharded
-// search paths, so both accumulate bit-identically.
+// search paths, so both accumulate bit-identically. Tracing takes a
+// separate copy of the loop so the untraced (serving) path carries no
+// per-posting branch.
 func (idx *Index) accumulate(r geo.Rect, ps []Posting, idf float64, fullInside bool, s *SearchScratch) {
+	if s.Trace != nil {
+		idx.accumulateTraced(r, ps, idf, fullInside, s)
+		return
+	}
 	for _, p := range ps {
 		if !fullInside && !r.Contains(idx.objects[p.Obj].Point) {
+			continue
+		}
+		if s.stamp[p.Obj] != s.epoch {
+			s.stamp[p.Obj] = s.epoch
+			s.score[p.Obj] = 0
+			s.touched = append(s.touched, p.Obj)
+		}
+		s.score[p.Obj] += idf * p.Weight
+	}
+}
+
+// accumulateTraced is accumulate with per-posting trace counting. The
+// scoring logic is identical line for line; only the counters differ, so
+// traced answers stay bit-identical to untraced ones.
+func (idx *Index) accumulateTraced(r geo.Rect, ps []Posting, idf float64, fullInside bool, s *SearchScratch) {
+	tr := s.Trace
+	tr.Postings += int64(len(ps))
+	for _, p := range ps {
+		if !fullInside && !r.Contains(idx.objects[p.Obj].Point) {
+			tr.PostingsFiltered++
 			continue
 		}
 		if s.stamp[p.Obj] != s.epoch {
@@ -238,14 +299,21 @@ func (idx *Index) searchSharded(q textindex.Query, r geo.Rect, x0, x1, y0, y1 in
 		sig = q.Signature()
 	}
 	s.plan = s.plan[:0]
+	tr := s.Trace
 	for cy := y0; cy <= y1; cy++ {
 		for cx := x0; cx <= x1; cx++ {
 			cell := uint32(cy*idx.nx + cx)
 			if cell < cellLo || cell >= cellHi {
 				continue
 			}
+			if tr != nil {
+				tr.CellsInRect++
+			}
 			dir := idx.cellDir[cell]
 			if len(dir) == 0 {
+				if tr != nil {
+					tr.CellsEmpty++
+				}
 				continue
 			}
 			fullInside := idx.cellInside(cell, r)
@@ -255,6 +323,9 @@ func (idx *Index) searchSharded(q textindex.Query, r geo.Rect, x0, x1, y0, y1 in
 			// affect the result: every object's score comes wholly from its
 			// one cell, and the touched set is sorted by the caller.
 			if sc != nil && fullInside && sc.replay(cell, q, sig, idx.epoch, s) {
+				if tr != nil {
+					tr.CellsCacheHit++
+				}
 				continue
 			}
 			planStart := len(s.plan)
@@ -269,6 +340,14 @@ func (idx *Index) searchSharded(q textindex.Query, r geo.Rect, x0, x1, y0, y1 in
 					s.plan = append(s.plan, fetchRef{cell: cell, qi: int32(qi), count: dir[di].count, fullInside: fullInside})
 					qi++
 					di++
+				}
+			}
+			if tr != nil {
+				if len(s.plan) == planStart {
+					tr.CellsNoTerm++
+				} else {
+					tr.CellsScanned++
+					tr.Lists += int64(len(s.plan) - planStart)
 				}
 			}
 			if sc != nil && fullInside && len(s.plan) == planStart {

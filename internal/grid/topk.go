@@ -131,6 +131,9 @@ func (idx *Index) SearchTopKInto(q textindex.Query, r geo.Rect, k int, s *TopKSc
 			// No object in this — or any later — cell can beat the current
 			// k-th entry, even on a tie-break.
 			s.pruned = len(s.cells) - ci
+			if tr := s.s.Trace; tr != nil {
+				tr.CellsPrunedWAND += int64(s.pruned)
+			}
 			break
 		}
 		s.visited++

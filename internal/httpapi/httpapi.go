@@ -53,14 +53,17 @@ type QueryRequest struct {
 	// Region is the rectangular region of interest Q.Λ.
 	Region Rect `json:"region"`
 	// Method optionally overrides the server's configured algorithm:
-	// "tgen", "app", or "greedy" (case-insensitive). Empty keeps the
-	// server default.
+	// "tgen", "app", "greedy", or "auto" (case-insensitive). Empty keeps
+	// the server default; "auto" lets the server-side cost planner pick
+	// per request against the deadline.
 	Method string `json:"method,omitempty"`
 	// K, when > 1, asks for the top-K disjoint regions.
 	K int `json:"k,omitempty"`
 	// TimeoutMs optionally tightens the per-request deadline below the
 	// server-configured bound. It can never extend it.
 	TimeoutMs int `json:"timeout_ms,omitempty"`
+	// Explain asks for the EXPLAIN plan fragment in the response.
+	Explain bool `json:"explain,omitempty"`
 }
 
 // Object is one relevant object of a result region.
@@ -94,6 +97,60 @@ type QueryResponse struct {
 	Matched bool `json:"matched"`
 	// Regions holds the result regions, best first.
 	Regions []Region `json:"regions"`
+	// Plan is the EXPLAIN fragment, present only when the request set
+	// explain.
+	Plan *Plan `json:"plan,omitempty"`
+}
+
+// Plan is the wire form of the EXPLAIN annotation. Unlike the rest of
+// the wire surface it uses camelCase keys — the fragment is aimed at
+// dashboards and jq one-liners (`.plan.method`, `.plan.cellsSkipped`),
+// and those keys are part of the documented surface (docs/PLANS.md).
+type Plan struct {
+	// Method is the solver that answered ("TGEN", "APP", "Greedy"); with
+	// auto=true it was chosen by the cost planner, and reason says why.
+	Method   string `json:"method"`
+	Auto     bool   `json:"auto,omitempty"`
+	Degraded bool   `json:"degraded,omitempty"`
+	Reason   string `json:"reason,omitempty"`
+	// Costs are milliseconds: the budget the planner chose against, the
+	// model's estimate for the chosen method, and the measured service
+	// time (queue wait excluded).
+	BudgetMs    float64 `json:"budgetMs,omitempty"`
+	EstimateMs  float64 `json:"estimateMs"`
+	ActualMs    float64 `json:"actualMs"`
+	EstGreedyMs float64 `json:"estGreedyMs,omitempty"`
+	EstTGENMs   float64 `json:"estTgenMs,omitempty"`
+	EstAPPMs    float64 `json:"estAppMs,omitempty"`
+	// Nodes is the working-graph size the estimates used.
+	Nodes int `json:"nodes"`
+	// Cell accounting: cellsInRect = cellsScanned + cellsSkipped, with
+	// the skip reasons broken out (empty directory, no shared term,
+	// score-cache hit). cellsPrunedWand is the top-k object path's WAND
+	// cutoff (zero on the standard serving path).
+	CellsInRect        int64 `json:"cellsInRect"`
+	CellsScanned       int64 `json:"cellsScanned"`
+	CellsSkipped       int64 `json:"cellsSkipped"`
+	CellsSkippedEmpty  int64 `json:"cellsSkippedEmpty,omitempty"`
+	CellsSkippedNoTerm int64 `json:"cellsSkippedNoTerm,omitempty"`
+	CellsSkippedCache  int64 `json:"cellsSkippedCache,omitempty"`
+	CellsPrunedWAND    int64 `json:"cellsPrunedWand,omitempty"`
+	// Posting-level accounting and the resulting candidate objects.
+	PostingLists     int64 `json:"postingLists"`
+	Postings         int64 `json:"postings"`
+	PostingsFiltered int64 `json:"postingsFiltered,omitempty"`
+	Candidates       int64 `json:"candidates"`
+	// Cluster is the coordinator's routing fragment (cluster serving only).
+	Cluster *ClusterPlan `json:"cluster,omitempty"`
+}
+
+// ClusterPlan is the plan's cluster routing fragment: replica groups
+// contacted for the scattered search vs. skipped by the rectangle or
+// term-directory route checks.
+type ClusterPlan struct {
+	GroupsContacted   int64 `json:"groupsContacted"`
+	GroupsSkippedRect int64 `json:"groupsSkippedRect,omitempty"`
+	GroupsSkippedTerm int64 `json:"groupsSkippedTerm,omitempty"`
 }
 
 // Stats is the JSON body answering GET /stats. Latencies are reported in

@@ -1,0 +1,121 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/grid"
+	"repro/internal/queryengine"
+)
+
+func TestEstimateLadderStrict(t *testing.T) {
+	m := Default()
+	for _, nodes := range []int{0, 1, 10, 100000} {
+		for _, se := range []grid.SearchEstimate{
+			{},
+			{Cells: 4, CellsWithTerms: 2, Lists: 3, Postings: 50},
+			{Cells: 400, CellsWithTerms: 300, Lists: 900, Postings: 250000},
+		} {
+			e := m.Estimate(se, nodes)
+			if !(e.Greedy < e.TGEN && e.TGEN < e.APP) {
+				t.Fatalf("ladder not strict for se=%+v nodes=%d: %+v", se, nodes, e)
+			}
+			if e.Nodes < 1 {
+				t.Fatalf("nodes floor violated: %+v", e)
+			}
+			if e.Greedy < e.Search {
+				t.Fatalf("solve estimate below search share: %+v", e)
+			}
+		}
+	}
+}
+
+func TestEstimateUsesActualNodesWhenKnown(t *testing.T) {
+	m := Default()
+	se := grid.SearchEstimate{Lists: 10, Postings: 10000}
+	if got, want := m.Estimate(se, 42).Nodes, int64(42); got != want {
+		t.Fatalf("Nodes = %d, want %d (actual instance size)", got, want)
+	}
+	if got, want := m.Estimate(se, 0).Nodes, int64(10000); got != want {
+		t.Fatalf("Nodes = %d, want %d (directory posting bound)", got, want)
+	}
+}
+
+func TestChooseWalksLadderByBudget(t *testing.T) {
+	est := Default().Estimate(grid.SearchEstimate{Lists: 5, Postings: 1000}, 500)
+	cases := []struct {
+		budget time.Duration
+		want   queryengine.Method
+	}{
+		{Headroom * est.APP, queryengine.MethodAPP},
+		{Headroom*est.APP - time.Nanosecond, queryengine.MethodTGEN},
+		{Headroom * est.TGEN, queryengine.MethodTGEN},
+		{Headroom*est.TGEN - time.Nanosecond, queryengine.MethodGreedy},
+		{time.Nanosecond, queryengine.MethodGreedy},
+	}
+	for _, c := range cases {
+		got := Choose(est, c.budget, 0)
+		if got.Method != c.want {
+			t.Fatalf("budget %v: chose %v, want %v (reason %q)", c.budget, got.Method, c.want, got.Reason)
+		}
+		if got.Degraded {
+			t.Fatalf("budget %v: degraded without pressure: %q", c.budget, got.Reason)
+		}
+		if got.Estimated != est.Of(got.Method) {
+			t.Fatalf("budget %v: Estimated %v != est.Of(%v) %v", c.budget, got.Estimated, got.Method, est.Of(got.Method))
+		}
+		if got.Reason == "" {
+			t.Fatalf("budget %v: empty reason", c.budget)
+		}
+	}
+}
+
+func TestChooseZeroBudgetMeansDefault(t *testing.T) {
+	est := Default().Estimate(grid.SearchEstimate{Lists: 1, Postings: 10}, 10)
+	// A tiny instance under the generous default budget affords APP.
+	if got := Choose(est, 0, 0); got.Method != queryengine.MethodAPP {
+		t.Fatalf("zero budget chose %v, want APP under DefaultBudget (reason %q)", got.Method, got.Reason)
+	}
+}
+
+func TestChooseDegradesUnderPressure(t *testing.T) {
+	est := Default().Estimate(grid.SearchEstimate{Lists: 5, Postings: 1000}, 500)
+	huge := 100 * Headroom * est.APP
+
+	// APP budget + pressure → TGEN, marked degraded.
+	c := Choose(est, huge, DegradePressure)
+	if c.Method != queryengine.MethodTGEN || !c.Degraded {
+		t.Fatalf("pressure at threshold: got %v degraded=%v, want TGEN degraded", c.Method, c.Degraded)
+	}
+	if !strings.Contains(c.Reason, "degraded") {
+		t.Fatalf("degraded reason missing marker: %q", c.Reason)
+	}
+
+	// TGEN budget + pressure → Greedy: the ISSUE's TGEN→Greedy degradation.
+	c = Choose(est, Headroom*est.TGEN, 0.9)
+	if c.Method != queryengine.MethodGreedy || !c.Degraded {
+		t.Fatalf("tgen budget under pressure: got %v degraded=%v, want Greedy degraded", c.Method, c.Degraded)
+	}
+
+	// Greedy is the floor: pressure cannot degrade it further or mark it.
+	c = Choose(est, time.Nanosecond, 0.99)
+	if c.Method != queryengine.MethodGreedy || c.Degraded {
+		t.Fatalf("greedy floor: got %v degraded=%v, want Greedy not degraded", c.Method, c.Degraded)
+	}
+
+	// Below the threshold nothing degrades.
+	c = Choose(est, huge, DegradePressure-0.01)
+	if c.Method != queryengine.MethodAPP || c.Degraded {
+		t.Fatalf("below threshold: got %v degraded=%v, want APP not degraded", c.Method, c.Degraded)
+	}
+}
+
+func TestChooseDeterministic(t *testing.T) {
+	est := Default().Estimate(grid.SearchEstimate{Cells: 9, Lists: 12, Postings: 3456}, 789)
+	a := Choose(est, 5*time.Millisecond, 0.25)
+	b := Choose(est, 5*time.Millisecond, 0.25)
+	if a != b {
+		t.Fatalf("Choose not deterministic: %+v vs %+v", a, b)
+	}
+}

@@ -94,6 +94,13 @@ type Task struct {
 	// aliases the task's pooled backing array and is valid until the task
 	// is submitted again.
 	Result Result
+	// Wait is the queue delay the worker observed at pickup — the time
+	// between submission and the start of service. It is written by the
+	// worker before the shedding check and before Visit runs, so a Visit
+	// callback can read it as its load signal (Wait / MaxQueueAge is the
+	// pressure that reaches 1.0 exactly at the shedding threshold). Valid
+	// during Visit and after Do returns, until the task is resubmitted.
+	Wait time.Duration
 
 	start time.Time
 	done  chan error
@@ -347,6 +354,7 @@ func (s *Server) serveSafe(p *dataset.Planner, ws *workerState, t *Task) (err er
 // serve answers one task on the worker's planner and records its latency.
 func (s *Server) serve(p *dataset.Planner, ws *workerState, t *Task) error {
 	t.Result = Result{} // a reused Task must never carry a stale answer
+	t.Wait = time.Since(t.start)
 	ctx := t.ctx()
 	// Shed before touching the planner: a request that went stale in the
 	// queue (dead context, or older than the shedding threshold) is not
@@ -355,7 +363,7 @@ func (s *Server) serve(p *dataset.Planner, ws *workerState, t *Task) error {
 		ws.recordRejected()
 		return err
 	}
-	if s.maxQueueAge > 0 && time.Since(t.start) > s.maxQueueAge {
+	if s.maxQueueAge > 0 && t.Wait > s.maxQueueAge {
 		ws.recordShed()
 		return ErrOverloaded
 	}

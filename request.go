@@ -3,6 +3,7 @@ package repro
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -28,6 +29,12 @@ type Request struct {
 	// decreasing quality order (§6.2); K <= 1 returns the single best
 	// region.
 	K int
+	// Explain asks for an EXPLAIN annotation: the answered Response
+	// carries a Plan describing the method choice, estimated vs. actual
+	// cost, and what the search scanned vs. skipped. Results are
+	// bit-identical with or without it; the plan costs one allocation and
+	// some counters, paid only by requests that opt in.
+	Explain bool
 }
 
 // Response is the unified query outcome. Results is empty when no object
@@ -40,6 +47,10 @@ type Response struct {
 	// after a cancellation or missed deadline, or ErrOverloaded when the
 	// server shed the request.
 	Err error
+	// Plan is the EXPLAIN annotation, set only when the request asked for
+	// it (Request.Explain) and was answered (nil on error). The caller
+	// owns it; nothing in it aliases pooled serving state.
+	Plan *Plan
 }
 
 // Best returns the best region of the response, or nil when the response
@@ -62,26 +73,46 @@ func (db *Database) Do(ctx context.Context, req Request) Response {
 	if err != nil {
 		return Response{Err: fmt.Errorf("repro: %w", err)}
 	}
-	qeOpts, err := toEngineOptions(req.Search, 1)
-	if err != nil {
+	dq.Trace = req.Explain
+	search := req.Search
+	// Validate the tuning knobs (and any concrete method) before doing
+	// instantiate work. MethodAuto is resolved after instantiation, when
+	// the instance size is known, so it is probed as its cheapest
+	// resolution here.
+	probe := search
+	if probe.Method == MethodAuto {
+		probe.Method = MethodTGEN
+	}
+	if _, err := toEngineOptions(probe, 1); err != nil {
 		return Response{Err: err}
 	}
+	started := time.Now()
 	qi, err := db.ds.Instantiate(dq)
 	if err != nil {
 		return Response{Err: err}
 	}
+	search, pl := db.planQuery(ctx, qi, dq.Lambda, search, 0, req.Explain)
 	if req.K > 1 {
-		results, err := db.topK(ctx, qi, dq.Delta, req.K, req.Search)
-		return Response{Results: results, Err: err}
+		results, err := db.topK(ctx, qi, dq.Delta, req.K, search)
+		if err != nil {
+			return Response{Err: err}
+		}
+		pl.finish(qi, started, 0)
+		return Response{Results: results, Plan: pl}
+	}
+	qeOpts, err := toEngineOptions(search, 1)
+	if err != nil {
+		return Response{Err: err}
 	}
 	region, err := queryengine.Solve(ctx, qi, dq.Delta, qeOpts)
 	if err != nil {
 		return Response{Err: err}
 	}
+	pl.finish(qi, started, 0)
 	if region == nil {
-		return Response{}
+		return Response{Plan: pl}
 	}
-	return Response{Results: []*Result{db.materialize(qi, region)}}
+	return Response{Results: []*Result{db.materialize(qi, region)}, Plan: pl}
 }
 
 // topK answers the top-k form on a materialized instance; shared by
@@ -97,6 +128,10 @@ func (db *Database) topK(ctx context.Context, qi *dataset.QueryInstance, delta f
 		regions, err = core.TopKGreedy(ctx, qi.In, delta, k, greedyOpts)
 	case MethodTGEN:
 		regions, err = core.TopKTGEN(ctx, qi.In, delta, k, tgenOpts)
+	case MethodAuto:
+		// Do/Serve resolve Auto before reaching here; only a direct misuse
+		// of the helper could land it.
+		return nil, fmt.Errorf("repro: MethodAuto reached the solver unresolved")
 	default:
 		return nil, fmt.Errorf("repro: unknown method %v", opts.Method)
 	}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -21,6 +22,15 @@ const (
 	MethodAPP
 	// MethodGreedy is the fast, lower-accuracy greedy expansion (§6.1).
 	MethodGreedy
+	// MethodAuto defers the choice to the server-side cost planner: per
+	// request, the planner estimates each solver's cost from the grid's
+	// term directories and the instance size, picks the most expensive
+	// method affordable within the request's budget (SearchOptions.Budget,
+	// else the context deadline), and degrades one rung under queue
+	// pressure instead of shedding. Database.Do and Server.Do resolve it;
+	// RunBatch requires a concrete method. Set Request.Explain to see the
+	// decision in Response.Plan.
+	MethodAuto
 )
 
 // String implements fmt.Stringer.
@@ -32,6 +42,8 @@ func (m Method) String() string {
 		return "APP"
 	case MethodGreedy:
 		return "Greedy"
+	case MethodAuto:
+		return "Auto"
 	default:
 		return fmt.Sprintf("Method(%d)", int(m))
 	}
@@ -49,8 +61,10 @@ func ParseMethod(s string) (Method, error) {
 		return MethodAPP, nil
 	case "greedy":
 		return MethodGreedy, nil
+	case "auto":
+		return MethodAuto, nil
 	default:
-		return 0, fmt.Errorf("repro: unknown method %q (want TGEN, APP, or Greedy)", s)
+		return 0, fmt.Errorf("repro: unknown method %q (want TGEN, APP, Greedy, or Auto)", s)
 	}
 }
 
@@ -72,6 +86,13 @@ type SearchOptions struct {
 	// UseSPTSolver makes APP use the shortest-path-tree quota heuristic
 	// instead of the GW/Garg solver (ablation).
 	UseSPTSolver bool
+	// Budget, for MethodAuto, is the explicit solve budget the planner
+	// chooses against. Zero derives the budget from the request context's
+	// deadline, falling back to a generous default when there is none.
+	// Ignored by the concrete methods. An explicit Budget makes Auto's
+	// choice deterministic regardless of scheduling (deadline-derived
+	// budgets shrink while the request queues).
+	Budget time.Duration
 }
 
 // ResultObject is a relevant object inside a result region.

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/queryengine"
 )
@@ -84,18 +85,26 @@ func (st ServeStats) String() string {
 // ErrOverloaded, and one cancelled mid-solve returns ctx.Err() promptly
 // while the worker stays healthy. Close it when done.
 type Server struct {
-	db      *Database
-	inner   *queryengine.Server
-	opts    queryengine.Options
-	search  SearchOptions
-	matched atomic.Int64
+	db          *Database
+	inner       *queryengine.Server
+	opts        queryengine.Options
+	search      SearchOptions
+	maxQueueAge time.Duration
+	matched     atomic.Int64
 }
 
 // Serve starts a streaming query server. Unlike RunBatch, which answers a
 // fixed workload and returns, the server accepts requests continuously
 // until Close, with per-request latency tracking (Stats).
 func (db *Database) Serve(opts ServeOptions) (*Server, error) {
-	qeOpts, err := toEngineOptions(opts.Search, opts.Workers)
+	// MethodAuto is resolved per request (it needs the instance size and
+	// the live queue pressure); validate the remaining knobs against its
+	// cheapest resolution.
+	probe := opts.Search
+	if probe.Method == MethodAuto {
+		probe.Method = MethodTGEN
+	}
+	qeOpts, err := toEngineOptions(probe, opts.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -107,7 +116,7 @@ func (db *Database) Serve(opts ServeOptions) (*Server, error) {
 		LatencyWindow:   opts.LatencyWindow,
 		DeadlineOrdered: opts.DeadlineOrdered,
 	})
-	return &Server{db: db, inner: inner, opts: qeOpts, search: opts.Search}, nil
+	return &Server{db: db, inner: inner, opts: qeOpts, search: opts.Search, maxQueueAge: opts.MaxQueueAge}, nil
 }
 
 // Do answers one request, blocking until a worker is free (that is the
@@ -141,36 +150,67 @@ func (s *Server) do(ctx context.Context, req Request, search SearchOptions) Resp
 	if err != nil {
 		return Response{Err: fmt.Errorf("repro: %w", err)}
 	}
+	dq.Trace = req.Explain
+	auto := search.Method == MethodAuto
 	qeOpts := s.opts
 	if search != s.search {
-		qeOpts, err = toEngineOptions(search, 0)
+		probe := search
+		if auto {
+			probe.Method = MethodTGEN // knob validation; Auto resolves on the worker
+		}
+		qeOpts, err = toEngineOptions(probe, 0)
 		if err != nil {
 			return Response{Err: err}
 		}
 	}
 	var results []*Result
-	t := queryengine.Task{Ctx: ctx, Query: dq, Visit: func(qi *dataset.QueryInstance) error {
+	var pl *Plan
+	started := time.Now()
+	t := queryengine.Task{Ctx: ctx, Query: dq}
+	t.Visit = func(qi *dataset.QueryInstance) error {
 		// Materialize on the worker: the instance aliases pooled planner
 		// buffers that are reused for the next request.
+		if auto || req.Explain {
+			// Plan on the worker, where both the instance size and the
+			// request's own queue wait (the load signal) are known. At
+			// pressure ≥ plan.DegradePressure Auto serves one rung cheaper;
+			// shedding only fires at pressure > 1, so degradation always
+			// gets its chance first.
+			pressure := 0.0
+			if s.maxQueueAge > 0 {
+				pressure = float64(t.Wait) / float64(s.maxQueueAge)
+			}
+			search, pl = s.db.planQuery(ctx, qi, dq.Lambda, search, pressure, req.Explain)
+			if auto {
+				o, oerr := toEngineOptions(search, 0)
+				if oerr != nil {
+					return oerr
+				}
+				qeOpts = o
+			}
+		}
+		var verr error
 		if req.K > 1 {
-			rs, err := s.db.topK(ctx, qi, dq.Delta, req.K, search)
-			results = rs
-			return err
+			results, verr = s.db.topK(ctx, qi, dq.Delta, req.K, search)
+		} else {
+			var region *core.Region
+			region, verr = queryengine.Solve(ctx, qi, dq.Delta, qeOpts)
+			if verr == nil && region != nil {
+				results = []*Result{s.db.materialize(qi, region)}
+			}
 		}
-		region, err := queryengine.Solve(ctx, qi, dq.Delta, qeOpts)
-		if err != nil || region == nil {
-			return err
-		}
-		results = []*Result{s.db.materialize(qi, region)}
-		return nil
-	}}
+		// The trace aliases the worker's pooled planner; finish copies it
+		// out while qi is still this request's.
+		pl.finish(qi, started, t.Wait)
+		return verr
+	}
 	if err := s.inner.Do(&t); err != nil {
 		return Response{Err: err}
 	}
 	if len(results) > 0 {
 		s.matched.Add(1)
 	}
-	return Response{Results: results}
+	return Response{Results: results, Plan: pl}
 }
 
 // Submit answers one query through the server's configured options. It

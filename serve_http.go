@@ -82,7 +82,8 @@ func (b httpBackend) Query(ctx context.Context, req httpapi.QueryRequest) (httpa
 				MaxX: req.Region.MaxX, MaxY: req.Region.MaxY,
 			},
 		},
-		K: req.K,
+		K:       req.K,
+		Explain: req.Explain,
 	}, search)
 	if resp.Err != nil {
 		return httpapi.QueryResponse{}, resp.Err
@@ -91,7 +92,47 @@ func (b httpBackend) Query(ctx context.Context, req httpapi.QueryRequest) (httpa
 	for _, r := range resp.Results {
 		out.Regions = append(out.Regions, toWireRegion(r))
 	}
+	out.Plan = toWirePlan(resp.Plan)
 	return out, nil
+}
+
+// toWirePlan converts a public Plan into its wire form (nil for nil).
+func toWirePlan(p *Plan) *httpapi.Plan {
+	if p == nil {
+		return nil
+	}
+	out := &httpapi.Plan{
+		Method:             p.Method.String(),
+		Auto:               p.Auto,
+		Degraded:           p.Degraded,
+		Reason:             p.Reason,
+		BudgetMs:           httpapi.MillisOf(p.Budget),
+		EstimateMs:         httpapi.MillisOf(p.EstimatedCost),
+		ActualMs:           httpapi.MillisOf(p.ActualCost),
+		EstGreedyMs:        httpapi.MillisOf(p.EstGreedy),
+		EstTGENMs:          httpapi.MillisOf(p.EstTGEN),
+		EstAPPMs:           httpapi.MillisOf(p.EstAPP),
+		Nodes:              p.Nodes,
+		CellsInRect:        p.CellsInRect,
+		CellsScanned:       p.CellsScanned,
+		CellsSkipped:       p.CellsSkipped(),
+		CellsSkippedEmpty:  p.CellsSkippedEmpty,
+		CellsSkippedNoTerm: p.CellsSkippedNoTerm,
+		CellsSkippedCache:  p.CellsSkippedCache,
+		CellsPrunedWAND:    p.CellsPrunedWAND,
+		PostingLists:       p.PostingLists,
+		Postings:           p.Postings,
+		PostingsFiltered:   p.PostingsFiltered,
+		Candidates:         p.Candidates,
+	}
+	if p.Cluster != nil {
+		out.Cluster = &httpapi.ClusterPlan{
+			GroupsContacted:   p.Cluster.GroupsContacted,
+			GroupsSkippedRect: p.Cluster.GroupsSkippedRect,
+			GroupsSkippedTerm: p.Cluster.GroupsSkippedTerm,
+		}
+	}
+	return out
 }
 
 // Stats implements httpapi.Backend.

@@ -333,3 +333,84 @@ func TestHTTPStatsScoreCache(t *testing.T) {
 		t.Fatalf("repeated query never hit the cache: %+v", *st.ScoreCache)
 	}
 }
+
+// TestHTTPExplain checks the EXPLAIN plan over the wire: an explain
+// request answers a camelCase plan fragment (the documented jq surface:
+// .plan.method, .plan.cellsSkipped), and a request without explain
+// carries no plan key at all.
+func TestHTTPExplain(t *testing.T) {
+	db, qs := serveWorkload(t)
+	srv, err := db.Serve(ServeOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.HTTPHandler(HTTPOptions{Timeout: time.Minute}))
+	defer ts.Close()
+
+	body := map[string]any{
+		"keywords": qs[0].Keywords,
+		"delta":    qs[0].Delta,
+		"region": map[string]float64{
+			"min_x": qs[0].Region.MinX, "min_y": qs[0].Region.MinY,
+			"max_x": qs[0].Region.MaxX, "max_y": qs[0].Region.MaxY,
+		},
+		"method":  "auto",
+		"explain": true,
+	}
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var wr struct {
+		Plan *struct {
+			Method       string  `json:"method"`
+			Auto         bool    `json:"auto"`
+			Reason       string  `json:"reason"`
+			ActualMs     float64 `json:"actualMs"`
+			CellsInRect  int64   `json:"cellsInRect"`
+			CellsScanned int64   `json:"cellsScanned"`
+			CellsSkipped int64   `json:"cellsSkipped"`
+		} `json:"plan"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&wr); err != nil {
+		t.Fatal(err)
+	}
+	if wr.Plan == nil {
+		t.Fatal("explain request answered no plan")
+	}
+	if wr.Plan.Method == "" || !wr.Plan.Auto || wr.Plan.Reason == "" {
+		t.Fatalf("plan incomplete: %+v", *wr.Plan)
+	}
+	if wr.Plan.CellsInRect != wr.Plan.CellsScanned+wr.Plan.CellsSkipped {
+		t.Fatalf("cell accounting broken on the wire: %+v", *wr.Plan)
+	}
+
+	// Without explain, the plan key is absent entirely.
+	delete(body, "explain")
+	delete(body, "method")
+	b, err = json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var raw map[string]json.RawMessage
+	if err := json.NewDecoder(resp2.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := raw["plan"]; ok {
+		t.Fatal("unexplained request leaked a plan fragment")
+	}
+}
